@@ -1,0 +1,61 @@
+// E7 (Figure-3 analog): ablation of the pruning parameter k and budget B.
+//
+// Mechanism under test (Lemma 3.2 / Lemma 3.7 / Lemma 3.9): a single
+// PartialLayerAssignment shot assigns exactly the vertices whose pruned
+// tree views stay within √B, and its out-degree bound is a = (s+1)·k.
+// Sweeping k/λ and the budget exponent shows the trade-off the paper
+// navigates: larger k assigns more per shot but costs proportionally more
+// out-degree; larger B admits more path-heavy vertices per shot.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/layering_pipeline.hpp"
+#include "core/orientation_mpc.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace arbor;
+  bench::banner(
+      "E7: ablation — pruning parameter k and budget B (one partial shot)",
+      "assigned fraction and out-degree bound of a single Lemma 3.13 shot "
+      "on G(n, 4n), n = 2^13, lambda~ = degeneracy = reported below.");
+  util::SplitRng rng(7);
+  const std::size_t n = 1 << 13;
+  const graph::Graph g = graph::gnm(n, 4 * n, rng);
+
+  bench::Table table({"k_mult", "budget_exp", "B", "L", "s", "a_bound",
+                      "assigned_frac", "max_tree", "rounds"});
+  const std::size_t lambda_est = core::estimate_density_parameter(g);
+  std::printf("lambda~ (degeneracy) = %zu\n\n", lambda_est);
+
+  for (double k_mult : {0.5, 1.0, 2.0, 4.0}) {
+    for (double budget_exp : {2.0, 3.0, 4.0}) {
+      const auto k = std::max<std::size_t>(
+          1, static_cast<std::size_t>(k_mult *
+                                      static_cast<double>(lambda_est)));
+      core::PipelineParams params = core::PipelineParams::practical(k);
+      params.budget_exponent = budget_exp;
+
+      auto run = bench::Run::for_graph(g);
+      const std::size_t budget =
+          params.derive_budget(run.config.words_per_machine);
+      const auto result =
+          core::run_partial_once(g, params, budget, *run.ctx);
+
+      const double frac =
+          static_cast<double>(result.assignment.assigned_count()) /
+          static_cast<double>(n);
+      table.add_row(
+          {bench::fmt(k_mult, 1), bench::fmt(budget_exp, 1),
+           bench::fmt(budget), bench::fmt(result.assignment.num_layers),
+           bench::fmt(params.derive_steps(n,
+                                          result.assignment.num_layers)),
+           bench::fmt(result.outdegree_bound), bench::fmt(frac),
+           bench::fmt(result.max_tree_nodes),
+           bench::fmt(run.ledger->total_rounds())});
+    }
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,67 @@
+// E4 (Table-2 analog): coloring quality vs arboricity.
+//
+// Paper claim (Theorem 1.2): proper coloring with O(λ log log n) colors in
+// poly(log log n) rounds. Baselines: degeneracy-greedy uses ≤ 2λ colors
+// (sequential), and any Δ-parameterized algorithm would need up to Δ+1 —
+// the star row shows the gap the paper's introduction highlights.
+#include <cmath>
+#include <cstdio>
+
+#include "baselines/sequential.hpp"
+#include "bench_util.hpp"
+#include "core/coloring_mpc.hpp"
+#include "graph/coloring.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace arbor;
+
+void row(bench::Table& table, const char* name, const graph::Graph& g) {
+  auto run = bench::Run::for_graph(g);
+  const auto result = core::mpc_color(g, {}, *run.ctx);
+  const auto check = graph::check_coloring(g, result.colors);
+  const auto ref = baselines::sequential_reference(g);
+  const double loglog =
+      std::log2(std::log2(static_cast<double>(g.num_vertices())));
+
+  table.add_row(
+      {name, bench::fmt(g.num_vertices()),
+       bench::fmt(g.max_degree()), bench::fmt(ref.degeneracy),
+       bench::fmt(result.palette_size), bench::fmt(check.colors_used),
+       bench::fmt(ref.coloring_colors),
+       check.proper ? "yes" : "NO",
+       bench::fmt(run.ledger->total_rounds()),
+       bench::fmt(static_cast<double>(result.palette_size) /
+                  (static_cast<double>(
+                       std::max<std::size_t>(ref.degeneracy, 1)) *
+                   loglog))});
+}
+
+}  // namespace
+
+int main() {
+  using namespace arbor;
+  bench::banner(
+      "E4: colors vs lambda",
+      "claim: palette = O(lambda loglog n), always proper; compare "
+      "degeneracy-greedy (sequential, <= degeneracy+1 colors) and Delta+1 "
+      "(the max_degree column). ratio = palette/(degeneracy*loglog n).");
+  bench::Table table({"family", "n", "max_deg", "degeneracy", "palette",
+                      "colors_used", "greedy_colors", "proper", "rounds",
+                      "ratio"});
+  util::SplitRng rng(4);
+  const std::size_t n = 1 << 14;
+  for (std::size_t lambda : {1u, 2u, 4u, 8u, 16u}) {
+    const graph::Graph g = graph::forest_union(n, lambda, rng);
+    const std::string name = "forest_union_" + std::to_string(lambda);
+    row(table, name.c_str(), g);
+  }
+  row(table, "star", graph::star(n));  // Delta = n-1, lambda = 1
+  row(table, "gnm_4n", graph::gnm(n, 4 * n, rng));
+  row(table, "ba_3", graph::barabasi_albert(n, 3, rng));
+  row(table, "grid", graph::grid(128, 128));
+  table.print();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// E3 (Figure-2 analog): geometric layer decay of the complete layering.
+//
+// Paper claim (Lemma 3.15 property 2): |{v : ℓ(v) ≥ j}| ≤ 0.5^{j-1}·n.
+// Multi-layer structure appears when many vertices have degree above the
+// per-shot allowance a = (s+1)·k, so the workloads here are heavy-tailed:
+// Barabási–Albert (power-law degrees), a star (one Δ = n-1 hub), and a
+// planted clique. For reference the table also shows the decay of the
+// proof's ℓ_G (threshold-peeling layering), which the lemma's argument
+// piggybacks on. `ok` marks rows within the paper's 0.5^{j-1} envelope.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/layering_pipeline.hpp"
+#include "core/orientation_mpc.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace arbor;
+
+void print_decay(const char* label, const core::LayerAssignment& assignment,
+                 std::size_t n) {
+  const auto tail = core::tail_layer_counts(assignment);
+  bench::Table table({"j", "tail_j", "0.5^{j-1}*n", "ratio_j", "ok"});
+  for (std::size_t j = 1; j < tail.size() && tail[j] > 0 && j <= 20; ++j) {
+    const double envelope = static_cast<double>(n) *
+                            std::pow(0.5, static_cast<double>(j - 1));
+    const double ratio =
+        j >= 2 && tail[j - 1] > 0
+            ? static_cast<double>(tail[j]) / static_cast<double>(tail[j - 1])
+            : 1.0;
+    table.add_row({bench::fmt(j), bench::fmt(tail[j]),
+                   bench::fmt(envelope, 1), bench::fmt(ratio),
+                   static_cast<double>(tail[j]) <= envelope + 1.0 ? "yes"
+                                                                  : "NO"});
+  }
+  std::printf("%s\n", label);
+  table.print();
+  std::printf("\n");
+}
+
+void decay_for(const char* name, const graph::Graph& g) {
+  const std::size_t k = core::estimate_density_parameter(g);
+
+  auto run = bench::Run::for_graph(g);
+  core::PipelineParams params = core::PipelineParams::practical(k);
+  // Stage-1 peeling off: the decay of the exponentiation-based phases is
+  // the mechanism under test.
+  params.peel_rounds_factor = 0.0;
+  const auto result = core::complete_layering(g, params, *run.ctx);
+
+  std::printf("family=%s n=%zu m=%zu k=%zu layers=%u outdeg_bound=%zu "
+              "measured_outdeg=%zu rounds=%zu\n",
+              name, g.num_vertices(), g.num_edges(), k,
+              result.assignment.num_layers, result.outdegree_bound,
+              core::assignment_outdegree(g, result.assignment),
+              run.ledger->total_rounds());
+  print_decay("  pipeline layering (Lemma 3.15):", result.assignment,
+              g.num_vertices());
+
+  const core::LayerAssignment reference =
+      core::reference_peeling_layering(g, 2 * k);
+  if (reference.is_complete())
+    print_decay("  reference peeling l_G (threshold 2k):", reference,
+                g.num_vertices());
+}
+
+}  // namespace
+
+int main() {
+  using namespace arbor;
+  bench::banner("E3: layer-tail decay |{v : l(v) >= j}| vs 0.5^{j-1} n",
+                "claim (Lemma 3.15): geometric decay. preset: practical, "
+                "Stage-1 peeling disabled, k = degeneracy estimate.");
+  util::SplitRng rng(3);
+  decay_for("ba_3", graph::barabasi_albert(1 << 15, 3, rng));
+  decay_for("star", graph::star(1 << 15));
+  decay_for("planted_clique",
+            graph::planted_clique(1 << 13, 2 << 13, 48, rng));
+  decay_for("ba_8", graph::barabasi_albert(1 << 14, 8, rng));
+  return 0;
+}

@@ -1,0 +1,54 @@
+// E6 (Table-4 analog): the memory envelope of the orientation pipeline.
+//
+// Paper claims (Theorem 1.1, Claims 3.5/3.11): local memory O(n^δ + B)
+// per machine and global memory Õ(m + n) words. We sweep δ and report the
+// ledger's peaks against S = n^δ and against c·(m+n)·log n; `violations`
+// counts ledger events where a machine exceeded S.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/orientation_mpc.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace arbor;
+  bench::banner(
+      "E6: memory envelope vs delta",
+      "claim: peak_local <= S + B; peak_global <= O((m+n) log n). budget "
+      "capped at S/4 (as Lemma 3.13 requires B <= n^{delta/100}, scaled).");
+  bench::Table table({"delta", "S", "machines", "peak_local", "local_ok",
+                      "peak_global", "global_env", "global_ok",
+                      "violations", "rounds"});
+
+  util::SplitRng rng(6);
+  const std::size_t n = 1 << 14;
+  const graph::Graph g = graph::gnm(n, 4 * n, rng);
+  const double log_n = std::log2(static_cast<double>(n));
+
+  for (double delta : {0.3, 0.5, 0.7, 0.9}) {
+    auto run = bench::Run::for_graph(g, delta);
+    core::OrientationParams params;
+    params.pipeline.budget_cap =
+        std::max<std::size_t>(run.config.words_per_machine / 4, 16);
+    (void)core::mpc_orient(g, params, *run.ctx);
+
+    const std::size_t local_envelope =
+        run.config.words_per_machine + params.pipeline.budget_cap;
+    const auto global_envelope = static_cast<std::size_t>(
+        8.0 * static_cast<double>(g.num_vertices() + g.num_edges()) * log_n);
+    table.add_row(
+        {bench::fmt(delta, 1), bench::fmt(run.config.words_per_machine),
+         bench::fmt(run.config.num_machines),
+         bench::fmt(run.ledger->peak_local_words()),
+         run.ledger->peak_local_words() <= local_envelope ? "yes" : "NO",
+         bench::fmt(run.ledger->peak_global_words()),
+         bench::fmt(global_envelope),
+         run.ledger->peak_global_words() <= global_envelope ? "yes" : "NO",
+         bench::fmt(run.ledger->local_violations()),
+         bench::fmt(run.ledger->total_rounds())});
+  }
+  table.print();
+  return 0;
+}

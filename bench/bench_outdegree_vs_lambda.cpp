@@ -1,0 +1,56 @@
+// E2 (Table-1 analog): orientation quality vs arboricity.
+//
+// Paper claim (Theorem 1.1): max out-degree O(λ log log n). Baselines:
+// BE08 gives (2+ε)λ, the degeneracy orientation gives ≤ 2λ-1, and λ itself
+// lower-bounds every orientation. Expected shape: ours tracks
+// c·λ·log log n for a small c; the ratio column should stay roughly flat
+// across λ.
+#include <cmath>
+#include <cstdio>
+
+#include "baselines/be08_mpc.hpp"
+#include "baselines/sequential.hpp"
+#include "bench_util.hpp"
+#include "core/orientation_mpc.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace arbor;
+  const std::size_t n = 1 << 15;
+  const double loglog = std::log2(std::log2(static_cast<double>(n)));
+
+  bench::banner(
+      "E2: max out-degree vs lambda — forest unions, n = 2^15",
+      "claim: ours = O(lambda loglog n); BE08 = (2+eps)lambda; degeneracy "
+      "<= 2 lambda - 1; lower bound = lambda. ratio = ours /"
+      " (lambda*loglog n).");
+  bench::Table table({"lambda", "ours_outdeg", "ours_bound", "be08_outdeg",
+                      "degeneracy", "ours_rounds", "be08_rounds", "ratio"});
+
+  util::SplitRng rng(7);
+  for (std::size_t lambda : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    const graph::Graph g = graph::forest_union(n, lambda, rng);
+
+    auto ours = bench::Run::for_graph(g);
+    const auto ours_result = core::mpc_orient(g, {}, *ours.ctx);
+    const std::size_t ours_deg = ours_result.orientation.max_outdegree(g);
+
+    auto be = bench::Run::with_config(ours.config);
+    const auto be_result = baselines::be08_orient(g, 0, 0.2, *be.ctx);
+
+    const auto ref = baselines::sequential_reference(g);
+
+    table.add_row(
+        {bench::fmt(lambda), bench::fmt(ours_deg),
+         bench::fmt(ours_result.outdegree_bound),
+         bench::fmt(be_result.orientation.max_outdegree(g)),
+         bench::fmt(ref.degeneracy),
+         bench::fmt(ours.ledger->total_rounds()),
+         bench::fmt(be.ledger->total_rounds()),
+         bench::fmt(static_cast<double>(ours_deg) /
+                    (static_cast<double>(lambda) * loglog))});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,76 @@
+// E5 (Table-3 analog): Lemmas 2.1 and 2.2 — random edge/vertex
+// partitioning into ⌈k/log n⌉ parts reduces per-part arboricity to
+// O(log n) whp.
+//
+// Workloads are dense planted graphs whose arboricity far exceeds log n.
+// The table reports the max degeneracy over parts (an upper bound on the
+// part's arboricity) against the c·log n envelope, over several seeds.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/partitioning.hpp"
+#include "graph/arboricity.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace arbor;
+  bench::banner(
+      "E5: random partitioning (Lemmas 2.1/2.2)",
+      "claim: every part has arboricity O(log n) whp. max_part_degen "
+      "aggregates 5 seeds; envelope = 4*log2(n).");
+  bench::Table table({"workload", "n", "lambda~", "parts", "kind",
+                      "max_part_degen", "envelope", "ok"});
+
+  struct Case {
+    const char* name;
+    std::size_t n, background, clique;
+  };
+  const Case cases[] = {
+      {"planted_64", 1 << 12, 8 << 12, 64},
+      {"planted_128", 1 << 13, 8 << 13, 128},
+      {"dense_gnp", 1 << 10, 0, 0},  // G(n, p = 64/n) → lambda ≈ 32
+  };
+
+  for (const Case& c : cases) {
+    util::SplitRng seed_rng(42);
+    std::size_t lambda_est = 0;
+    util::Accumulator edge_worst, vertex_worst;
+    std::size_t parts = 0;
+    for (int seed = 0; seed < 5; ++seed) {
+      util::SplitRng rng = seed_rng.split(static_cast<std::uint64_t>(seed));
+      graph::Graph g =
+          c.clique > 0
+              ? graph::planted_clique(c.n, c.background, c.clique, rng)
+              : graph::gnp(c.n, 64.0 / static_cast<double>(c.n), rng);
+      lambda_est = graph::degeneracy(g);
+      parts = core::partition_count(lambda_est, c.n);
+
+      const auto ep = core::random_edge_partition(g, parts, rng);
+      std::size_t worst_e = 0;
+      for (const auto& part : ep.parts)
+        worst_e = std::max(worst_e, graph::degeneracy(part));
+      edge_worst.add(static_cast<double>(worst_e));
+
+      const auto vp = core::random_vertex_partition(g, parts, rng);
+      std::size_t worst_v = 0;
+      for (const auto& part : vp.parts)
+        worst_v = std::max(worst_v, graph::degeneracy(part));
+      vertex_worst.add(static_cast<double>(worst_v));
+    }
+    const double envelope = 4.0 * std::log2(static_cast<double>(c.n));
+    table.add_row({c.name, bench::fmt(c.n), bench::fmt(lambda_est),
+                   bench::fmt(parts), "edge (L2.1)",
+                   bench::fmt(edge_worst.max(), 0), bench::fmt(envelope, 1),
+                   edge_worst.max() <= envelope ? "yes" : "NO"});
+    table.add_row({c.name, bench::fmt(c.n), bench::fmt(lambda_est),
+                   bench::fmt(parts), "vertex (L2.2)",
+                   bench::fmt(vertex_worst.max(), 0),
+                   bench::fmt(envelope, 1),
+                   vertex_worst.max() <= envelope ? "yes" : "NO"});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// E8 (Figure-4 analog): Lemma 2.4 path counting.
+//
+// Claims: Σ_v NumPathsIn(v) = Σ_v NumPathsOut(v) ≤ n·d^L, and (via
+// Markov, as used in Lemma 3.13) the fraction of vertices with
+// NumPathsIn > √B is at most d^L/√B. The table sweeps the reference
+// peeling threshold d on G(n, 4n): larger d gives fewer layers but
+// heavier per-layer fan-in.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/layering.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace arbor;
+  bench::banner(
+      "E8: strictly-increasing path counts (Lemma 2.4)",
+      "claim: sum NumPathsIn = sum NumPathsOut <= n*d^L; "
+      "frac(NumPathsIn > sqrt(B)) <= d^L/sqrt(B) for B = d^6.");
+  bench::Table table({"d", "L", "sum_in(=sum_out)", "bound n*d^L",
+                      "identity_ok", "sqrtB", "frac_heavy",
+                      "markov_bound"});
+
+  util::SplitRng rng(8);
+  const std::size_t n = 1 << 12;
+  const graph::Graph g = graph::gnm(n, 4 * n, rng);
+
+  for (std::size_t d : {8u, 12u, 16u, 24u}) {
+    const core::LayerAssignment ell =
+        core::reference_peeling_layering(g, d);
+    if (!ell.is_complete()) continue;
+    const auto in = core::num_paths_in(g, ell);
+    const auto out = core::num_paths_out(g, ell);
+    long double sum_in = 0, sum_out = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      sum_in += static_cast<long double>(in[v]);
+      sum_out += static_cast<long double>(out[v]);
+    }
+    const long double bound =
+        static_cast<long double>(n) *
+        std::pow(static_cast<long double>(d),
+                 static_cast<long double>(ell.num_layers));
+    const double sqrt_b = std::pow(static_cast<double>(d), 3.0);  // √(d^6)
+    std::size_t heavy = 0;
+    for (std::size_t v = 0; v < n; ++v)
+      if (static_cast<double>(in[v]) > sqrt_b) ++heavy;
+    const double frac = static_cast<double>(heavy) / static_cast<double>(n);
+    const double markov = std::min(
+        1.0, static_cast<double>(bound / static_cast<long double>(n)) /
+                 sqrt_b);
+    table.add_row({bench::fmt(d), bench::fmt(ell.num_layers),
+                   bench::fmt(static_cast<double>(sum_in), 0),
+                   bench::fmt(static_cast<double>(bound), 0),
+                   sum_in == sum_out && sum_in <= bound ? "yes" : "NO",
+                   bench::fmt(sqrt_b, 0), bench::fmt(frac, 4),
+                   bench::fmt(markov, 4)});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// E12 (robustness table): seed sensitivity of the randomized components.
+//
+// The paper's guarantees are "with high probability"; this table measures
+// how much the realized quality moves across seeds — out-degree, palette
+// size, and rounds over 9 seeds per workload. Tight spreads justify the
+// single-seed tables of E1-E4; it also re-validates properness on every
+// run (a seed-dependent correctness bug would surface here).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/coloring_mpc.hpp"
+#include "core/orientation_mpc.hpp"
+#include "graph/coloring.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace arbor;
+  bench::banner(
+      "E12: seed variance of quality and rounds (9 seeds per row)",
+      "whp claims in practice: spread of out-degree / palette / rounds "
+      "across seeds; any improper coloring would print NO.");
+  bench::Table table({"workload", "metric", "min", "median", "max",
+                      "all_proper"});
+
+  util::SplitRng rng(12);
+  struct Case {
+    std::string name;
+    graph::Graph g;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"forest_union_4", graph::forest_union(1 << 13, 4, rng)});
+  cases.push_back({"gnm_4n", graph::gnm(1 << 13, 4 << 13, rng)});
+  cases.push_back({"clique_160", graph::clique(160)});
+
+  for (auto& c : cases) {
+    util::Accumulator outdeg, palette, orient_rounds, color_rounds;
+    bool all_proper = true;
+    for (std::uint64_t seed = 1; seed <= 9; ++seed) {
+      auto orun = bench::Run::for_graph(c.g);
+      core::OrientationParams op;
+      op.seed = seed;
+      const auto orient = core::mpc_orient(c.g, op, *orun.ctx);
+      outdeg.add(static_cast<double>(
+          orient.orientation.max_outdegree(c.g)));
+      orient_rounds.add(static_cast<double>(orun.ledger->total_rounds()));
+
+      auto crun = bench::Run::for_graph(c.g);
+      core::ColoringParams cp;
+      cp.seed = seed;
+      const auto color = core::mpc_color(c.g, cp, *crun.ctx);
+      palette.add(static_cast<double>(color.palette_size));
+      color_rounds.add(static_cast<double>(crun.ledger->total_rounds()));
+      all_proper = all_proper &&
+                   graph::check_coloring(c.g, color.colors).proper;
+    }
+    const auto add = [&](const char* metric, const util::Accumulator& acc) {
+      table.add_row({c.name, metric, bench::fmt(acc.min(), 0),
+                     bench::fmt(acc.mean(), 1), bench::fmt(acc.max(), 0),
+                     all_proper ? "yes" : "NO"});
+    };
+    add("orient_outdeg", outdeg);
+    add("palette", palette);
+    add("orient_rounds", orient_rounds);
+    add("color_rounds", color_rounds);
+  }
+  table.print();
+  return 0;
+}

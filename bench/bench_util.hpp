@@ -1,0 +1,94 @@
+// Shared helpers for the experiment benches (E1..E10): fixed-width table
+// printing and cluster-context construction, so every bench binary prints
+// rows in the same format EXPERIMENTS.md quotes.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "mpc/config.hpp"
+#include "mpc/ledger.hpp"
+#include "mpc/primitives.hpp"
+
+namespace arbor::bench {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void print() const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+      width[c] = headers_[c].size();
+    for (const auto& row : rows_)
+      for (std::size_t c = 0; c < row.size() && c < width.size(); ++c)
+        width[c] = std::max(width[c], row[c].size());
+    print_row(headers_, width);
+    std::string rule;
+    for (std::size_t c = 0; c < width.size(); ++c)
+      rule += std::string(width[c] + 2, '-') + (c + 1 < width.size() ? "+" : "");
+    std::printf("%s\n", rule.c_str());
+    for (const auto& row : rows_) print_row(row, width);
+  }
+
+ private:
+  static void print_row(const std::vector<std::string>& cells,
+                        const std::vector<std::size_t>& width) {
+    std::string line;
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      line += " " + cell + std::string(width[c] - cell.size() + 1, ' ');
+      if (c + 1 < width.size()) line += "|";
+    }
+    std::printf("%s\n", line.c_str());
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(std::size_t v) { return std::to_string(v); }
+inline std::string fmt(std::uint32_t v) { return std::to_string(v); }
+inline std::string fmt(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+/// Owning (config, ledger, context) bundle for one algorithm run.
+struct Run {
+  mpc::ClusterConfig config;
+  std::unique_ptr<mpc::RoundLedger> ledger;
+  std::unique_ptr<mpc::MpcContext> ctx;
+
+  static Run for_graph(const graph::Graph& g, double delta = 0.6) {
+    Run r;
+    r.config = mpc::ClusterConfig::for_problem(g.num_vertices(),
+                                               g.num_edges(), delta);
+    r.ledger = std::make_unique<mpc::RoundLedger>(r.config);
+    r.ctx = std::make_unique<mpc::MpcContext>(r.config, r.ledger.get());
+    return r;
+  }
+
+  static Run with_config(const mpc::ClusterConfig& cfg) {
+    Run r;
+    r.config = cfg;
+    r.ledger = std::make_unique<mpc::RoundLedger>(cfg);
+    r.ctx = std::make_unique<mpc::MpcContext>(cfg, r.ledger.get());
+    return r;
+  }
+};
+
+inline void banner(const char* experiment, const char* claim) {
+  std::printf("\n=== %s ===\n%s\n\n", experiment, claim);
+}
+
+}  // namespace arbor::bench

@@ -1,0 +1,67 @@
+// Scenario: out-degree budgeting for adjacency-list maintenance.
+//
+// A classic use of low out-degree orientations (and the reason the ICML'19
+// predecessor cared about them): store each edge only at its TAIL, so
+// every vertex maintains a list of at most maxout = O(λ log log n) edges
+// regardless of its actual degree. Point lookups "is {u,v} an edge?" then
+// probe two short lists; updates touch one. This example builds the
+// orientation, materializes tail lists, and measures lookup-list lengths
+// against the naive (store-at-both-endpoints) layout on a hub-heavy graph.
+#include <cstdio>
+#include <vector>
+
+#include "core/orientation_mpc.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "mpc/config.hpp"
+#include "mpc/ledger.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace arbor;
+
+  util::SplitRng rng(11);
+  const std::size_t n = 1 << 15;
+  // Hub-heavy workload: sparse background + a few stars.
+  graph::GraphBuilder builder(n);
+  {
+    const graph::Graph background = graph::forest_union(n, 3, rng);
+    for (const auto& e : background.edges()) builder.add_edge(e.u, e.v);
+    for (graph::VertexId hub = 0; hub < 8; ++hub)
+      for (std::size_t i = 0; i < 2000; ++i)
+        builder.add_edge(hub, static_cast<graph::VertexId>(
+                                  rng.next_below(n)));
+  }
+  const graph::Graph g = builder.build();
+  std::printf("graph: n=%zu m=%zu, max degree %zu (hubs)\n",
+              g.num_vertices(), g.num_edges(), g.max_degree());
+
+  const mpc::ClusterConfig config =
+      mpc::ClusterConfig::for_problem(g.num_vertices(), g.num_edges(), 0.6);
+  mpc::RoundLedger ledger(config);
+  mpc::MpcContext ctx(config, &ledger);
+  const core::MpcOrientationResult result = core::mpc_orient(g, {}, ctx);
+
+  // Tail lists: edge (u,v) stored only at its tail.
+  const auto tails = result.orientation.out_neighbors(g);
+  std::vector<std::uint64_t> tail_lengths, full_lengths;
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    tail_lengths.push_back(tails[v].size());
+    full_lengths.push_back(g.degree(v));
+  }
+  const auto tail_summary = util::summarize_counts(tail_lengths);
+  const auto full_summary = util::summarize_counts(full_lengths);
+
+  std::printf("\nper-vertex storage, store-at-tail vs store-at-both:\n");
+  std::printf("  tail lists: %s\n", tail_summary.to_string().c_str());
+  std::printf("  full lists: %s\n", full_summary.to_string().c_str());
+  std::printf("\nworst-case lookup probes 2 lists of <= %zu entries "
+              "(guaranteed <= %zu), vs %zu for the naive layout;\n"
+              "computed in %zu MPC rounds.\n",
+              static_cast<std::size_t>(tail_summary.max),
+              result.outdegree_bound,
+              static_cast<std::size_t>(full_summary.max),
+              ledger.total_rounds());
+  return 0;
+}

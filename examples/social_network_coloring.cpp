@@ -1,0 +1,66 @@
+// Scenario: coloring a social network for conflict-free batch processing.
+//
+// Social graphs have huge hubs (Δ grows with n) but small arboricity —
+// exactly the regime the paper targets: a Δ-parameterized coloring would
+// budget Δ+1 ≈ hundreds of colors, while the density-dependent algorithm
+// needs only O(λ log log n). Each color class can then be processed as one
+// conflict-free batch (no two adjacent users in the same batch).
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/coloring_mpc.hpp"
+#include "graph/arboricity.hpp"
+#include "graph/coloring.hpp"
+#include "graph/generators.hpp"
+#include "mpc/config.hpp"
+#include "mpc/ledger.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace arbor;
+
+  // Preferential-attachment graph: a standard social-network surrogate
+  // with power-law degrees (hubs) and arboricity ≈ the attachment rate.
+  util::SplitRng rng(7);
+  const std::size_t n = 1 << 16;
+  const graph::Graph g = graph::barabasi_albert(n, /*attach=*/4, rng);
+
+  std::printf("social graph: %zu users, %zu friendships\n", g.num_vertices(),
+              g.num_edges());
+  std::printf("hub degree (Delta) = %zu; degeneracy (≈ arboricity) = %zu\n",
+              g.max_degree(), graph::degeneracy(g));
+
+  const mpc::ClusterConfig config =
+      mpc::ClusterConfig::for_problem(g.num_vertices(), g.num_edges(), 0.6);
+  mpc::RoundLedger ledger(config);
+  mpc::MpcContext ctx(config, &ledger);
+
+  const core::MpcColoringResult result = core::mpc_color(g, {}, ctx);
+  const graph::ColoringCheck check = graph::check_coloring(g, result.colors);
+  std::printf("\ndensity-dependent coloring: %zu colors (palette %zu), "
+              "proper=%s, %zu MPC rounds\n",
+              check.colors_used, result.palette_size,
+              check.proper ? "yes" : "no", ledger.total_rounds());
+  std::printf("a Delta-parameterized algorithm would budget %zu colors — "
+              "%.0fx more batches\n",
+              g.max_degree() + 1,
+              static_cast<double>(g.max_degree() + 1) /
+                  static_cast<double>(std::max<std::size_t>(
+                      check.colors_used, 1)));
+
+  // Batch schedule: one pass per color, largest batches first.
+  std::vector<std::size_t> batch_size;
+  for (graph::Color c : result.colors) {
+    if (c >= batch_size.size()) batch_size.resize(c + 1, 0);
+    ++batch_size[c];
+  }
+  std::sort(batch_size.rbegin(), batch_size.rend());
+  std::printf("\nbatch sizes (largest 8):");
+  for (std::size_t i = 0; i < std::min<std::size_t>(8, batch_size.size());
+       ++i)
+    std::printf(" %zu", batch_size[i]);
+  std::printf("\nevery batch is conflict-free: adjacent users never share "
+              "a batch.\n");
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Baseline A: the Barenboim–Elkin LOCAL peeling algorithm simulated
+// round-per-round in MPC.
+//
+// This is the Θ(log n)-round comparator the paper's introduction starts
+// from: each LOCAL peel round (remove everything of degree ≤ (2+ε)k) is one
+// MPC round when simulated directly. Out-degree quality is the best of the
+// three MPC algorithms compared in E1/E2 — (2+ε)λ — but the round count
+// grows with log n rather than poly(log log n).
+#pragma once
+
+#include <cstddef>
+
+#include "core/layering.hpp"
+#include "graph/graph.hpp"
+#include "graph/orientation.hpp"
+#include "mpc/primitives.hpp"
+
+namespace arbor::baselines {
+
+struct Be08Result {
+  graph::Orientation orientation;
+  core::LayerAssignment layering;
+  std::size_t mpc_rounds = 0;  ///< == LOCAL peel rounds
+  std::size_t threshold = 0;   ///< (2+ε)·k
+};
+
+/// k must satisfy k ≥ λ(G) (pass 0 to use the degeneracy estimate).
+Be08Result be08_orient(const graph::Graph& g, std::size_t k, double epsilon,
+                       mpc::MpcContext& ctx);
+
+}  // namespace arbor::baselines

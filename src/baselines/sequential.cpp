@@ -1,0 +1,22 @@
+#include "baselines/sequential.hpp"
+
+#include "graph/arboricity.hpp"
+
+namespace arbor::baselines {
+
+SequentialReference sequential_reference(const graph::Graph& g) {
+  SequentialReference ref;
+  ref.degeneracy = graph::degeneracy(g);
+  ref.orientation_outdegree =
+      graph::orient_by_degeneracy(g).max_outdegree(g);
+  const auto coloring = graph::degeneracy_coloring(g);
+  ref.coloring_colors = graph::check_coloring(g, coloring).colors_used;
+  return ref;
+}
+
+core::LayerAssignment sequential_h_partition(const graph::Graph& g,
+                                             std::size_t k) {
+  return core::reference_peeling_layering(g, k);
+}
+
+}  // namespace arbor::baselines

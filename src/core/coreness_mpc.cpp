@@ -1,0 +1,60 @@
+#include "core/coreness_mpc.hpp"
+
+#include <cmath>
+
+#include "local/peeling.hpp"
+#include "util/assert.hpp"
+
+namespace arbor::core {
+
+CorenessResult approximate_coreness(const graph::Graph& g, double epsilon,
+                                    mpc::MpcContext& ctx,
+                                    double rounds_factor) {
+  ARBOR_CHECK(epsilon > 0.0);
+  const std::size_t n = g.num_vertices();
+  CorenessResult result;
+  result.estimate.assign(n, 0);
+  if (n == 0) return result;
+
+  const auto rounds_budget = static_cast<std::size_t>(std::ceil(
+                                 rounds_factor *
+                                 std::log2(static_cast<double>(
+                                     std::max<std::size_t>(n, 2))))) +
+                             1;
+  result.rounds_budget = rounds_budget;
+
+  // Unassigned marker: will be overwritten by the first removing guess;
+  // every vertex is removed at the guess with threshold ≥ max degree.
+  constexpr std::uint32_t kUnset = 0xffffffffu;
+  std::vector<std::uint32_t> assigned(n, kUnset);
+  std::size_t remaining = n;
+
+  double guess_value = 1.0;
+  std::size_t previous_guess = 0;
+  while (remaining > 0) {
+    const auto guess = static_cast<std::size_t>(std::ceil(guess_value));
+    guess_value *= (1.0 + epsilon);
+    if (guess == previous_guess) continue;  // ceil collision at small i
+    previous_guess = guess;
+    ++result.guesses;
+
+    const local::PeelingResult peel =
+        local::peel_by_threshold(g, 2 * guess, rounds_budget);
+    for (graph::VertexId v = 0; v < n; ++v) {
+      if (assigned[v] == kUnset && peel.layer[v] != 0) {
+        assigned[v] = static_cast<std::uint32_t>(guess);
+        --remaining;
+      }
+    }
+    ARBOR_CHECK_MSG(guess <= 2 * n, "coreness guesses failed to converge");
+  }
+  result.estimate = std::move(assigned);
+
+  // All guesses share the round budget (parallel); global memory pays the
+  // ×guesses replication factor.
+  ctx.charge(rounds_budget, "coreness.parallel_guesses");
+  ctx.note_global_words((n + 2 * g.num_edges()) * result.guesses);
+  return result;
+}
+
+}  // namespace arbor::core

@@ -1,0 +1,56 @@
+#include "core/density_estimate.hpp"
+
+#include <cmath>
+
+#include "local/peeling.hpp"
+#include "util/assert.hpp"
+
+namespace arbor::core {
+
+DensityEstimate estimate_density_mpc(const graph::Graph& g,
+                                     mpc::MpcContext& ctx,
+                                     double threshold_factor,
+                                     double rounds_factor) {
+  ARBOR_CHECK_MSG(threshold_factor >= 4.0,
+                  "completion guarantee needs threshold >= 4*guess");
+  const std::size_t n = g.num_vertices();
+  DensityEstimate estimate;
+  if (n == 0 || g.num_edges() == 0) {
+    estimate.k = 1;
+    estimate.rounds_budget = 1;
+    ctx.charge(1, "density_estimate");
+    return estimate;
+  }
+
+  const auto rounds_budget = static_cast<std::size_t>(std::ceil(
+                                 rounds_factor *
+                                 std::log2(static_cast<double>(n)))) +
+                             1;
+  estimate.rounds_budget = rounds_budget;
+
+  // All guesses run in parallel on disjoint machine groups; the guess with
+  // the largest threshold always completes (threshold ≥ max degree at
+  // k* ≥ Δ), so the loop terminates. Rounds are charged ONCE (max over the
+  // parallel runs = the budget); global memory gets the ×guesses factor.
+  std::size_t guess = 1;
+  for (;; guess *= 2) {
+    ++estimate.guesses;
+    const auto threshold = static_cast<std::size_t>(
+        threshold_factor * static_cast<double>(guess));
+    const local::PeelingResult peel =
+        local::peel_by_threshold(g, threshold, rounds_budget);
+    if (peel.complete) {
+      estimate.smallest_guess = guess;
+      break;
+    }
+    ARBOR_CHECK_MSG(guess < 2 * n, "density estimate failed to converge");
+  }
+
+  estimate.k = static_cast<std::size_t>(
+      threshold_factor * static_cast<double>(estimate.smallest_guess));
+  ctx.charge(rounds_budget, "density_estimate");
+  ctx.note_global_words((n + 2 * g.num_edges()) * estimate.guesses);
+  return estimate;
+}
+
+}  // namespace arbor::core

@@ -1,0 +1,70 @@
+// (Partial) layer assignments — Definitions 2.1 & 2.2, Claim 2.3, Lemma 2.4.
+//
+// A partial layer assignment ℓ : V → [L] ∪ {∞} with out-degree d satisfies
+// |{u ∈ N(v) : ℓ(u) ≥ ℓ(v)}| ≤ d for every v with ℓ(v) ≠ ∞. Orienting edges
+// toward the higher layer then bounds every assigned vertex's out-degree by
+// d. We represent ∞ as kInfiniteLayer and layers as 1-based integers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace arbor::core {
+
+using Layer = std::uint32_t;
+inline constexpr Layer kInfiniteLayer = 0xffffffffu;
+
+struct LayerAssignment {
+  std::vector<Layer> layer;  ///< per vertex; kInfiniteLayer = ∞
+  Layer num_layers = 0;      ///< L (finite layers are in [1, L])
+
+  std::size_t assigned_count() const;
+  bool is_complete() const;  ///< no vertex at ∞
+};
+
+/// Measured out-degree of the assignment: max over assigned v of
+/// |{u ∈ N(v) : ℓ(u) ≥ ℓ(v)}| (∞ counts as ≥ everything). Vertices at ∞
+/// are exempt per Definition 2.1.
+std::size_t assignment_outdegree(const graph::Graph& g,
+                                 const LayerAssignment& assignment);
+
+/// Definition 2.1 check: every finite layer is within [1, L] and the
+/// out-degree bound d holds.
+bool is_valid_partial_assignment(const graph::Graph& g,
+                                 const LayerAssignment& assignment,
+                                 std::size_t d);
+
+/// Claim 2.3: pointwise minimum of two partial assignments (min(∞, x) = x)
+/// is again a valid partial assignment with the same L and d.
+LayerAssignment min_combine(const LayerAssignment& a,
+                            const LayerAssignment& b);
+
+/// |{v : ℓ(v) ≥ j}| for j = 1..L+1 (index 0 unused); ∞ counts as ≥ any j.
+/// Used to verify the geometric decay property of Lemmas 3.13–3.15.
+std::vector<std::size_t> tail_layer_counts(const LayerAssignment& assignment);
+
+/// Definition 2.2: NumPathsIn(v) = number of strictly increasing paths
+/// (w.r.t. ℓ) ending at v, computed by DP over layers; saturates at
+/// UINT64_MAX instead of overflowing (Lemma 2.4 bounds it by d^L, which can
+/// exceed 2^64 for adversarial inputs). Vertices at ∞ have count 0 (no
+/// strictly increasing path may touch an ∞ vertex).
+std::vector<std::uint64_t> num_paths_in(const graph::Graph& g,
+                                        const LayerAssignment& assignment);
+
+/// Mirror image: strictly increasing paths starting at v.
+std::vector<std::uint64_t> num_paths_out(const graph::Graph& g,
+                                         const LayerAssignment& assignment);
+
+/// The reference complete layering ℓ_G from the proofs of Lemma 3.13 /
+/// Theorem 1.1: repeatedly remove all vertices of remaining degree ≤ k,
+/// layer = removal round. Requires k ≥ 2·avg-degree of every subgraph to
+/// terminate in O(log n) rounds (callers pass k ≥ 4λ or the peeling stalls
+/// and the result is partial, flagged by num_layers == 0 entries = ∞...
+/// specifically unpeeled vertices are mapped to ∞).
+LayerAssignment reference_peeling_layering(const graph::Graph& g,
+                                           std::size_t k,
+                                           std::size_t max_rounds = 4096);
+
+}  // namespace arbor::core

@@ -1,0 +1,252 @@
+#include "core/layering_pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace arbor::core {
+
+namespace {
+
+double log2_safe(double x) { return std::log2(std::max(x, 2.0)); }
+
+/// Overflow-safe integer power with saturation at `cap`.
+std::size_t pow_clamped(std::size_t base, double exponent, std::size_t cap) {
+  const double value =
+      std::pow(static_cast<double>(std::max<std::size_t>(base, 2)), exponent);
+  if (!(value < static_cast<double>(cap))) return cap;
+  return static_cast<std::size_t>(value);
+}
+
+}  // namespace
+
+PipelineParams PipelineParams::practical(std::size_t k) {
+  PipelineParams p;
+  p.k = std::max<std::size_t>(k, 1);
+  return p;
+}
+
+PipelineParams PipelineParams::paper(std::size_t k) {
+  PipelineParams p;
+  p.k = std::max<std::size_t>(k, 1);
+  p.budget_exponent = 100.0;
+  p.layer_fraction = 0.1;
+  p.steps_loglog_factor = 10.0;
+  p.peel_rounds_factor = 100.0;
+  p.boost_exponent = 100.0;
+  return p;
+}
+
+std::size_t PipelineParams::derive_budget(
+    std::size_t words_per_machine) const {
+  const std::size_t cap =
+      budget_cap != 0 ? budget_cap
+                      : std::max<std::size_t>(words_per_machine, min_budget);
+  const std::size_t raw = pow_clamped(k, budget_exponent, cap);
+  return std::clamp(raw, std::min(min_budget, cap), cap);
+}
+
+Layer PipelineParams::derive_layers(std::size_t budget) const {
+  const double base = static_cast<double>(std::max<std::size_t>(k, 2));
+  const double l =
+      layer_fraction * std::log(static_cast<double>(std::max<std::size_t>(
+                           budget, 2))) /
+      std::log(base);
+  return std::max<Layer>(1, static_cast<Layer>(std::ceil(l)));
+}
+
+std::size_t PipelineParams::derive_steps(std::size_t n, Layer layers) const {
+  // Lemma 3.7 requires s > log2 L; the paper sets s = ⌈10·log log n⌉.
+  const auto from_loglog = static_cast<std::size_t>(
+      std::ceil(steps_loglog_factor *
+                log2_safe(log2_safe(static_cast<double>(std::max<std::size_t>(
+                    n, 4))))));
+  const auto from_layers = static_cast<std::size_t>(
+      std::floor(std::log2(static_cast<double>(std::max<Layer>(layers, 1))))) +
+                           1;
+  return std::max({from_loglog, from_layers, std::size_t{2}});
+}
+
+PartialLayeringResult run_partial_once(const graph::Graph& g,
+                                       const PipelineParams& p,
+                                       std::size_t budget,
+                                       mpc::MpcContext& ctx) {
+  PartialLayeringParams params;
+  params.budget = std::max<std::size_t>(budget, 4);
+  params.prune_k = std::max<std::size_t>(p.k, 1);
+  params.num_layers = p.derive_layers(params.budget);
+  params.steps = p.derive_steps(g.num_vertices(), params.num_layers);
+  return partial_layer_assignment(g, params, ctx);
+}
+
+PartialPipelineResult run_partial_iterated(const graph::Graph& g,
+                                           const PipelineParams& p,
+                                           std::size_t budget,
+                                           mpc::MpcContext& ctx) {
+  const std::size_t n = g.num_vertices();
+  PartialPipelineResult result;
+  result.assignment.layer.assign(n, kInfiniteLayer);
+  result.assignment.num_layers = 0;
+
+  // Unassigned residue, as original vertex ids.
+  std::vector<graph::VertexId> residue(n);
+  for (graph::VertexId v = 0; v < n; ++v) residue[v] = v;
+
+  Layer offset = 0;
+  PipelineParams current = p;
+  for (std::size_t iter = 0; iter < p.max_phases && !residue.empty();
+       ++iter) {
+    ++result.stats.partial_iterations;
+    const auto sub = g.induced(residue);
+    const PartialLayeringResult partial =
+        run_partial_once(sub.graph, current, budget, ctx);
+    result.outdegree_bound =
+        std::max(result.outdegree_bound, partial.outdegree_bound);
+
+    std::vector<graph::VertexId> next_residue;
+    for (graph::VertexId sv = 0; sv < sub.graph.num_vertices(); ++sv) {
+      const Layer l = partial.assignment.layer[sv];
+      if (l == kInfiniteLayer)
+        next_residue.push_back(sub.to_original[sv]);
+      else
+        result.assignment.layer[sub.to_original[sv]] = offset + l;
+    }
+    offset += partial.assignment.num_layers;
+
+    if (next_residue.size() == residue.size()) {
+      // Stall: no vertex assigned. Escalate (DESIGN.md §5.4): double the
+      // pruning parameter first; if the subgraph's min degree still beats
+      // the budget, the caller's fallback peeling will clear it.
+      ++result.stats.escalations;
+      current.k = std::max<std::size_t>(current.k * 2, current.k + 1);
+    }
+    residue = std::move(next_residue);
+  }
+
+  result.assignment.num_layers = offset;
+  return result;
+}
+
+CompleteLayeringResult complete_layering(const graph::Graph& g,
+                                         const PipelineParams& p,
+                                         mpc::MpcContext& ctx) {
+  const std::size_t n = g.num_vertices();
+  CompleteLayeringResult result;
+  result.assignment.layer.assign(n, kInfiniteLayer);
+  result.assignment.num_layers = 0;
+
+  std::vector<std::size_t> live_degree(n);
+  std::vector<bool> assigned(n, false);
+  for (graph::VertexId v = 0; v < n; ++v) live_degree[v] = g.degree(v);
+  std::size_t remaining = n;
+  Layer offset = 0;
+
+  // One synchronous threshold-peel round over the unassigned residue:
+  // assigns layer `offset+1` to all residue vertices of residual degree
+  // ≤ threshold. Charged as one MPC round (it is one LOCAL round simulated
+  // directly). Returns the number of vertices assigned.
+  const auto peel_round = [&](std::size_t threshold) -> std::size_t {
+    std::vector<graph::VertexId> peeled;
+    for (graph::VertexId v = 0; v < n; ++v)
+      if (!assigned[v] && live_degree[v] <= threshold) peeled.push_back(v);
+    if (peeled.empty()) return 0;
+    ++offset;
+    for (graph::VertexId v : peeled) {
+      assigned[v] = true;
+      result.assignment.layer[v] = offset;
+    }
+    for (graph::VertexId v : peeled)
+      for (graph::VertexId w : g.neighbors(v))
+        if (!assigned[w]) --live_degree[w];
+    remaining -= peeled.size();
+    ctx.charge(1, "layering.peel");
+    return peeled.size();
+  };
+
+  // ---- Stage 1: initial peeling, ⌈f·log2(k+1)⌉ rounds at threshold k. ----
+  const auto stage1_rounds = static_cast<std::size_t>(std::ceil(
+      p.peel_rounds_factor *
+      std::log2(static_cast<double>(p.k + 1) + 1.0)));
+  for (std::size_t r = 0; r < stage1_rounds && remaining > 0; ++r) {
+    ++result.stats.fallback_peel_rounds;  // Stage-1 peels counted here too
+    peel_round(p.k);
+  }
+
+  // ---- Stage 2: Lemma 3.14 phases with budget boosting. ----
+  std::size_t budget = p.derive_budget(ctx.config().words_per_machine);
+  const std::size_t budget_cap =
+      p.budget_cap != 0
+          ? p.budget_cap
+          : std::max<std::size_t>(ctx.config().words_per_machine,
+                                  p.min_budget);
+  std::size_t peel_threshold = std::max<std::size_t>(p.k, 1);
+
+  for (std::size_t phase = 0; phase < p.max_phases && remaining > 0;
+       ++phase) {
+    ++result.stats.phases;
+    result.stats.max_budget_used = std::max(result.stats.max_budget_used,
+                                            budget);
+
+    std::vector<graph::VertexId> residue;
+    residue.reserve(remaining);
+    for (graph::VertexId v = 0; v < n; ++v)
+      if (!assigned[v]) residue.push_back(v);
+
+    const auto sub = g.induced(residue);
+    const PartialPipelineResult partial =
+        run_partial_iterated(sub.graph, p, budget, ctx);
+    result.outdegree_bound =
+        std::max(result.outdegree_bound, partial.outdegree_bound);
+    result.stats.partial_iterations += partial.stats.partial_iterations;
+    result.stats.escalations += partial.stats.escalations;
+
+    std::size_t newly_assigned = 0;
+    for (graph::VertexId sv = 0; sv < sub.graph.num_vertices(); ++sv) {
+      const Layer l = partial.assignment.layer[sv];
+      if (l == kInfiniteLayer) continue;
+      const graph::VertexId v = sub.to_original[sv];
+      assigned[v] = true;
+      result.assignment.layer[v] = offset + l;
+      ++newly_assigned;
+      // Keep residual degrees consistent for potential fallback peeling.
+      for (graph::VertexId w : g.neighbors(v))
+        if (!assigned[w]) --live_degree[w];
+      --remaining;
+    }
+    offset += partial.assignment.num_layers;
+
+    if (newly_assigned == 0 && remaining > 0) {
+      // Stall fallback: explicit peel rounds, raising the threshold until
+      // one makes progress. Terminates because the threshold eventually
+      // reaches the max residual degree.
+      ++result.stats.escalations;
+      while (remaining > 0) {
+        ++result.stats.fallback_peel_rounds;
+        if (peel_round(peel_threshold) > 0) break;
+        peel_threshold *= 2;
+      }
+    }
+
+    budget = std::min(
+        pow_clamped(budget, p.boost_exponent, budget_cap), budget_cap);
+  }
+
+  // Hard guarantee of completeness: exhaust any remainder with doubling
+  // threshold peeling (only reachable when max_phases is set very low).
+  while (remaining > 0) {
+    ++result.stats.fallback_peel_rounds;
+    if (peel_round(peel_threshold) == 0) peel_threshold *= 2;
+  }
+
+  result.assignment.num_layers = offset;
+  ARBOR_CHECK(result.assignment.is_complete());
+  // The orientation bound also covers fallback peel layers: a vertex peeled
+  // at threshold t has at most t unassigned neighbors at that moment, i.e.
+  // at most t neighbors in its own or later layers.
+  result.outdegree_bound =
+      std::max({result.outdegree_bound, peel_threshold, p.k});
+  return result;
+}
+
+}  // namespace arbor::core

@@ -1,0 +1,71 @@
+#include "core/local_prune.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace arbor::core {
+
+TreeView local_prune(const TreeView& tree, std::size_t k) {
+  using NodeId = TreeView::NodeId;
+  const std::size_t n = tree.size();
+
+  // The recursion's decision at every node x depends only on the pruned
+  // sizes of x's children, so we evaluate bottom-up. The arena invariant
+  // (parent id < child id, established by TreeView's constructors and
+  // attach()) makes a reverse scan a valid bottom-up order.
+  std::vector<std::size_t> pruned_size(n, 1);
+  std::vector<std::vector<NodeId>> kept_children(n);
+
+  for (std::size_t i = n; i-- > 0;) {
+    const auto x = static_cast<NodeId>(i);
+    const auto& children = tree.node(x).children;
+    for (NodeId c : children)
+      ARBOR_CHECK_MSG(c > x, "arena order violated: child precedes parent");
+    if (children.size() <= k) {
+      // Rule 1: return the single-node tree — drop all children.
+      pruned_size[x] = 1;
+      continue;
+    }
+    // Rule 2: drop the k largest pruned child subtrees.
+    std::vector<NodeId> order(children.begin(), children.end());
+    std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+      if (pruned_size[a] != pruned_size[b])
+        return pruned_size[a] > pruned_size[b];
+      if (tree.vertex_of(a) != tree.vertex_of(b))
+        return tree.vertex_of(a) < tree.vertex_of(b);
+      return a < b;
+    });
+    order.erase(order.begin(),
+                order.begin() + static_cast<std::ptrdiff_t>(k));
+    std::size_t total = 1;
+    for (NodeId c : order) total += pruned_size[c];
+    pruned_size[x] = total;
+    kept_children[x] = std::move(order);
+  }
+
+  // Top-down: materialize the kept nodes into a fresh arena (preorder keeps
+  // the parent-before-child invariant for downstream passes).
+  std::vector<TreeView::Node> out;
+  out.reserve(pruned_size[0]);
+  // Stack of (source node, parent id in `out`).
+  std::vector<std::pair<NodeId, NodeId>> stack{
+      {tree.root(), TreeView::kNoNode}};
+  while (!stack.empty()) {
+    const auto [src, parent] = stack.back();
+    stack.pop_back();
+    const auto id = static_cast<NodeId>(out.size());
+    const std::uint32_t depth =
+        parent == TreeView::kNoNode ? 0 : out[parent].depth + 1;
+    out.push_back(TreeView::Node{tree.vertex_of(src), parent, depth, {}});
+    if (parent != TreeView::kNoNode) out[parent].children.push_back(id);
+    // Push in reverse so children materialize in their kept order.
+    for (auto it = kept_children[src].rbegin();
+         it != kept_children[src].rend(); ++it)
+      stack.emplace_back(*it, id);
+  }
+  ARBOR_CHECK(out.size() == pruned_size[0]);
+  return TreeView::from_nodes(std::move(out));
+}
+
+}  // namespace arbor::core

@@ -1,0 +1,28 @@
+// Algorithm 1: LocalPrune — recursively remove the k heaviest subtrees.
+//
+// Semantics (paper, Algorithm 1):
+//   * if the root has at most k children, return the single-node tree {r}
+//     (all children are dropped);
+//   * otherwise recursively prune every child's subtree, sort the pruned
+//     subtrees by size descending, drop the k largest, and attach the rest.
+// Guarantees exercised by tests:
+//   * Claim 3.1 — each surviving node's missing-neighbor count grows by at
+//     most k;
+//   * Lemma 3.2 — if the root's vertex has a finite layer under a partial
+//     layer assignment with out-degree d ≤ k, the pruned size is at most
+//     NumPathsIn(map(root)).
+// Runs locally on one machine; costs no MPC rounds.
+#pragma once
+
+#include <cstddef>
+
+#include "core/tree_view.hpp"
+
+namespace arbor::core {
+
+/// Deterministic tie-breaking: subtrees of equal size are ordered by the
+/// child's mapped vertex id, then by node id ("ties broken arbitrarily" in
+/// the paper; fixing them makes runs reproducible).
+TreeView local_prune(const TreeView& tree, std::size_t k);
+
+}  // namespace arbor::core

@@ -1,0 +1,53 @@
+#include "core/partial_layer_tree.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace arbor::core {
+
+std::vector<Layer> partial_layer_assignment_tree(const graph::Graph& g,
+                                                 const TreeView& tree,
+                                                 std::size_t a, Layer L) {
+  const std::size_t n = tree.size();
+  std::vector<Layer> layer(n, kInfiniteLayer);
+
+  // |Missing(x)| is fixed throughout; unassigned-children counts shrink as
+  // children get assigned.
+  std::vector<std::size_t> missing(n);
+  std::vector<std::size_t> unassigned_children(n);
+  for (TreeView::NodeId x = 0; x < n; ++x) {
+    missing[x] = tree.missing_count(g, x);
+    unassigned_children[x] = tree.node(x).children.size();
+  }
+
+  std::vector<TreeView::NodeId> remaining(n);
+  for (TreeView::NodeId x = 0; x < n; ++x) remaining[x] = x;
+
+  std::vector<TreeView::NodeId> next_remaining;
+  std::vector<TreeView::NodeId> assigned_now;
+  for (Layer j = 1; j <= L && !remaining.empty(); ++j) {
+    next_remaining.clear();
+    assigned_now.clear();
+    // Selection is synchronous: V_j is decided from the state at the start
+    // of iteration j, so we first select, then update counters.
+    for (TreeView::NodeId x : remaining) {
+      if (unassigned_children[x] + missing[x] <= a)
+        assigned_now.push_back(x);
+      else
+        next_remaining.push_back(x);
+    }
+    for (TreeView::NodeId x : assigned_now) {
+      layer[x] = j;
+      const TreeView::NodeId parent = tree.node(x).parent;
+      if (parent != TreeView::kNoNode) {
+        ARBOR_CHECK(unassigned_children[parent] > 0);
+        --unassigned_children[parent];
+      }
+    }
+    remaining.swap(next_remaining);
+  }
+  return layer;
+}
+
+}  // namespace arbor::core

@@ -1,0 +1,57 @@
+#include "core/partitioning.hpp"
+
+#include <cmath>
+
+#include "graph/builder.hpp"
+#include "util/assert.hpp"
+
+namespace arbor::core {
+
+std::size_t partition_count(std::size_t k, std::size_t n) {
+  const double log_n = std::log2(static_cast<double>(std::max<std::size_t>(
+      n, 2)));
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(static_cast<double>(k) / log_n)));
+}
+
+EdgePartition random_edge_partition(const graph::Graph& g, std::size_t parts,
+                                    util::SplitRng& rng) {
+  ARBOR_CHECK(parts >= 1);
+  EdgePartition result;
+  result.part_of_edge.resize(g.num_edges());
+  std::vector<graph::GraphBuilder> builders(
+      parts, graph::GraphBuilder(g.num_vertices()));
+  const auto edges = g.edges();
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const auto p = static_cast<std::uint32_t>(rng.next_below(parts));
+    result.part_of_edge[i] = p;
+    builders[p].add_edge(edges[i].u, edges[i].v);
+  }
+  result.parts.reserve(parts);
+  for (auto& b : builders) result.parts.push_back(b.build_and_clear());
+  return result;
+}
+
+VertexPartition random_vertex_partition(const graph::Graph& g,
+                                        std::size_t parts,
+                                        util::SplitRng& rng) {
+  ARBOR_CHECK(parts >= 1);
+  VertexPartition result;
+  result.part_of_vertex.resize(g.num_vertices());
+  std::vector<std::vector<graph::VertexId>> members(parts);
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto p = static_cast<std::uint32_t>(rng.next_below(parts));
+    result.part_of_vertex[v] = p;
+    members[p].push_back(v);
+  }
+  result.parts.reserve(parts);
+  result.to_original.reserve(parts);
+  for (std::size_t p = 0; p < parts; ++p) {
+    auto sub = g.induced(members[p]);
+    result.parts.push_back(std::move(sub.graph));
+    result.to_original.push_back(std::move(sub.to_original));
+  }
+  return result;
+}
+
+}  // namespace arbor::core

@@ -1,0 +1,43 @@
+// Random edge/vertex partitioning — Lemmas 2.1 and 2.2.
+//
+// Both lemmas reduce arboricity-k graphs to parts of arboricity O(log n)
+// whp, by partitioning edges (for orientation) or vertices (for coloring)
+// uniformly into L = ⌈k / log n⌉ parts. The proofs ride on a Chernoff bound
+// over the out-edges of any fixed O(k)-out-degree orientation; the benches
+// of E5 validate the concentration empirically via the exact arboricity
+// oracle.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace arbor::core {
+
+/// Lemma 2.1 part count: ⌈k / log2(n)⌉, at least 1.
+std::size_t partition_count(std::size_t k, std::size_t n);
+
+struct EdgePartition {
+  /// Part index per edge of the source graph (aligned with g.edges()).
+  std::vector<std::uint32_t> part_of_edge;
+  /// One graph per part, on the full original vertex set (ids preserved).
+  std::vector<graph::Graph> parts;
+};
+
+EdgePartition random_edge_partition(const graph::Graph& g, std::size_t parts,
+                                    util::SplitRng& rng);
+
+struct VertexPartition {
+  std::vector<std::uint32_t> part_of_vertex;
+  /// Induced subgraph per part, with the mapping back to original ids.
+  std::vector<graph::Graph> parts;
+  std::vector<std::vector<graph::VertexId>> to_original;
+};
+
+VertexPartition random_vertex_partition(const graph::Graph& g,
+                                        std::size_t parts,
+                                        util::SplitRng& rng);
+
+}  // namespace arbor::core

@@ -1,0 +1,185 @@
+#include "core/tree_view.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/assert.hpp"
+
+namespace arbor::core {
+
+TreeView TreeView::single(graph::VertexId v) {
+  TreeView t;
+  t.nodes_.push_back(Node{v, kNoNode, 0, {}});
+  return t;
+}
+
+TreeView TreeView::star(graph::VertexId v,
+                        std::span<const graph::VertexId> neighbors) {
+  TreeView t;
+  t.nodes_.reserve(neighbors.size() + 1);
+  t.nodes_.push_back(Node{v, kNoNode, 0, {}});
+  for (graph::VertexId w : neighbors) {
+    const auto id = static_cast<NodeId>(t.nodes_.size());
+    t.nodes_.push_back(Node{w, 0, 1, {}});
+    t.nodes_[0].children.push_back(id);
+  }
+  return t;
+}
+
+std::uint32_t TreeView::height() const noexcept {
+  std::uint32_t h = 0;
+  for (const Node& nd : nodes_) h = std::max(h, nd.depth);
+  return h;
+}
+
+std::vector<TreeView::NodeId> TreeView::leaves_at_depth(
+    std::uint32_t depth) const {
+  std::vector<NodeId> out;
+  for (NodeId x = 0; x < nodes_.size(); ++x)
+    if (nodes_[x].depth == depth && nodes_[x].children.empty())
+      out.push_back(x);
+  return out;
+}
+
+TreeView TreeView::attach(
+    std::span<const std::pair<NodeId, const TreeView*>> attachments) const {
+  // Validate the preconditions of Definition 2.5.
+  std::unordered_set<NodeId> leaf_set;
+  for (const auto& [leaf, tree] : attachments) {
+    ARBOR_CHECK_MSG(leaf < nodes_.size(), "attach: no such node");
+    ARBOR_CHECK_MSG(nodes_[leaf].children.empty(), "attach: not a leaf");
+    ARBOR_CHECK_MSG(leaf_set.insert(leaf).second,
+                    "attach: duplicate leaf");
+    ARBOR_CHECK_MSG(tree != nullptr && tree->size() >= 1,
+                    "attach: empty replacement tree");
+    ARBOR_CHECK_MSG(tree->root_vertex() == nodes_[leaf].maps_to,
+                    "attach: replacement root maps to different vertex");
+  }
+
+  // Copy this tree, then splice each replacement under the leaf's parent.
+  // The leaf itself is *replaced* by the replacement's root (same mapping),
+  // so we reuse the leaf's slot for the root and append the rest.
+  TreeView out;
+  out.nodes_ = nodes_;
+  for (const auto& [leaf, tree] : attachments) {
+    const std::uint32_t base_depth = out.nodes_[leaf].depth;
+    // Map replacement-node-id -> id in `out`.
+    std::vector<NodeId> new_id(tree->size());
+    new_id[0] = leaf;  // root reuses the leaf slot; parent/depth unchanged
+    for (NodeId x = 1; x < tree->size(); ++x) {
+      new_id[x] = static_cast<NodeId>(out.nodes_.size());
+      const Node& src = tree->nodes_[x];
+      out.nodes_.push_back(Node{src.maps_to, new_id[src.parent],
+                                base_depth + src.depth, {}});
+    }
+    for (NodeId x = 1; x < tree->size(); ++x)
+      out.nodes_[new_id[tree->nodes_[x].parent]].children.push_back(
+          new_id[x]);
+  }
+  return out;
+}
+
+std::size_t TreeView::missing_count(const graph::Graph& g, NodeId x) const {
+  const Node& nd = nodes_.at(x);
+  const std::size_t deg = g.degree(nd.maps_to);
+  ARBOR_CHECK_MSG(nd.children.size() <= deg,
+                  "more children than graph neighbors — invalid mapping");
+  return deg - nd.children.size();
+}
+
+bool TreeView::is_valid_mapping(const graph::Graph& g) const {
+  std::unordered_set<std::uint64_t> sibling_guard;
+  for (NodeId x = 0; x < nodes_.size(); ++x) {
+    const Node& nd = nodes_[x];
+    if (nd.maps_to >= g.num_vertices()) return false;
+    if (nd.parent != kNoNode) {
+      // Tree edge must map to a graph edge (Def 2.3 condition 1).
+      if (!g.has_edge(nd.maps_to, nodes_[nd.parent].maps_to)) return false;
+    }
+    // Children of x must map to distinct vertices (condition 2).
+    sibling_guard.clear();
+    for (NodeId c : nd.children) {
+      if (!sibling_guard.insert(nodes_[c].maps_to).second) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<bool> TreeView::monotonically_reachable(
+    const LayerAssignment& assignment) const {
+  // Walk top-down: a node is reachable iff its parent is reachable and the
+  // layers strictly DECREASE going away from the root (Def 2.7 reads the
+  // path from the node up to the root as strictly increasing).
+  std::vector<bool> reachable(nodes_.size(), false);
+  const auto layer_of = [&](NodeId x) {
+    return assignment.layer.at(nodes_[x].maps_to);
+  };
+  if (!nodes_.empty())
+    reachable[0] = layer_of(0) != kInfiniteLayer;
+  for (NodeId x = 0; x < nodes_.size(); ++x) {
+    if (!reachable[x]) continue;
+    for (NodeId c : nodes_[x].children) {
+      const Layer lc = layer_of(c);
+      reachable[c] = lc != kInfiniteLayer && lc < layer_of(x);
+    }
+  }
+  return reachable;
+}
+
+bool TreeView::structurally_sound() const {
+  if (nodes_.empty()) return false;
+  if (nodes_[0].parent != kNoNode || nodes_[0].depth != 0) return false;
+  std::vector<std::size_t> child_seen(nodes_.size(), 0);
+  for (NodeId x = 1; x < nodes_.size(); ++x) {
+    const Node& nd = nodes_[x];
+    if (nd.parent >= x) return false;  // arena invariant: parent before child
+    if (nodes_[nd.parent].depth + 1 != nd.depth) return false;
+    const auto& siblings = nodes_[nd.parent].children;
+    if (std::find(siblings.begin(), siblings.end(), x) == siblings.end())
+      return false;
+    ++child_seen[nd.parent];
+  }
+  for (NodeId x = 0; x < nodes_.size(); ++x)
+    if (child_seen[x] != nodes_[x].children.size()) return false;
+  return true;
+}
+
+TreeView TreeView::from_nodes(std::vector<Node> nodes) {
+  TreeView t;
+  t.nodes_ = std::move(nodes);
+  ARBOR_CHECK_MSG(t.structurally_sound(), "from_nodes: malformed arena");
+  return t;
+}
+
+std::vector<std::uint64_t> TreeView::serialize() const {
+  std::vector<std::uint64_t> words;
+  words.reserve(serialized_words());
+  words.push_back(size());
+  for (const Node& nd : nodes_) {
+    words.push_back(nd.maps_to);
+    words.push_back(nd.parent);
+  }
+  return words;
+}
+
+TreeView TreeView::deserialize(std::span<const std::uint64_t> words) {
+  ARBOR_CHECK_MSG(!words.empty(), "deserialize: empty payload");
+  const auto count = static_cast<std::size_t>(words[0]);
+  ARBOR_CHECK_MSG(words.size() == 2 * count + 1,
+                  "deserialize: length mismatch");
+  std::vector<Node> nodes(count);
+  for (std::size_t x = 0; x < count; ++x) {
+    nodes[x].maps_to = static_cast<graph::VertexId>(words[1 + 2 * x]);
+    nodes[x].parent = static_cast<NodeId>(words[2 + 2 * x]);
+  }
+  // Rebuild children lists and depths from the parent pointers.
+  for (NodeId x = 1; x < count; ++x) {
+    ARBOR_CHECK_MSG(nodes[x].parent < x,
+                    "deserialize: parent-before-child violated");
+    nodes[x].depth = nodes[nodes[x].parent].depth + 1;
+    nodes[nodes[x].parent].children.push_back(x);
+  }
+  return from_nodes(std::move(nodes));
+}
+
+}  // namespace arbor::core

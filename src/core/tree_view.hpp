@@ -1,0 +1,105 @@
+// Rooted trees with valid mappings into a graph — Definitions 2.3–2.7.
+//
+// During graph exponentiation every vertex v maintains a rooted tree T_v
+// whose nodes map to graph vertices (the root to v itself). The mapping is
+// "valid" (Def 2.3) when every tree edge maps to a graph edge and the
+// children of any tree node map to *distinct* graph vertices; a vertex of G
+// may still appear many times across different branches — once per path
+// that reaches it — which is exactly how the algorithm forces a tree-like
+// view of a general graph's neighborhoods (paper §1.4).
+//
+// Supported operations mirror the paper's definitions: pruning (Def 2.4,
+// implemented in core/local_prune), attachment of other trees at leaves
+// (Def 2.5), missing-neighbor counts (Def 2.6), and strict monotone
+// reachability w.r.t. a layer assignment (Def 2.7).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/layering.hpp"
+#include "graph/graph.hpp"
+
+namespace arbor::core {
+
+class TreeView {
+ public:
+  using NodeId = std::uint32_t;
+  static constexpr NodeId kNoNode = 0xffffffffu;
+
+  struct Node {
+    graph::VertexId maps_to = 0;
+    NodeId parent = kNoNode;
+    std::uint32_t depth = 0;
+    std::vector<NodeId> children;
+  };
+
+  /// Single-node tree whose root maps to v (the inactive-vertex initial
+  /// tree of Algorithm 2).
+  static TreeView single(graph::VertexId v);
+
+  /// Star: root maps to v, one child per (distinct) neighbor — the active-
+  /// vertex initial tree of Algorithm 2.
+  static TreeView star(graph::VertexId v,
+                       std::span<const graph::VertexId> neighbors);
+
+  std::size_t size() const noexcept { return nodes_.size(); }
+  NodeId root() const noexcept { return 0; }
+  const Node& node(NodeId x) const { return nodes_.at(x); }
+  graph::VertexId vertex_of(NodeId x) const { return nodes_.at(x).maps_to; }
+  graph::VertexId root_vertex() const { return nodes_.front().maps_to; }
+  std::uint32_t height() const noexcept;
+
+  /// Leaves whose depth is exactly `depth` (Algorithm 2's attachment
+  /// frontier at distance 2^{i-1}).
+  std::vector<NodeId> leaves_at_depth(std::uint32_t depth) const;
+
+  /// Definition 2.5: replace each given leaf x_i by a fresh copy of tree
+  /// T_i, whose root must map to the same graph vertex as x_i. Leaves must
+  /// be distinct. Returns the attached tree; `this` is unchanged.
+  TreeView attach(
+      std::span<const std::pair<NodeId, const TreeView*>> attachments) const;
+
+  /// Definition 2.6: |Missing(x)| = |N_G(map(x)) \ {map(c) : c child of x}|.
+  /// With a valid mapping the children map to distinct neighbors, so this
+  /// equals deg_G(map(x)) - #children(x).
+  std::size_t missing_count(const graph::Graph& g, NodeId x) const;
+
+  /// Definition 2.3: full validation of the mapping against g (every tree
+  /// edge is a graph edge; siblings map to distinct vertices). O(size·log).
+  bool is_valid_mapping(const graph::Graph& g) const;
+
+  /// Definition 2.7: per node, whether the path from the node up to the
+  /// root has strictly increasing finite layers under `assignment`.
+  std::vector<bool> monotonically_reachable(
+      const LayerAssignment& assignment) const;
+
+  /// Words needed to ship this tree as an MPC bundle: (maps_to, parent) per
+  /// node plus a length header.
+  std::size_t serialized_words() const noexcept { return 2 * size() + 1; }
+
+  /// Wire format: [size, maps_to_0, parent_0, maps_to_1, parent_1, ...] in
+  /// arena order (root first, parent-before-child). Exactly
+  /// serialized_words() words — what Algorithm 2 ships through the
+  /// Lemma 4.1 bundle fetch.
+  std::vector<std::uint64_t> serialize() const;
+
+  /// Inverse of serialize(); validates the arena invariants.
+  static TreeView deserialize(std::span<const std::uint64_t> words);
+
+  /// Internal consistency of the arena (parent/child/depth agreement);
+  /// used by debug checks and tests.
+  bool structurally_sound() const;
+
+  /// Build from an explicit arena (testing and deserialization). Node 0
+  /// must be the root; parents must precede children.
+  static TreeView from_nodes(std::vector<Node> nodes);
+
+ private:
+  TreeView() = default;
+  std::vector<Node> nodes_;  // preorder-ish: parent always before child
+};
+
+}  // namespace arbor::core

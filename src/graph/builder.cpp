@@ -1,0 +1,55 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace arbor::graph {
+
+void GraphBuilder::add_edge(VertexId u, VertexId v) {
+  ARBOR_CHECK_MSG(u < num_vertices_ && v < num_vertices_,
+                  "add_edge(): endpoint out of range");
+  if (u == v) return;  // self-loops dropped
+  if (u > v) std::swap(u, v);
+  pending_.push_back({u, v});
+}
+
+Graph GraphBuilder::build() const {
+  std::vector<Edge> edges = pending_;
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  std::vector<EdgeId> offsets(num_vertices_ + 1, 0);
+  for (const Edge& e : edges) {
+    ++offsets[e.u + 1];
+    ++offsets[e.v + 1];
+  }
+  for (std::size_t i = 0; i < num_vertices_; ++i) offsets[i + 1] += offsets[i];
+
+  std::vector<VertexId> adjacency(offsets[num_vertices_]);
+  std::vector<EdgeId> cursor(offsets.begin(), offsets.end() - 1);
+  for (const Edge& e : edges) {
+    adjacency[cursor[e.u]++] = e.v;
+    adjacency[cursor[e.v]++] = e.u;
+  }
+  for (std::size_t i = 0; i < num_vertices_; ++i) {
+    std::sort(adjacency.begin() + static_cast<std::ptrdiff_t>(offsets[i]),
+              adjacency.begin() + static_cast<std::ptrdiff_t>(offsets[i + 1]));
+  }
+  return Graph(std::move(offsets), std::move(adjacency), std::move(edges));
+}
+
+Graph GraphBuilder::build_and_clear() {
+  Graph g = build();
+  pending_.clear();
+  pending_.shrink_to_fit();
+  return g;
+}
+
+Graph from_edges(std::size_t num_vertices, std::span<const Edge> edges) {
+  GraphBuilder b(num_vertices);
+  for (const Edge& e : edges) b.add_edge(e.u, e.v);
+  return b.build();
+}
+
+}  // namespace arbor::graph

@@ -1,0 +1,42 @@
+// Mutable edge-list accumulator that produces immutable CSR Graphs.
+//
+// All graph construction funnels through here so that the simple-graph
+// invariants (no self-loops, no parallel edges) are established exactly once.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace arbor::graph {
+
+class GraphBuilder {
+ public:
+  /// `num_vertices` fixes the vertex set [0, n). Edges to vertices outside
+  /// the range are rejected.
+  explicit GraphBuilder(std::size_t num_vertices)
+      : num_vertices_(num_vertices) {}
+
+  std::size_t num_vertices() const noexcept { return num_vertices_; }
+  std::size_t num_pending_edges() const noexcept { return pending_.size(); }
+
+  /// Record an undirected edge. Order of endpoints is irrelevant;
+  /// duplicates and self-loops are silently dropped at build() time.
+  void add_edge(VertexId u, VertexId v);
+
+  /// Build the CSR graph. The builder may be reused afterwards (it keeps
+  /// its pending edges).
+  Graph build() const;
+
+  /// Build and clear the pending edge list.
+  Graph build_and_clear();
+
+ private:
+  std::size_t num_vertices_;
+  std::vector<Edge> pending_;
+};
+
+/// Convenience: build a graph directly from an edge list.
+Graph from_edges(std::size_t num_vertices, std::span<const Edge> edges);
+
+}  // namespace arbor::graph

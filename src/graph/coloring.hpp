@@ -1,0 +1,38 @@
+// Vertex colorings and their quality measures.
+//
+// Theorem 1.2's target is a proper coloring with O(λ log log n) colors.
+// Validation recomputes properness edge-by-edge; palette size is the count
+// of distinct colors actually used.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace arbor::graph {
+
+using Color = std::uint32_t;
+
+struct ColoringCheck {
+  bool proper = false;
+  std::size_t colors_used = 0;
+  /// First conflicting edge if not proper.
+  std::optional<Edge> violation;
+};
+
+/// Recompute properness and palette size from scratch.
+ColoringCheck check_coloring(const Graph& g, const std::vector<Color>& color);
+
+/// Greedy coloring scanning `order`, assigning the smallest color not used
+/// by an already-colored neighbor. With a degeneracy order this uses at most
+/// degeneracy+1 colors — the sequential quality yardstick.
+std::vector<Color> greedy_coloring(const Graph& g,
+                                   const std::vector<VertexId>& order);
+
+/// Greedy along a degeneracy elimination order, reversed (so every vertex
+/// sees at most `degeneracy` colored neighbors when processed).
+std::vector<Color> degeneracy_coloring(const Graph& g);
+
+}  // namespace arbor::graph

@@ -1,0 +1,47 @@
+#include "graph/coreness.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace arbor::graph {
+
+std::vector<std::uint32_t> exact_coreness(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  std::vector<std::uint32_t> coreness(n, 0);
+  if (n == 0) return coreness;
+
+  std::vector<std::size_t> degree(n);
+  std::size_t max_deg = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    degree[v] = g.degree(v);
+    max_deg = std::max(max_deg, degree[v]);
+  }
+  std::vector<std::vector<VertexId>> buckets(max_deg + 1);
+  for (VertexId v = 0; v < n; ++v) buckets[degree[v]].push_back(v);
+
+  std::vector<bool> removed(n, false);
+  std::size_t current_core = 0;
+  std::size_t cursor = 0;
+  for (std::size_t peeled = 0; peeled < n;) {
+    while (cursor < buckets.size() && buckets[cursor].empty()) ++cursor;
+    ARBOR_CHECK(cursor < buckets.size());
+    const VertexId v = buckets[cursor].back();
+    buckets[cursor].pop_back();
+    if (removed[v] || degree[v] != cursor) continue;  // stale entry
+    removed[v] = true;
+    ++peeled;
+    // Core number = running maximum of the removal degree.
+    current_core = std::max(current_core, cursor);
+    coreness[v] = static_cast<std::uint32_t>(current_core);
+    for (VertexId w : g.neighbors(v)) {
+      if (removed[w]) continue;
+      --degree[w];
+      buckets[degree[w]].push_back(w);
+      if (degree[w] < cursor) cursor = degree[w];
+    }
+  }
+  return coreness;
+}
+
+}  // namespace arbor::graph

@@ -1,0 +1,20 @@
+// Exact core decomposition (sequential reference).
+//
+// The coreness (core number) of v is the largest c such that v belongs to
+// a subgraph of minimum degree ≥ c. Computed by the classic min-degree
+// bucket peel in O(n + m) [Matula–Beck]. Serves as ground truth for the
+// MPC approximate coreness of core/coreness_mpc.hpp (the paper's
+// footnote-2 generalization of the orientation algorithm).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace arbor::graph {
+
+/// coreness[v] for every vertex; max element equals the degeneracy.
+std::vector<std::uint32_t> exact_coreness(const Graph& g);
+
+}  // namespace arbor::graph

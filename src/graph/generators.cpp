@@ -1,0 +1,279 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+#include "graph/builder.hpp"
+#include "util/assert.hpp"
+#include "util/hashing.hpp"
+
+namespace arbor::graph {
+
+namespace {
+std::uint64_t pair_key(VertexId u, VertexId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+}  // namespace
+
+Graph gnm(std::size_t n, std::size_t m, util::SplitRng& rng) {
+  ARBOR_CHECK(n >= 2 || m == 0);
+  const std::uint64_t max_edges =
+      static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  ARBOR_CHECK_MSG(m <= max_edges, "gnm: m exceeds n(n-1)/2");
+
+  GraphBuilder b(n);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(m * 2);
+  while (seen.size() < m) {
+    const auto u = static_cast<VertexId>(rng.next_below(n));
+    const auto v = static_cast<VertexId>(rng.next_below(n));
+    if (u == v) continue;
+    if (seen.insert(pair_key(u, v)).second) b.add_edge(u, v);
+  }
+  return b.build();
+}
+
+Graph gnp(std::size_t n, double p, util::SplitRng& rng) {
+  ARBOR_CHECK(p >= 0.0 && p <= 1.0);
+  GraphBuilder b(n);
+  if (p <= 0.0 || n < 2) return b.build();
+  if (p >= 1.0) return clique(n);
+
+  // Geometric skipping over the n(n-1)/2 canonical pairs: draw the gap to
+  // the next present pair from Geometric(p), so each pair is present
+  // independently with probability p but we only touch present pairs.
+  const double log_q = std::log1p(-p);
+  const std::uint64_t total = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  // Pairs strictly before row u: sum_{i<u} (n-1-i) = u(n-1) - u(u-1)/2.
+  const auto pairs_before_row = [n](std::uint64_t u) {
+    return u * (n - 1) - u * (u - 1) / 2;
+  };
+  std::uint64_t idx = 0;
+  bool first = true;
+  while (true) {
+    const auto gap = static_cast<std::uint64_t>(
+        std::floor(std::log(1.0 - rng.next_double()) / log_q));
+    idx += gap + (first ? 0 : 1);
+    first = false;
+    if (idx >= total) break;
+    // Decode linear index -> canonical pair (u, v), u < v: binary search for
+    // the largest row whose starting offset is ≤ idx.
+    std::uint64_t lo = 0, hi = n - 1;
+    while (lo < hi) {
+      const std::uint64_t mid = (lo + hi + 1) / 2;
+      if (pairs_before_row(mid) <= idx)
+        lo = mid;
+      else
+        hi = mid - 1;
+    }
+    const auto u = static_cast<VertexId>(lo);
+    const auto v =
+        static_cast<VertexId>(u + 1 + (idx - pairs_before_row(lo)));
+    b.add_edge(u, v);
+  }
+  return b.build();
+}
+
+Graph random_forest(std::size_t n, util::SplitRng& rng, double root_prob) {
+  GraphBuilder b(n);
+  if (n < 2) return b.build();
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), VertexId{0});
+  rng.shuffle(order);
+  for (std::size_t i = 1; i < n; ++i) {
+    if (rng.next_bool(root_prob)) continue;  // start a new tree
+    const std::size_t j = static_cast<std::size_t>(rng.next_below(i));
+    b.add_edge(order[i], order[j]);
+  }
+  return b.build();
+}
+
+Graph forest_union(std::size_t n, std::size_t k, util::SplitRng& rng) {
+  GraphBuilder b(n);
+  for (std::size_t f = 0; f < k; ++f) {
+    util::SplitRng child = rng.split(0xf0c4e5700ULL + f);
+    const Graph forest = random_forest(n, child, /*root_prob=*/0.0);
+    for (const Edge& e : forest.edges()) b.add_edge(e.u, e.v);
+  }
+  return b.build();
+}
+
+Graph star(std::size_t n) {
+  GraphBuilder b(n);
+  for (VertexId v = 1; v < n; ++v) b.add_edge(0, v);
+  return b.build();
+}
+
+Graph path(std::size_t n) {
+  GraphBuilder b(n);
+  for (VertexId v = 1; v < n; ++v) b.add_edge(v - 1, v);
+  return b.build();
+}
+
+Graph cycle(std::size_t n) {
+  GraphBuilder b(n);
+  if (n >= 3) {
+    for (VertexId v = 1; v < n; ++v) b.add_edge(v - 1, v);
+    b.add_edge(static_cast<VertexId>(n - 1), 0);
+  } else if (n == 2) {
+    b.add_edge(0, 1);
+  }
+  return b.build();
+}
+
+Graph clique(std::size_t n) {
+  GraphBuilder b(n);
+  for (VertexId u = 0; u < n; ++u)
+    for (VertexId v = u + 1; v < n; ++v) b.add_edge(u, v);
+  return b.build();
+}
+
+Graph complete_bipartite(std::size_t a, std::size_t b_count) {
+  GraphBuilder b(a + b_count);
+  for (VertexId u = 0; u < a; ++u)
+    for (std::size_t v = 0; v < b_count; ++v)
+      b.add_edge(u, static_cast<VertexId>(a + v));
+  return b.build();
+}
+
+Graph grid(std::size_t rows, std::size_t cols) {
+  GraphBuilder b(rows * cols);
+  const auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<VertexId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return b.build();
+}
+
+Graph planted_clique(std::size_t n, std::size_t background_edges,
+                     std::size_t clique_size, util::SplitRng& rng) {
+  ARBOR_CHECK(clique_size <= n);
+  const Graph background = gnm(n, background_edges, rng);
+  GraphBuilder b(n);
+  for (const Edge& e : background.edges()) b.add_edge(e.u, e.v);
+
+  std::vector<VertexId> ids(n);
+  std::iota(ids.begin(), ids.end(), VertexId{0});
+  rng.shuffle(ids);
+  for (std::size_t i = 0; i < clique_size; ++i)
+    for (std::size_t j = i + 1; j < clique_size; ++j)
+      b.add_edge(ids[i], ids[j]);
+  return b.build();
+}
+
+Graph barabasi_albert(std::size_t n, std::size_t attach,
+                      util::SplitRng& rng) {
+  ARBOR_CHECK(attach >= 1);
+  ARBOR_CHECK(n > attach);
+  GraphBuilder b(n);
+  // `targets` holds one entry per edge endpoint so sampling uniformly from
+  // it is sampling proportionally to degree.
+  std::vector<VertexId> targets;
+  targets.reserve(2 * attach * n);
+  // Seed: a clique on the first attach+1 vertices.
+  for (VertexId u = 0; u <= attach; ++u) {
+    for (VertexId v = u + 1; v <= attach; ++v) {
+      b.add_edge(u, v);
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+  for (VertexId v = static_cast<VertexId>(attach + 1); v < n; ++v) {
+    std::unordered_set<VertexId> chosen;
+    while (chosen.size() < attach) {
+      const VertexId t = targets[static_cast<std::size_t>(
+          rng.next_below(targets.size()))];
+      chosen.insert(t);
+    }
+    for (VertexId t : chosen) {
+      b.add_edge(v, t);
+      targets.push_back(v);
+      targets.push_back(t);
+    }
+  }
+  return b.build();
+}
+
+SlowPeelingChain slow_peeling_chain(std::size_t levels, std::size_t d,
+                                    util::SplitRng& rng) {
+  ARBOR_CHECK(levels >= 1);
+  ARBOR_CHECK_MSG(d >= 10, "need d >= 10 for the degree margins to hold");
+  const std::size_t q = 2 * d + 1;  // clique size; per-vertex density d
+  // Support degree: level-i vertices (i ≥ 1) carry c edges into level i-1.
+  // λ ≈ d + c/2, so the (2+ε)λ threshold is ≈ 2.2d + 1.1c and the
+  // fully-supported degree is 2d + 1.5c; the construction needs
+  //   2d + 0.5c ≤ threshold < 2d + 1.5c,
+  // i.e. 0.4c > 0.2d + slack. c = 0.5d + 14 (rounded even) leaves a margin
+  // of ≥ 3 on the upper side for all d ≥ 10.
+  const std::size_t c = ((d / 2 + 14) + 3) / 4 * 4;  // rounded up to 4 | c
+
+  // Level i holds 2^{levels-1-i} cliques: sizes halve exactly as the level
+  // index grows, level 0 is the largest.
+  std::vector<std::vector<VertexId>> level_vertices(levels);
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < levels; ++i) {
+    const std::size_t cliques = std::size_t{1} << (levels - 1 - i);
+    level_vertices[i].resize(cliques * q);
+    for (auto& v : level_vertices[i]) v = static_cast<VertexId>(n++);
+  }
+
+  GraphBuilder b(n);
+  for (std::size_t i = 0; i < levels; ++i) {
+    // Cliques within the level.
+    const auto& verts = level_vertices[i];
+    for (std::size_t base = 0; base < verts.size(); base += q)
+      for (std::size_t x = 0; x < q; ++x)
+        for (std::size_t y = x + 1; y < q; ++y)
+          b.add_edge(verts[base + x], verts[base + y]);
+    // Support edges into the previous level, deterministic and exactly
+    // regular: in round r (r < c/2), vertex j of this level connects to
+    // prev[(j+r) mod P] and prev[(j+P/2+r) mod P] where P = |prev| = 2·|cur|.
+    // Every current vertex sends exactly c edges to distinct targets; every
+    // previous-level vertex receives exactly c/2.
+    if (i == 0) continue;
+    const auto& prev = level_vertices[i - 1];
+    const std::size_t p_size = prev.size();
+    ARBOR_CHECK(p_size == 2 * verts.size());
+    // The LAST level gets 1.5c down-support instead of c: it has no
+    // incoming support of its own, and without the extra 0.5c it would
+    // peel in round 1 from the far end, halving the cascade length.
+    const std::size_t support =
+        (i + 1 == levels && levels >= 2) ? c + c / 2 : c;
+    ARBOR_CHECK_MSG(support / 2 < p_size / 2,
+                    "support degree too large for the last level");
+    for (std::size_t j = 0; j < verts.size(); ++j) {
+      for (std::size_t r = 0; r < support / 2; ++r) {
+        b.add_edge(verts[j], prev[(j + r) % p_size]);
+        b.add_edge(verts[j], prev[(j + p_size / 2 + r) % p_size]);
+      }
+    }
+  }
+  (void)rng;  // construction is deterministic; parameter kept for symmetry
+              // with the other generators' interfaces
+
+  SlowPeelingChain chain;
+  chain.graph = b.build();
+  chain.lambda = d + c / 2 + 1;
+  chain.levels = levels;
+  chain.max_sustained_degree = 2 * d + (3 * c) / 2;
+  return chain;
+}
+
+Graph relabel_randomly(const Graph& g, util::SplitRng& rng) {
+  std::vector<VertexId> perm(g.num_vertices());
+  std::iota(perm.begin(), perm.end(), VertexId{0});
+  rng.shuffle(perm);
+  GraphBuilder b(g.num_vertices());
+  for (const Edge& e : g.edges()) b.add_edge(perm[e.u], perm[e.v]);
+  return b.build();
+}
+
+}  // namespace arbor::graph

@@ -1,0 +1,86 @@
+// Workload generators.
+//
+// The experiments need graph families with *known* (or tightly controlled)
+// arboricity: unions of k random forests have λ ≤ k by construction and
+// λ ≈ k when each forest is near-spanning; planted dense subgraphs exercise
+// the high-λ edge-partitioning path of Theorem 1.1; stars and cliques are
+// the paper's own motivating extremes (λ=1 vs Δ=n-1).
+//
+// All generators are deterministic functions of their SplitRng argument.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace arbor::graph {
+
+/// Erdős–Rényi G(n, m): m distinct uniform edges. Requires m ≤ n(n-1)/2.
+Graph gnm(std::size_t n, std::size_t m, util::SplitRng& rng);
+
+/// Erdős–Rényi G(n, p) via geometric skipping; efficient for small p.
+Graph gnp(std::size_t n, double p, util::SplitRng& rng);
+
+/// Random labeled forest: vertices are attached in random order, each to a
+/// uniformly random earlier vertex, and with probability `root_prob` a
+/// vertex starts a new tree instead. λ = 1 (if any edge exists).
+Graph random_forest(std::size_t n, util::SplitRng& rng,
+                    double root_prob = 0.02);
+
+/// Union of k independent random forests on the same vertex set:
+/// λ ≤ k by construction (Nash–Williams), and ≈ k in practice after
+/// deduplication. The workhorse family of E2/E4.
+Graph forest_union(std::size_t n, std::size_t k, util::SplitRng& rng);
+
+/// Star K_{1,n-1}: Δ = n-1 but λ = 1 — the paper's motivating example for
+/// density- over degree-dependent bounds.
+Graph star(std::size_t n);
+
+/// Path and cycle on n vertices.
+Graph path(std::size_t n);
+Graph cycle(std::size_t n);
+
+/// Complete graph on n vertices (λ = ⌈n/2⌉).
+Graph clique(std::size_t n);
+
+/// Complete bipartite K_{a,b}.
+Graph complete_bipartite(std::size_t a, std::size_t b);
+
+/// 2-D grid graph (rows × cols), λ = 2.
+Graph grid(std::size_t rows, std::size_t cols);
+
+/// Sparse background G(n, m_background) plus a clique planted on
+/// `clique_size` random vertices: α ≈ (clique_size - 1)/2 regardless of the
+/// sparse remainder. Drives the Lemma 2.1/2.2 partitioning experiments.
+Graph planted_clique(std::size_t n, std::size_t background_edges,
+                     std::size_t clique_size, util::SplitRng& rng);
+
+/// Barabási–Albert preferential attachment, `attach` edges per new vertex;
+/// heavy-tailed degrees with λ ≤ attach + o(·) — the "social network"
+/// example workload.
+Graph barabasi_albert(std::size_t n, std::size_t attach, util::SplitRng& rng);
+
+/// Random permutation of vertex ids (guards against id-correlated
+/// artifacts in algorithms that break ties by id).
+Graph relabel_randomly(const Graph& g, util::SplitRng& rng);
+
+/// The Θ(log n) hard instance for (2+ε)λ-threshold peeling (the E1
+/// workload). `levels` levels of cliques K_{2d+1}; level sizes halve as the
+/// level index grows; every vertex of level i ≥ 1 additionally has
+/// `c = ⌈0.8·d⌉` "support" edges into level i-1. Peeling at threshold
+/// (2+ε)·λ removes exactly one level per round (level 0 first: its degree
+/// 2d + c/2 is below threshold; deeper levels sit at 2d + 1.5c just above
+/// it until their support disappears) — Θ(levels) = Θ(log n) rounds. An
+/// algorithm allowed out-degree ≥ 2d + 1.5c + 1 clears the whole graph at
+/// once, which is how the paper's O(λ log log n) slack wins E1.
+struct SlowPeelingChain {
+  Graph graph;
+  std::size_t lambda = 0;      ///< exact-by-construction density parameter
+  std::size_t levels = 0;      ///< peel rounds forced at threshold (2+ε)λ
+  std::size_t max_sustained_degree = 0;  ///< ≈ 2d + 1.5c
+};
+SlowPeelingChain slow_peeling_chain(std::size_t levels, std::size_t d,
+                                    util::SplitRng& rng);
+
+}  // namespace arbor::graph

@@ -1,0 +1,76 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/assert.hpp"
+
+namespace arbor::graph {
+
+std::size_t Graph::max_degree() const noexcept {
+  std::size_t best = 0;
+  for (VertexId v = 0; v < num_vertices(); ++v)
+    best = std::max(best, degree(v));
+  return best;
+}
+
+bool Graph::has_edge(VertexId u, VertexId v) const noexcept {
+  if (u >= num_vertices() || v >= num_vertices()) return false;
+  // Search the shorter list.
+  if (degree(u) > degree(v)) std::swap(u, v);
+  const auto ns = neighbors(u);
+  return std::binary_search(ns.begin(), ns.end(), v);
+}
+
+double Graph::average_degree() const noexcept {
+  if (num_vertices() == 0) return 0.0;
+  return 2.0 * static_cast<double>(num_edges()) /
+         static_cast<double>(num_vertices());
+}
+
+InducedSubgraph Graph::induced(std::span<const VertexId> vertices) const {
+  std::unordered_map<VertexId, VertexId> to_new;
+  to_new.reserve(vertices.size());
+  std::vector<VertexId> to_original(vertices.begin(), vertices.end());
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    ARBOR_CHECK_MSG(vertices[i] < num_vertices(),
+                    "induced(): vertex id out of range");
+    const bool inserted =
+        to_new.emplace(vertices[i], static_cast<VertexId>(i)).second;
+    ARBOR_CHECK_MSG(inserted, "induced(): duplicate vertex in selection");
+  }
+
+  // Build CSR for the subgraph directly: count, then fill.
+  const std::size_t sub_n = vertices.size();
+  std::vector<EdgeId> offsets(sub_n + 1, 0);
+  for (std::size_t i = 0; i < sub_n; ++i) {
+    for (VertexId w : neighbors(vertices[i]))
+      if (to_new.contains(w)) ++offsets[i + 1];
+  }
+  for (std::size_t i = 0; i < sub_n; ++i) offsets[i + 1] += offsets[i];
+
+  std::vector<VertexId> adjacency(offsets[sub_n]);
+  std::vector<Edge> edges;
+  std::vector<EdgeId> cursor(offsets.begin(), offsets.end() - 1);
+  for (std::size_t i = 0; i < sub_n; ++i) {
+    for (VertexId w : neighbors(vertices[i])) {
+      const auto it = to_new.find(w);
+      if (it == to_new.end()) continue;
+      const VertexId j = it->second;
+      adjacency[cursor[i]++] = j;
+      if (i < j) edges.push_back({static_cast<VertexId>(i), j});
+    }
+  }
+  // Neighbor lists inherit the original order keyed by *original* ids; the
+  // subgraph must be sorted by *new* ids.
+  for (std::size_t i = 0; i < sub_n; ++i) {
+    std::sort(adjacency.begin() + static_cast<std::ptrdiff_t>(offsets[i]),
+              adjacency.begin() + static_cast<std::ptrdiff_t>(offsets[i + 1]));
+  }
+  std::sort(edges.begin(), edges.end());
+
+  return {Graph(std::move(offsets), std::move(adjacency), std::move(edges)),
+          std::move(to_original)};
+}
+
+}  // namespace arbor::graph

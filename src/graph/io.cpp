@@ -1,0 +1,56 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "graph/builder.hpp"
+#include "util/assert.hpp"
+
+namespace arbor::graph {
+
+Graph read_edge_list(std::istream& in) {
+  std::string line;
+  std::size_t n = 0, m = 0;
+  bool header_seen = false;
+  GraphBuilder builder(0);
+  std::size_t edges_read = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    if (!header_seen) {
+      ARBOR_CHECK_MSG(static_cast<bool>(ls >> n >> m),
+                      "edge list: bad header line (want 'n m')");
+      header_seen = true;
+      builder = GraphBuilder(n);
+      continue;
+    }
+    std::uint64_t u = 0, v = 0;
+    ARBOR_CHECK_MSG(static_cast<bool>(ls >> u >> v),
+                    "edge list: bad edge line (want 'u v')");
+    builder.add_edge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+    ++edges_read;
+  }
+  ARBOR_CHECK_MSG(header_seen, "edge list: empty input");
+  ARBOR_CHECK_MSG(edges_read == m, "edge list: edge count != header m");
+  return builder.build();
+}
+
+Graph read_edge_list_file(const std::string& path) {
+  std::ifstream in(path);
+  ARBOR_CHECK_MSG(in.good(), "cannot open graph file: " + path);
+  return read_edge_list(in);
+}
+
+void write_edge_list(std::ostream& out, const Graph& g) {
+  out << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (const Edge& e : g.edges()) out << e.u << ' ' << e.v << '\n';
+}
+
+void write_edge_list_file(const std::string& path, const Graph& g) {
+  std::ofstream out(path);
+  ARBOR_CHECK_MSG(out.good(), "cannot open output file: " + path);
+  write_edge_list(out, g);
+}
+
+}  // namespace arbor::graph

@@ -1,0 +1,95 @@
+#include "graph/maxflow.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace arbor::graph {
+
+MaxFlow::MaxFlow(std::size_t num_nodes) : head_(num_nodes, kNone) {}
+
+std::size_t MaxFlow::add_arc(std::uint32_t u, std::uint32_t v,
+                             Capacity capacity) {
+  ARBOR_CHECK(u < head_.size() && v < head_.size());
+  ARBOR_CHECK_MSG(capacity >= 0, "negative capacity");
+  ARBOR_CHECK_MSG(!solved_, "add_arc after solve");
+  const auto idx = static_cast<std::uint32_t>(arcs_.size());
+  arcs_.push_back({v, head_[u], capacity});
+  head_[u] = idx;
+  arcs_.push_back({u, head_[v], 0});
+  head_[v] = idx + 1;
+  return idx;
+}
+
+bool MaxFlow::bfs_build_levels(std::uint32_t s, std::uint32_t t) {
+  level_.assign(head_.size(), kNone);
+  std::deque<std::uint32_t> queue{s};
+  level_[s] = 0;
+  while (!queue.empty()) {
+    const std::uint32_t v = queue.front();
+    queue.pop_front();
+    for (std::uint32_t a = head_[v]; a != kNone; a = arcs_[a].next) {
+      if (arcs_[a].residual > 0 && level_[arcs_[a].to] == kNone) {
+        level_[arcs_[a].to] = level_[v] + 1;
+        queue.push_back(arcs_[a].to);
+      }
+    }
+  }
+  return level_[t] != kNone;
+}
+
+MaxFlow::Capacity MaxFlow::dfs_augment(std::uint32_t v, std::uint32_t t,
+                                       Capacity limit) {
+  if (v == t) return limit;
+  for (std::uint32_t& a = iter_[v]; a != kNone; a = arcs_[a].next) {
+    Arc& arc = arcs_[a];
+    if (arc.residual <= 0 || level_[arc.to] != level_[v] + 1) continue;
+    const Capacity pushed =
+        dfs_augment(arc.to, t, std::min(limit, arc.residual));
+    if (pushed > 0) {
+      arc.residual -= pushed;
+      arcs_[a ^ 1].residual += pushed;
+      return pushed;
+    }
+  }
+  return 0;
+}
+
+MaxFlow::Capacity MaxFlow::solve(std::uint32_t s, std::uint32_t t) {
+  ARBOR_CHECK(s < head_.size() && t < head_.size() && s != t);
+  ARBOR_CHECK_MSG(!solved_, "solve called twice");
+  solved_ = true;
+  Capacity total = 0;
+  while (bfs_build_levels(s, t)) {
+    iter_ = head_;
+    for (;;) {
+      const Capacity pushed =
+          dfs_augment(s, t, std::numeric_limits<Capacity>::max());
+      if (pushed == 0) break;
+      total += pushed;
+    }
+  }
+  return total;
+}
+
+std::vector<bool> MaxFlow::min_cut_source_side(std::uint32_t s) const {
+  ARBOR_CHECK_MSG(solved_, "min_cut_source_side before solve");
+  std::vector<bool> reachable(head_.size(), false);
+  std::deque<std::uint32_t> queue{s};
+  reachable[s] = true;
+  while (!queue.empty()) {
+    const std::uint32_t v = queue.front();
+    queue.pop_front();
+    for (std::uint32_t a = head_[v]; a != kNone; a = arcs_[a].next) {
+      if (arcs_[a].residual > 0 && !reachable[arcs_[a].to]) {
+        reachable[arcs_[a].to] = true;
+        queue.push_back(arcs_[a].to);
+      }
+    }
+  }
+  return reachable;
+}
+
+}  // namespace arbor::graph

@@ -1,0 +1,50 @@
+// Dinic maximum-flow on a capacitated directed graph.
+//
+// Exists to support the exact densest-subgraph oracle (Goldberg's min-cut
+// construction) in graph/arboricity.*. Kept small, deterministic, and exact
+// over integer-scaled capacities.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace arbor::graph {
+
+class MaxFlow {
+ public:
+  using Capacity = std::int64_t;
+
+  explicit MaxFlow(std::size_t num_nodes);
+
+  std::size_t num_nodes() const noexcept { return head_.size(); }
+
+  /// Add directed arc u -> v with given capacity; a residual reverse arc of
+  /// capacity 0 is added automatically. Returns the arc index (for tests).
+  std::size_t add_arc(std::uint32_t u, std::uint32_t v, Capacity capacity);
+
+  /// Compute the max flow from s to t. May be called once per instance.
+  Capacity solve(std::uint32_t s, std::uint32_t t);
+
+  /// After solve(): the set of nodes reachable from s in the residual graph
+  /// (the source side of a minimum cut).
+  std::vector<bool> min_cut_source_side(std::uint32_t s) const;
+
+ private:
+  struct Arc {
+    std::uint32_t to;
+    std::uint32_t next;  // next arc index in the adjacency list, or kNone
+    Capacity residual;
+  };
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
+  bool bfs_build_levels(std::uint32_t s, std::uint32_t t);
+  Capacity dfs_augment(std::uint32_t v, std::uint32_t t, Capacity limit);
+
+  std::vector<std::uint32_t> head_;   // per-node first arc
+  std::vector<Arc> arcs_;             // paired: arc i ^ 1 is its reverse
+  std::vector<std::uint32_t> level_;
+  std::vector<std::uint32_t> iter_;
+  bool solved_ = false;
+};
+
+}  // namespace arbor::graph

@@ -1,0 +1,77 @@
+#include "graph/orientation.hpp"
+
+#include <algorithm>
+
+#include "graph/arboricity.hpp"
+#include "util/assert.hpp"
+
+namespace arbor::graph {
+
+Orientation::Orientation(const Graph& g, std::vector<bool> towards_v)
+    : towards_v_(std::move(towards_v)) {
+  ARBOR_CHECK_MSG(towards_v_.size() == g.num_edges(),
+                  "orientation size mismatch");
+}
+
+std::vector<std::size_t> Orientation::outdegrees(const Graph& g) const {
+  ARBOR_CHECK(towards_v_.size() == g.num_edges());
+  std::vector<std::size_t> out(g.num_vertices(), 0);
+  const auto edges = g.edges();
+  for (std::size_t i = 0; i < edges.size(); ++i)
+    ++out[towards_v_[i] ? edges[i].u : edges[i].v];
+  return out;
+}
+
+std::size_t Orientation::max_outdegree(const Graph& g) const {
+  const auto out = outdegrees(g);
+  return out.empty() ? 0 : *std::max_element(out.begin(), out.end());
+}
+
+std::vector<std::vector<VertexId>> Orientation::out_neighbors(
+    const Graph& g) const {
+  std::vector<std::vector<VertexId>> out(g.num_vertices());
+  const auto edges = g.edges();
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (towards_v_[i])
+      out[edges[i].u].push_back(edges[i].v);
+    else
+      out[edges[i].v].push_back(edges[i].u);
+  }
+  return out;
+}
+
+Orientation orient_by_layers(const Graph& g,
+                             const std::vector<std::uint32_t>& layer,
+                             std::uint32_t infinite_layer) {
+  ARBOR_CHECK(layer.size() == g.num_vertices());
+  const auto edges = g.edges();
+  std::vector<bool> towards_v(edges.size());
+  const auto rank = [&](VertexId v) {
+    // ∞ sorts above all finite layers.
+    return layer[v] == infinite_layer ? 0xffffffffu : layer[v];
+  };
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const auto [u, v] = edges[i];
+    const std::uint32_t ru = rank(u), rv = rank(v);
+    // u -> v if v is in a strictly higher layer, or tie and v has larger id
+    // (v > u always holds in canonical order, so ties go u -> v).
+    towards_v[i] = ru < rv || (ru == rv);
+  }
+  return Orientation(g, std::move(towards_v));
+}
+
+Orientation orient_by_degeneracy(const Graph& g) {
+  std::vector<VertexId> order;
+  degeneracy(g, &order);
+  std::vector<std::uint32_t> position(g.num_vertices(), 0);
+  for (std::size_t i = 0; i < order.size(); ++i)
+    position[order[i]] = static_cast<std::uint32_t>(i);
+
+  const auto edges = g.edges();
+  std::vector<bool> towards_v(edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i)
+    towards_v[i] = position[edges[i].u] < position[edges[i].v];
+  return Orientation(g, std::move(towards_v));
+}
+
+}  // namespace arbor::graph

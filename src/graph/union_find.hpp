@@ -1,0 +1,51 @@
+// Disjoint-set union with path halving and union by size.
+// Used by the forest generators (cycle avoidance) and connectivity checks.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace arbor::graph {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), std::uint32_t{0});
+  }
+
+  std::uint32_t find(std::uint32_t x) noexcept {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Returns true iff x and y were in different components (i.e. a merge
+  /// actually happened).
+  bool unite(std::uint32_t x, std::uint32_t y) noexcept {
+    std::uint32_t rx = find(x), ry = find(y);
+    if (rx == ry) return false;
+    if (size_[rx] < size_[ry]) std::swap(rx, ry);
+    parent_[ry] = rx;
+    size_[rx] += size_[ry];
+    return true;
+  }
+
+  bool connected(std::uint32_t x, std::uint32_t y) noexcept {
+    return find(x) == find(y);
+  }
+
+  std::size_t component_size(std::uint32_t x) noexcept {
+    return size_[find(x)];
+  }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> size_;
+};
+
+}  // namespace arbor::graph

@@ -1,0 +1,83 @@
+#include "local/list_coloring.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace arbor::local {
+
+namespace {
+constexpr graph::Color kUncolored = 0xffffffffu;
+}
+
+ListColoringResult list_color(
+    const graph::Graph& g, const std::vector<std::uint64_t>& vertex_keys,
+    const std::vector<std::vector<graph::Color>>& palettes,
+    const util::StatelessCoin& coin, std::uint64_t phase_tag,
+    std::size_t max_rounds) {
+  const std::size_t n = g.num_vertices();
+  ARBOR_CHECK(vertex_keys.size() == n);
+  ARBOR_CHECK(palettes.size() == n);
+  for (graph::VertexId v = 0; v < n; ++v) {
+    ARBOR_CHECK_MSG(palettes[v].size() >= g.degree(v) + 1,
+                    "list coloring needs |palette| >= degree+1");
+  }
+
+  ListColoringResult result;
+  result.colors.assign(n, kUncolored);
+  std::size_t uncolored = n;
+
+  std::vector<graph::Color> proposal(n, kUncolored);
+  std::vector<graph::Color> available;  // scratch
+
+  for (std::size_t round = 1; round <= max_rounds && uncolored > 0; ++round) {
+    result.rounds = round;
+    // Propose. The available list must be a deterministic function of the
+    // palette and the neighbors' committed colors (sorted palettes assumed
+    // as given; we filter preserving order) so cone replays agree.
+    for (graph::VertexId v = 0; v < n; ++v) {
+      proposal[v] = kUncolored;
+      if (result.colors[v] != kUncolored) continue;
+      available.clear();
+      for (graph::Color c : palettes[v]) {
+        bool used = false;
+        for (graph::VertexId w : g.neighbors(v)) {
+          if (result.colors[w] == c) {
+            used = true;
+            break;
+          }
+        }
+        if (!used) available.push_back(c);
+      }
+      ARBOR_CHECK_MSG(!available.empty(),
+                      "palette exhausted — degree+1 precondition violated");
+      const std::uint64_t pick =
+          coin.below(available.size(), phase_tag, vertex_keys[v], round);
+      proposal[v] = available[static_cast<std::size_t>(pick)];
+    }
+    // Commit unless a neighbor proposed the same color this round. The
+    // check reads only the proposal array (round-start state), never the
+    // colors committed earlier in this same loop — synchronous semantics.
+    // proposal[w] != kUncolored exactly for the vertices that were
+    // uncolored at round start, so equality of proposals is the full test.
+    for (graph::VertexId v = 0; v < n; ++v) {
+      if (proposal[v] == kUncolored) continue;
+      bool conflict = false;
+      for (graph::VertexId w : g.neighbors(v)) {
+        if (proposal[w] == proposal[v]) {
+          conflict = true;
+          break;
+        }
+      }
+      if (!conflict) {
+        result.colors[v] = proposal[v];
+        --uncolored;
+      }
+    }
+  }
+
+  result.complete = (uncolored == 0);
+  return result;
+}
+
+}  // namespace arbor::local

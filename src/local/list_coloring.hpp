@@ -1,0 +1,45 @@
+// Randomized (degree+1)-list coloring in the LOCAL model.
+//
+// The paper uses state-of-the-art list coloring [HKNT22, GG24b] as a black
+// box inside each layer; our substitution (DESIGN.md §3) is the classic
+// trial/commit algorithm: each round every uncolored vertex proposes a
+// uniformly random color from its palette minus the colors of already-
+// colored neighbors, and commits unless an uncolored neighbor proposed the
+// same color. With |palette(v)| ≥ deg(v)+1 each vertex succeeds with
+// constant probability per round, so O(log n) rounds suffice whp.
+//
+// Determinism contract: all randomness comes from a StatelessCoin keyed by
+// (phase_tag, vertex_key, round). Re-running any sub-instance whose vertex
+// keys and palettes match (e.g. the replay inside a gathered cone in
+// core/coloring_mpc) reproduces identical proposals — this is what makes
+// the MPC simulation of §4 consistent across machines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/coloring.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace arbor::local {
+
+struct ListColoringResult {
+  std::vector<graph::Color> colors;
+  std::size_t rounds = 0;
+  bool complete = false;
+};
+
+/// Color `g` so that color[v] ∈ palettes[v] and no edge is monochromatic.
+/// `vertex_keys[v]` is the stable identity used for coin keys (the original
+/// graph id when `g` is an induced subgraph). Requires
+/// |palettes[v]| ≥ deg(v) + 1 for every v.
+ListColoringResult list_color(const graph::Graph& g,
+                              const std::vector<std::uint64_t>& vertex_keys,
+                              const std::vector<std::vector<graph::Color>>&
+                                  palettes,
+                              const util::StatelessCoin& coin,
+                              std::uint64_t phase_tag,
+                              std::size_t max_rounds = 512);
+
+}  // namespace arbor::local

@@ -1,0 +1,102 @@
+#include "local/mpc_embedding.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace arbor::local {
+
+EmbeddedPeelingResult embedded_threshold_peeling(const graph::Graph& g,
+                                                 std::size_t threshold,
+                                                 mpc::Cluster& cluster,
+                                                 std::size_t max_rounds) {
+  const std::size_t n = g.num_vertices();
+  const std::size_t machines = cluster.num_machines();
+  const std::size_t per_machine = (n + machines - 1) / std::max<std::size_t>(
+                                      machines, 1);
+  const auto machine_of = [per_machine](graph::VertexId v) {
+    return per_machine == 0 ? std::size_t{0} : v / per_machine;
+  };
+  const std::size_t start_rounds = cluster.rounds_executed();
+
+  EmbeddedPeelingResult result;
+  result.layer.assign(n, 0);
+  if (n == 0) {
+    result.complete = true;
+    return result;
+  }
+
+  // Machine-local state: residual degrees of the machine's own vertices.
+  std::vector<std::size_t> degree(n);
+  for (graph::VertexId v = 0; v < n; ++v) degree[v] = g.degree(v);
+  std::size_t remaining = n;
+  std::uint32_t round = 0;
+  bool progressed = true;
+
+  while (remaining > 0 && progressed && round < max_rounds) {
+    progressed = false;
+    ++round;
+    const std::uint32_t this_round = round;
+
+    // One LOCAL round == one cluster round. Each machine scans ITS
+    // vertices, peels the sub-threshold ones, and sends each removal to
+    // the machines hosting neighbors (one word per remote neighbor;
+    // local neighbors are handled without messages, as a machine computes
+    // freely on its own memory).
+    std::vector<std::vector<graph::VertexId>> peeled_by_machine(machines);
+    cluster.run_round([&](std::size_t m, const auto&, mpc::Sender& send) {
+      std::vector<std::vector<mpc::Word>> outgoing(machines);
+      const auto lo = static_cast<graph::VertexId>(
+          std::min(m * per_machine, n));
+      const auto hi = static_cast<graph::VertexId>(
+          std::min((m + 1) * per_machine, n));
+      for (graph::VertexId v = lo; v < hi; ++v) {
+        if (result.layer[v] != 0 || degree[v] > threshold) continue;
+        peeled_by_machine[m].push_back(v);
+        for (graph::VertexId w : g.neighbors(v)) {
+          const std::size_t mw = machine_of(w);
+          if (mw != m) outgoing[mw].push_back(w);
+        }
+      }
+      for (std::size_t dst = 0; dst < machines; ++dst)
+        if (!outgoing[dst].empty())
+          send.send(dst, std::move(outgoing[dst]));
+    });
+
+    // Post-round state update (the receiving side of the same round):
+    // mark removals, apply local decrements, then remote notifications.
+    for (std::size_t m = 0; m < machines; ++m) {
+      for (graph::VertexId v : peeled_by_machine[m]) {
+        result.layer[v] = this_round;
+        --remaining;
+        progressed = true;
+      }
+    }
+    for (std::size_t m = 0; m < machines; ++m) {
+      for (graph::VertexId v : peeled_by_machine[m]) {
+        for (graph::VertexId w : g.neighbors(v)) {
+          if (machine_of(w) == m && result.layer[w] == 0) {
+            ARBOR_CHECK(degree[w] > 0);
+            --degree[w];
+          }
+        }
+      }
+      for (const auto& msg : cluster.inbox(m)) {
+        for (mpc::Word word : msg) {
+          const auto w = static_cast<graph::VertexId>(word);
+          if (result.layer[w] == 0) {
+            ARBOR_CHECK(degree[w] > 0);
+            --degree[w];
+          }
+        }
+      }
+    }
+  }
+
+  result.num_layers = round - (progressed ? 0 : 1);
+  result.cluster_rounds = cluster.rounds_executed() - start_rounds;
+  result.complete = (remaining == 0);
+  return result;
+}
+
+}  // namespace arbor::local

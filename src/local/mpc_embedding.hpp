@@ -1,0 +1,39 @@
+// LOCAL-in-MPC embedding, executed on the Level-0 cluster.
+//
+// The baselines charge "one MPC round per LOCAL round" when simulating
+// simple LOCAL algorithms directly (BE08 peeling, the paper's §1.2
+// observation). This module grounds that charge: threshold peeling runs as
+// an actual message-passing program — vertices are block-assigned to
+// machines, each LOCAL round is exactly one cluster round in which every
+// machine peels its sub-threshold vertices and notifies the machines
+// hosting their neighbors — under the cluster's per-machine traffic caps.
+// tests/mpc_embedding_test.cpp checks the result matches the reference
+// peeling bit-for-bit and that the round counts agree.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "mpc/cluster.hpp"
+
+namespace arbor::local {
+
+struct EmbeddedPeelingResult {
+  /// 1-based removal round per vertex; 0 = never peeled (stalled).
+  std::vector<std::uint32_t> layer;
+  std::uint32_t num_layers = 0;
+  std::size_t cluster_rounds = 0;  ///< cluster rounds consumed (== layers+1)
+  bool complete = false;
+};
+
+/// Run threshold peeling distributed over `cluster`'s machines (vertex v
+/// lives on machine v / ceil(n/M)). Requires every machine's adjacency
+/// slab and worst-case per-round notification volume to fit the cluster's
+/// word budget — the cluster throws otherwise (capacity is the point).
+EmbeddedPeelingResult embedded_threshold_peeling(const graph::Graph& g,
+                                                 std::size_t threshold,
+                                                 mpc::Cluster& cluster,
+                                                 std::size_t max_rounds);
+
+}  // namespace arbor::local

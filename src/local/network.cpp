@@ -1,0 +1,3 @@
+// RoundEngine is header-only (templated on the node-state type); this file
+// anchors the module in the build.
+#include "local/network.hpp"

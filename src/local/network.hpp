@@ -1,0 +1,63 @@
+// Round-synchronous LOCAL model harness.
+//
+// LOCAL (paper §1.1): one processor per graph node; per round every node
+// exchanges messages with its neighbors and updates its state. The harness
+// enforces the synchronous discipline by double-buffering: a round's update
+// for node v sees only the *previous* round's states of v's neighbors.
+// Round counts from here feed the baselines' MPC round charging (one LOCAL
+// round of a simple algorithm = one MPC round when simulated directly).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/assert.hpp"
+
+namespace arbor::local {
+
+template <typename State>
+class RoundEngine {
+ public:
+  RoundEngine(const graph::Graph& g, std::vector<State> initial)
+      : graph_(&g), current_(std::move(initial)), next_(current_) {
+    ARBOR_CHECK(current_.size() == g.num_vertices());
+  }
+
+  const graph::Graph& graph() const noexcept { return *graph_; }
+  std::size_t rounds() const noexcept { return rounds_; }
+  const std::vector<State>& states() const noexcept { return current_; }
+  const State& state(graph::VertexId v) const { return current_.at(v); }
+
+  /// One synchronous round. `update(v, previous_states) -> new state of v`;
+  /// `previous_states` is the full prior-round state vector, but LOCAL
+  /// semantics oblige the update to only inspect v and its neighbors —
+  /// algorithm code in this repo accesses exactly neighbors(v).
+  template <typename Update>
+  void run_round(Update&& update) {
+    for (graph::VertexId v = 0; v < graph_->num_vertices(); ++v)
+      next_[v] = update(v, std::cref(current_).get());
+    current_.swap(next_);
+    ++rounds_;
+  }
+
+  /// Run rounds until `done()` returns true or `max_rounds` elapse.
+  /// Returns true iff `done()` was reached.
+  template <typename Update, typename Done>
+  bool run_until(Update&& update, Done&& done, std::size_t max_rounds) {
+    for (std::size_t r = 0; r < max_rounds; ++r) {
+      if (done(std::cref(current_).get())) return true;
+      run_round(update);
+    }
+    return done(std::cref(current_).get());
+  }
+
+ private:
+  const graph::Graph* graph_;
+  std::vector<State> current_;
+  std::vector<State> next_;
+  std::size_t rounds_ = 0;
+};
+
+}  // namespace arbor::local

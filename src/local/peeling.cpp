@@ -1,0 +1,67 @@
+#include "local/peeling.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace arbor::local {
+
+PeelingResult peel_by_threshold(const graph::Graph& g, std::size_t threshold,
+                                std::size_t max_rounds) {
+  const std::size_t n = g.num_vertices();
+  PeelingResult result;
+  result.layer.assign(n, 0);
+
+  std::vector<std::size_t> degree(n);
+  std::size_t remaining = n;
+  for (graph::VertexId v = 0; v < n; ++v) degree[v] = g.degree(v);
+
+  std::vector<graph::VertexId> peeled_this_round;
+  std::uint32_t round = 0;
+  while (remaining > 0 && round < max_rounds) {
+    peeled_this_round.clear();
+    // Synchronous: selection uses degrees at the start of the round.
+    for (graph::VertexId v = 0; v < n; ++v)
+      if (result.layer[v] == 0 && degree[v] <= threshold)
+        peeled_this_round.push_back(v);
+    if (peeled_this_round.empty()) {
+      // Threshold below the remaining graph's min degree: cannot progress.
+      break;
+    }
+    ++round;
+    for (graph::VertexId v : peeled_this_round) result.layer[v] = round;
+    for (graph::VertexId v : peeled_this_round) {
+      for (graph::VertexId w : g.neighbors(v)) {
+        if (result.layer[w] == 0 || result.layer[w] == round) {
+          ARBOR_CHECK(degree[w] > 0);
+          --degree[w];
+        }
+      }
+    }
+    remaining -= peeled_this_round.size();
+  }
+
+  result.num_layers = round;
+  result.rounds = round;
+  result.complete = (remaining == 0);
+  return result;
+}
+
+PeelingResult be08_h_partition(const graph::Graph& g, std::size_t k,
+                               double epsilon) {
+  ARBOR_CHECK(epsilon > 0.0);
+  const auto threshold = static_cast<std::size_t>(
+      std::ceil((2.0 + epsilon) * static_cast<double>(std::max<std::size_t>(
+                                      k, 1))));
+  // 4·log_{1+eps/...} n is a loose upper bound; peeling halts early anyway.
+  const std::size_t max_rounds = 8 * (64 - static_cast<std::size_t>(
+                                               __builtin_clzll(
+                                                   g.num_vertices() | 1))) +
+                                 8;
+  PeelingResult result = peel_by_threshold(g, threshold, max_rounds);
+  ARBOR_CHECK_MSG(result.complete,
+                  "BE08 peeling did not complete: threshold below arboricity?");
+  return result;
+}
+
+}  // namespace arbor::local

@@ -1,0 +1,36 @@
+// Threshold peeling: the Barenboim–Elkin [BE08] H-partition LOCAL algorithm
+// the whole paper is organized around.
+//
+// Per round, all vertices whose degree in the remaining graph is ≤ d are
+// simultaneously removed and placed in layer H_i. With d ≥ (2+ε)·2λ ≥
+// (2+ε)·avg-degree the layer sizes decay geometrically, giving Θ(log n)
+// rounds and the reference layering ℓ_G used throughout §3's analysis.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace arbor::local {
+
+struct PeelingResult {
+  /// 1-based layer per vertex; layer of v = round in which v was removed.
+  std::vector<std::uint32_t> layer;
+  std::uint32_t num_layers = 0;  ///< L = number of peel rounds used
+  std::size_t rounds = 0;        ///< LOCAL rounds (== num_layers)
+  bool complete = false;         ///< all vertices assigned within max_rounds
+};
+
+/// Peel vertices of remaining-degree ≤ `threshold` per round. Runs until
+/// the graph is exhausted or `max_rounds` elapse (un-peeled vertices keep
+/// layer 0 and `complete` is false — callers treat 0 as ∞).
+PeelingResult peel_by_threshold(const graph::Graph& g, std::size_t threshold,
+                                std::size_t max_rounds);
+
+/// BE08 with threshold (2+epsilon)·k for k ≥ λ(G): guaranteed O(log n)
+/// rounds; the LOCAL baseline for orientation.
+PeelingResult be08_h_partition(const graph::Graph& g, std::size_t k,
+                               double epsilon = 0.2);
+
+}  // namespace arbor::local

@@ -1,0 +1,115 @@
+#include "mpc/broadcast.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace arbor::mpc {
+
+namespace {
+
+/// Tree numbering with machine ids relabeled so `root` is node 0:
+/// node x's children are x·fanout + 1 .. x·fanout + fanout.
+std::size_t relabel(std::size_t machine, std::size_t root,
+                    std::size_t machines) {
+  return (machine + machines - root) % machines;
+}
+std::size_t unlabel(std::size_t node, std::size_t root,
+                    std::size_t machines) {
+  return (node + root) % machines;
+}
+
+}  // namespace
+
+BroadcastResult broadcast_tree(Cluster& cluster, std::size_t root,
+                               std::vector<Word> payload,
+                               std::size_t fanout) {
+  const std::size_t machines = cluster.num_machines();
+  ARBOR_CHECK(root < machines);
+  ARBOR_CHECK(fanout >= 2);
+  const std::size_t start = cluster.rounds_executed();
+
+  std::vector<std::vector<Word>> holds(machines);
+  holds[root] = std::move(payload);
+  std::vector<bool> has(machines, false);
+  has[root] = true;
+
+  while (!std::all_of(has.begin(), has.end(), [](bool b) { return b; })) {
+    cluster.run_round([&](std::size_t m, const auto&, Sender& send) {
+      if (!has[m]) return;
+      const std::size_t node = relabel(m, root, machines);
+      for (std::size_t c = 1; c <= fanout; ++c) {
+        const std::size_t child = node * fanout + c;
+        if (child >= machines) break;
+        send.send(unlabel(child, root, machines), holds[m]);
+      }
+    });
+    for (std::size_t m = 0; m < machines; ++m) {
+      if (has[m]) continue;
+      const auto& inbox = cluster.inbox(m);
+      if (!inbox.empty()) {
+        holds[m] = inbox.front();
+        has[m] = true;
+      }
+    }
+  }
+
+  BroadcastResult result;
+  result.copies = std::move(holds);
+  result.rounds = cluster.rounds_executed() - start;
+  return result;
+}
+
+ConvergeResult converge_sum(Cluster& cluster, std::size_t root,
+                            const std::vector<Word>& per_machine_value,
+                            std::size_t fanout) {
+  const std::size_t machines = cluster.num_machines();
+  ARBOR_CHECK(per_machine_value.size() == machines);
+  ARBOR_CHECK(fanout >= 2);
+  const std::size_t start = cluster.rounds_executed();
+
+  // Height of the fanout-ary tree.
+  std::size_t height = 0;
+  for (std::size_t reach = 1; reach < machines; reach = reach * fanout + 1)
+    ++height;
+
+  std::vector<Word> partial = per_machine_value;
+  std::vector<bool> sent(machines, false);
+
+  // Leaves first: a node at depth d sends its partial sum to its parent in
+  // round (height - d). A node sends once all its children have reported.
+  const auto depth_of = [&](std::size_t node) {
+    std::size_t d = 0;
+    while (node != 0) {
+      node = (node - 1) / fanout;
+      ++d;
+    }
+    return d;
+  };
+
+  for (std::size_t round = 0; round < height; ++round) {
+    cluster.run_round([&](std::size_t m, const auto&, Sender& send) {
+      const std::size_t node = relabel(m, root, machines);
+      if (node == 0 || sent[m]) return;
+      // Send in the round matching the node's height from the deepest
+      // level: all children (deeper nodes) have already reported.
+      if (depth_of(node) == height - round) {
+        const std::size_t parent = (node - 1) / fanout;
+        send.send(unlabel(parent, root, machines), {partial[m]});
+      }
+    });
+    for (std::size_t m = 0; m < machines; ++m) {
+      const std::size_t node = relabel(m, root, machines);
+      if (node != 0 && depth_of(node) == height - round) sent[m] = true;
+      for (const auto& msg : cluster.inbox(m))
+        for (Word w : msg) partial[m] += w;
+    }
+  }
+
+  ConvergeResult result;
+  result.sum = partial[root];
+  result.rounds = cluster.rounds_executed() - start;
+  return result;
+}
+
+}  // namespace arbor::mpc

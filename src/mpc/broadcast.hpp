@@ -1,0 +1,36 @@
+// Real fan-out broadcast / convergecast trees on the Level-0 cluster —
+// the replication machinery behind Lemma 4.1's "make k_v copies of B_v"
+// step, executed as an actual message program under the traffic caps.
+//
+// broadcast_tree: machine `root` holds a payload of ≤ S/fanout words; after
+// ⌈log_fanout(machines)⌉ rounds every machine holds a copy.
+// converge_sum: every machine holds one word; after the same number of
+// rounds machine `root` holds the sum (the aggregation dual).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mpc/cluster.hpp"
+
+namespace arbor::mpc {
+
+struct BroadcastResult {
+  std::vector<std::vector<Word>> copies;  ///< per machine
+  std::size_t rounds = 0;
+};
+
+BroadcastResult broadcast_tree(Cluster& cluster, std::size_t root,
+                               std::vector<Word> payload,
+                               std::size_t fanout);
+
+struct ConvergeResult {
+  Word sum = 0;
+  std::size_t rounds = 0;
+};
+
+ConvergeResult converge_sum(Cluster& cluster, std::size_t root,
+                            const std::vector<Word>& per_machine_value,
+                            std::size_t fanout);
+
+}  // namespace arbor::mpc

@@ -1,0 +1,67 @@
+#include "mpc/bundle_fetch.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace arbor::mpc {
+
+BundleFetchResult fetch_bundles(
+    MpcContext& ctx, const std::vector<std::vector<Word>>& bundles,
+    const std::vector<std::vector<graph::VertexId>>& requests,
+    const std::string& label) {
+  ARBOR_CHECK_MSG(requests.size() <= bundles.size() || bundles.empty(),
+                  "more requesters than vertices with bundles");
+  BundleFetchResult result;
+  result.delivered.resize(requests.size());
+
+  // Step 1: k_v = number of requesters per vertex (one sort in the model).
+  std::vector<std::size_t> copies(bundles.size(), 0);
+  std::size_t total_requests = 0;
+  for (std::size_t u = 0; u < requests.size(); ++u) {
+    result.stats.max_request_list =
+        std::max(result.stats.max_request_list, requests[u].size());
+    for (graph::VertexId v : requests[u]) {
+      ARBOR_CHECK_MSG(v < bundles.size(), "request for unknown vertex");
+      ++copies[v];
+      ++total_requests;
+    }
+  }
+  const std::size_t count_sort_rounds =
+      ctx.sort_rounds(total_requests + 2 * bundles.size());
+
+  // Step 2: replication via broadcast trees; rounds bounded by the deepest
+  // tree (largest k_v).
+  for (std::size_t v = 0; v < bundles.size(); ++v) {
+    result.stats.max_copies = std::max(result.stats.max_copies, copies[v]);
+    result.stats.max_bundle_words =
+        std::max(result.stats.max_bundle_words, bundles[v].size());
+    result.stats.total_delivered_words += copies[v] * bundles[v].size();
+  }
+  const std::size_t replicate_rounds =
+      ctx.broadcast_rounds(std::max<std::size_t>(1, result.stats.max_copies));
+
+  // Step 3: route copies to requesters (one sort over delivered volume),
+  // executed here as direct copies.
+  for (std::size_t u = 0; u < requests.size(); ++u) {
+    std::size_t requester_words = 0;
+    result.delivered[u].reserve(requests[u].size());
+    for (graph::VertexId v : requests[u]) {
+      result.delivered[u].push_back(bundles[v]);
+      requester_words += bundles[v].size();
+    }
+    result.stats.max_requester_words =
+        std::max(result.stats.max_requester_words, requester_words);
+  }
+  const std::size_t route_sort_rounds = ctx.sort_rounds(
+      std::max<std::size_t>(1, result.stats.total_delivered_words));
+
+  result.stats.rounds_charged =
+      count_sort_rounds + replicate_rounds + route_sort_rounds;
+  ctx.charge(result.stats.rounds_charged, label);
+  ctx.note_global_words(result.stats.total_delivered_words);
+  ctx.note_local_words(result.stats.max_requester_words);
+  return result;
+}
+
+}  // namespace arbor::mpc

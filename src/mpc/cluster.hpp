@@ -1,0 +1,74 @@
+// Level-0 MPC simulator: explicit machines exchanging word-counted messages
+// in synchronous rounds, with the model's per-machine traffic cap enforced.
+//
+// The algorithm layer (core/, baselines/) is written against the Level-1
+// primitives in mpc/primitives.hpp, which charge analytic costs. This
+// cluster exists to ground those costs: the framework tests execute real
+// distributed dataflows (sample sort, broadcast trees) on it and check they
+// respect the same budgets the primitives charge. It also backs the LOCAL
+// model embedding used by baseline round-per-round simulation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "mpc/config.hpp"
+#include "mpc/ledger.hpp"
+
+namespace arbor::mpc {
+
+/// Outgoing-message sink handed to the per-machine step function; enforces
+/// the sender-side traffic cap as messages are queued.
+class Sender {
+ public:
+  Sender(std::size_t source, std::size_t capacity,
+         std::vector<std::pair<std::size_t, std::vector<Word>>>& out)
+      : source_(source), capacity_(capacity), out_(out) {}
+
+  void send(std::size_t dst_machine, std::vector<Word> payload);
+
+  std::size_t words_sent() const noexcept { return words_sent_; }
+  std::size_t source() const noexcept { return source_; }
+
+ private:
+  std::size_t source_;
+  std::size_t capacity_;
+  std::size_t words_sent_ = 0;
+  std::vector<std::pair<std::size_t, std::vector<Word>>>& out_;
+};
+
+class Cluster {
+ public:
+  /// Step function: (machine id, messages received last round, sender).
+  using StepFn =
+      std::function<void(std::size_t, const std::vector<std::vector<Word>>&,
+                         Sender&)>;
+
+  Cluster(ClusterConfig config, RoundLedger* ledger);
+
+  std::size_t num_machines() const noexcept { return config_.num_machines; }
+  std::size_t capacity() const noexcept { return config_.words_per_machine; }
+  std::size_t rounds_executed() const noexcept { return rounds_; }
+
+  /// Deliver `payload` into machine `dst`'s inbox before the first round
+  /// (input loading; not charged as a round).
+  void preload(std::size_t dst, std::vector<Word> payload);
+
+  /// Execute one synchronous round: every machine sees its inbox, emits
+  /// messages; receiver-side volume is validated; inboxes swap.
+  void run_round(const StepFn& step);
+
+  /// Messages currently waiting at machine `m` (for inspection/tests).
+  const std::vector<std::vector<Word>>& inbox(std::size_t m) const {
+    return inboxes_.at(m);
+  }
+
+ private:
+  ClusterConfig config_;
+  RoundLedger* ledger_;  // not owned; may be null
+  std::size_t rounds_ = 0;
+  std::vector<std::vector<std::vector<Word>>> inboxes_;  // per machine
+};
+
+}  // namespace arbor::mpc

@@ -1,0 +1,51 @@
+// Cluster shape for the strongly-sublinear ("scalable") MPC regime.
+//
+// The model (paper §1.1): M machines, S words of memory each, S ≤ n^δ for a
+// constant δ ∈ (0,1); per round a machine sends/receives at most S words;
+// global memory M·S must be Ω(m+n) and the algorithms promise Õ(m+n).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/assert.hpp"
+
+namespace arbor::mpc {
+
+/// One machine word = O(log n) bits: enough for a vertex id, an edge
+/// endpoint pair member, or a layer/color value.
+using Word = std::uint64_t;
+
+struct ClusterConfig {
+  std::size_t num_machines = 0;
+  std::size_t words_per_machine = 0;  ///< S
+
+  /// Derive a cluster for a graph problem of n vertices / m edges with
+  /// local memory S = max(n^δ, min_words) and enough machines for
+  /// `global_factor`·(n+m) words of global memory.
+  static ClusterConfig for_problem(std::size_t n, std::size_t m, double delta,
+                                   double global_factor = 8.0,
+                                   std::size_t min_words = 256) {
+    ARBOR_CHECK_MSG(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+    ClusterConfig cfg;
+    const double s = std::pow(static_cast<double>(std::max<std::size_t>(n, 2)),
+                              delta);
+    cfg.words_per_machine =
+        std::max<std::size_t>(static_cast<std::size_t>(std::llround(s)),
+                              min_words);
+    const double global_words =
+        global_factor * static_cast<double>(n + m + 1);
+    cfg.num_machines = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::ceil(global_words /
+                         static_cast<double>(cfg.words_per_machine))));
+    return cfg;
+  }
+
+  std::size_t global_words() const noexcept {
+    return num_machines * words_per_machine;
+  }
+};
+
+}  // namespace arbor::mpc

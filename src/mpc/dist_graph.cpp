@@ -1,0 +1,30 @@
+#include "mpc/dist_graph.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/hashing.hpp"
+
+namespace arbor::mpc {
+
+DistributedGraph::DistributedGraph(const graph::Graph& g, MpcContext& ctx)
+    : graph_(&g),
+      machine_of_(g.num_vertices()),
+      storage_words_(ctx.config().num_machines, 0) {
+  const std::size_t machines = ctx.config().num_machines;
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    const std::size_t m = util::hash_words(0xd157ULL, v) % machines;
+    machine_of_[v] = static_cast<std::uint32_t>(m);
+    // One word for the vertex record plus one per incident edge.
+    storage_words_[m] += 1 + g.degree(v);
+  }
+  for (std::size_t w : storage_words_) {
+    max_storage_ = std::max(max_storage_, w);
+    total_storage_ += w;
+  }
+  ctx.charge(1, "input.shuffle");
+  ctx.note_global_words(total_storage_);
+  ctx.note_local_words(max_storage_);
+}
+
+}  // namespace arbor::mpc

@@ -1,0 +1,46 @@
+// A Graph distributed across the cluster's machines.
+//
+// Vertices are assigned to machines by hash; each machine stores the
+// adjacency lists of its vertices (so an edge occupies one word at each
+// endpoint's machine, as in the standard MPC input format). Construction
+// records the storage footprint with the ledger so that every algorithm's
+// accounting starts from the true input layout.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "mpc/primitives.hpp"
+
+namespace arbor::mpc {
+
+class DistributedGraph {
+ public:
+  /// Distribute `g` over the machines of `ctx`. Charges one input-shuffle
+  /// round and notes the per-machine/global storage footprint.
+  DistributedGraph(const graph::Graph& g, MpcContext& ctx);
+
+  const graph::Graph& graph() const noexcept { return *graph_; }
+
+  std::size_t machine_of(graph::VertexId v) const noexcept {
+    return machine_of_[v];
+  }
+
+  /// Words of graph storage held by machine m (vertex record + adjacency).
+  std::size_t storage_words(std::size_t machine) const {
+    return storage_words_.at(machine);
+  }
+
+  std::size_t max_storage_words() const noexcept { return max_storage_; }
+  std::size_t total_storage_words() const noexcept { return total_storage_; }
+
+ private:
+  const graph::Graph* graph_;
+  std::vector<std::uint32_t> machine_of_;
+  std::vector<std::size_t> storage_words_;
+  std::size_t max_storage_ = 0;
+  std::size_t total_storage_ = 0;
+};
+
+}  // namespace arbor::mpc

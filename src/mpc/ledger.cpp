@@ -1,0 +1,78 @@
+#include "mpc/ledger.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace arbor::mpc {
+
+void RoundLedger::charge(std::size_t rounds, const std::string& label) {
+  total_rounds_ += rounds;
+  rounds_by_label_[label] += rounds;
+}
+
+void RoundLedger::note_local_words(std::size_t words) {
+  peak_local_words_ = std::max(peak_local_words_, words);
+  if (words > config_.words_per_machine) {
+    ++local_violations_;
+    ARBOR_CHECK_MSG(!strict_,
+                    "machine memory exceeded: " + std::to_string(words) +
+                        " > S=" +
+                        std::to_string(config_.words_per_machine));
+  }
+}
+
+void RoundLedger::note_global_words(std::size_t words) {
+  peak_global_words_ = std::max(peak_global_words_, words);
+}
+
+void RoundLedger::note_round_traffic(std::size_t words) {
+  peak_round_traffic_ = std::max(peak_round_traffic_, words);
+  if (words > config_.words_per_machine) {
+    ++local_violations_;
+    ARBOR_CHECK_MSG(!strict_,
+                    "per-round traffic exceeded: " + std::to_string(words) +
+                        " > S=" +
+                        std::to_string(config_.words_per_machine));
+  }
+}
+
+void RoundLedger::absorb_parallel(const RoundLedger& other) {
+  total_rounds_ = std::max(total_rounds_, other.total_rounds_);
+  for (const auto& [label, rounds] : other.rounds_by_label_) {
+    auto& mine = rounds_by_label_[label];
+    mine = std::max(mine, rounds);
+  }
+  peak_local_words_ = std::max(peak_local_words_, other.peak_local_words_);
+  peak_round_traffic_ =
+      std::max(peak_round_traffic_, other.peak_round_traffic_);
+  // Parallel executions coexist: their global footprints add up.
+  peak_global_words_ += other.peak_global_words_;
+  local_violations_ += other.local_violations_;
+}
+
+void RoundLedger::absorb_sequential(const RoundLedger& other) {
+  total_rounds_ += other.total_rounds_;
+  for (const auto& [label, rounds] : other.rounds_by_label_)
+    rounds_by_label_[label] += rounds;
+  peak_local_words_ = std::max(peak_local_words_, other.peak_local_words_);
+  peak_round_traffic_ =
+      std::max(peak_round_traffic_, other.peak_round_traffic_);
+  peak_global_words_ = std::max(peak_global_words_, other.peak_global_words_);
+  local_violations_ += other.local_violations_;
+}
+
+std::string RoundLedger::report() const {
+  std::ostringstream os;
+  os << "rounds=" << total_rounds_
+     << " peak_local=" << peak_local_words_ << "/" << config_.words_per_machine
+     << " peak_global=" << peak_global_words_ << "/" << config_.global_words()
+     << " peak_traffic=" << peak_round_traffic_
+     << " violations=" << local_violations_ << "\n";
+  for (const auto& [label, rounds] : rounds_by_label_)
+    os << "  " << label << ": " << rounds << "\n";
+  return os.str();
+}
+
+}  // namespace arbor::mpc

@@ -1,0 +1,73 @@
+// Round and memory accounting for the MPC simulation.
+//
+// Every primitive charges rounds and reports the peak per-machine memory and
+// per-round traffic it would incur on the configured cluster; the ledger is
+// how benches measure "rounds" and how tests assert the paper's memory
+// envelope (local O(n^δ + B), global Õ(m+n)). Violations are recorded — and
+// throw in strict mode — rather than silently ignored.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mpc/config.hpp"
+
+namespace arbor::mpc {
+
+class RoundLedger {
+ public:
+  explicit RoundLedger(ClusterConfig config, bool strict = false)
+      : config_(config), strict_(strict) {}
+
+  const ClusterConfig& config() const noexcept { return config_; }
+
+  /// Charge `rounds` MPC rounds attributed to `label`.
+  void charge(std::size_t rounds, const std::string& label);
+
+  /// Record that some machine holds `words` words of state.
+  void note_local_words(std::size_t words);
+
+  /// Record total words materialized across the cluster.
+  void note_global_words(std::size_t words);
+
+  /// Record the largest per-machine send/receive volume of a round.
+  void note_round_traffic(std::size_t words);
+
+  std::size_t total_rounds() const noexcept { return total_rounds_; }
+  std::size_t peak_local_words() const noexcept { return peak_local_words_; }
+  std::size_t peak_global_words() const noexcept { return peak_global_words_; }
+  std::size_t peak_round_traffic() const noexcept {
+    return peak_round_traffic_;
+  }
+  std::size_t local_violations() const noexcept { return local_violations_; }
+
+  /// Per-label round breakdown, e.g. {"sort": 12, "exponentiate": 8}.
+  const std::map<std::string, std::size_t>& rounds_by_label() const noexcept {
+    return rounds_by_label_;
+  }
+
+  std::string report() const;
+
+  /// Merge a sub-ledger that ran "in parallel" with others (e.g. the
+  /// per-part runs after Lemma 2.1 edge partitioning): rounds contribute via
+  /// max, memory via sum of globals / max of locals.
+  void absorb_parallel(const RoundLedger& other);
+
+  /// Merge a sub-ledger that ran sequentially after this one.
+  void absorb_sequential(const RoundLedger& other);
+
+ private:
+  ClusterConfig config_;
+  bool strict_;
+  std::size_t total_rounds_ = 0;
+  std::size_t peak_local_words_ = 0;
+  std::size_t peak_global_words_ = 0;
+  std::size_t peak_round_traffic_ = 0;
+  std::size_t local_violations_ = 0;
+  std::map<std::string, std::size_t> rounds_by_label_;
+};
+
+}  // namespace arbor::mpc

@@ -1,0 +1,4 @@
+// MpcContext is header-only (templates); this translation unit exists so the
+// module has a home for future non-template helpers and to keep the build
+// graph uniform.
+#include "mpc/primitives.hpp"

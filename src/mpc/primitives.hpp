@@ -1,0 +1,131 @@
+// Level-1 MPC primitives: the dataflow operations the algorithms are
+// written against, with analytic round/memory charging.
+//
+// Cost model (standard for S = n^δ, see [GSZ11], [ASS+18 §E], the Ghaffari
+// MPA lecture notes cited by the paper):
+//  * sorting N words                        — O(log_S N) = O(1/δ) rounds,
+//  * broadcast / convergecast trees of
+//    fan-out √S replicating k copies        — O(log_{√S} k) rounds,
+//  * aggregate-by-key, prefix sums, joins   — O(1) sorts.
+// Each operation here executes its semantics centrally (the simulation is a
+// single process) and charges the cluster-model cost to the RoundLedger,
+// including the peak per-machine and global footprints implied by the data
+// volumes. The Level-0 cluster tests in tests/mpc_cluster_test.cpp validate
+// that these dataflows really fit the per-round traffic caps.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mpc/config.hpp"
+#include "mpc/ledger.hpp"
+#include "util/assert.hpp"
+
+namespace arbor::mpc {
+
+class MpcContext {
+ public:
+  MpcContext(ClusterConfig config, RoundLedger* ledger)
+      : config_(config), ledger_(ledger) {
+    ARBOR_CHECK(config.num_machines > 0 && config.words_per_machine > 0);
+  }
+
+  const ClusterConfig& config() const noexcept { return config_; }
+  RoundLedger* ledger() const noexcept { return ledger_; }
+
+  /// Rounds to sort N words with S-word machines: ⌈log_S N⌉, at least 1.
+  std::size_t sort_rounds(std::size_t total_words) const {
+    if (total_words <= 1) return 1;
+    const double s = static_cast<double>(config_.words_per_machine);
+    const double r = std::log(static_cast<double>(total_words)) / std::log(s);
+    return std::max<std::size_t>(1, static_cast<std::size_t>(std::ceil(r)));
+  }
+
+  /// Rounds for a fan-out-√S broadcast tree producing `copies` replicas.
+  std::size_t broadcast_rounds(std::size_t copies) const {
+    if (copies <= 1) return 1;
+    const double fanout = std::max(
+        2.0, std::sqrt(static_cast<double>(config_.words_per_machine)));
+    const double r =
+        std::log(static_cast<double>(copies)) / std::log(fanout);
+    return std::max<std::size_t>(1, static_cast<std::size_t>(std::ceil(r)));
+  }
+
+  void charge(std::size_t rounds, const std::string& label) {
+    if (ledger_) ledger_->charge(rounds, label);
+  }
+
+  void note_local_words(std::size_t words) {
+    if (ledger_) ledger_->note_local_words(words);
+  }
+
+  void note_global_words(std::size_t words) {
+    if (ledger_) ledger_->note_global_words(words);
+  }
+
+  /// Record the footprint of a balanced distribution of `total_words` over
+  /// the cluster (the state left behind by a shuffle).
+  void note_balanced(std::size_t total_words) {
+    note_global_words(total_words);
+    note_local_words(div_ceil(total_words, config_.num_machines));
+  }
+
+  /// Distributed sort: charges ⌈log_S(N·w)⌉ rounds and notes footprints.
+  template <typename T, typename Cmp>
+  void sort_items(std::vector<T>& items, Cmp cmp, std::size_t words_per_item,
+                  const std::string& label) {
+    const std::size_t total = items.size() * words_per_item;
+    charge(sort_rounds(total), label);
+    note_balanced(total);
+    std::stable_sort(items.begin(), items.end(), cmp);
+  }
+
+  /// Aggregate values by key with an associative combiner; one sort + local
+  /// scan. Returns (key, combined) pairs sorted by key.
+  template <typename K, typename V, typename Combine>
+  std::vector<std::pair<K, V>> aggregate_by_key(
+      std::vector<std::pair<K, V>> items, Combine combine,
+      std::size_t words_per_item, const std::string& label) {
+    sort_items(
+        items,
+        [](const std::pair<K, V>& a, const std::pair<K, V>& b) {
+          return a.first < b.first;
+        },
+        words_per_item, label);
+    std::vector<std::pair<K, V>> out;
+    out.reserve(items.size());
+    for (auto& kv : items) {
+      if (!out.empty() && out.back().first == kv.first)
+        out.back().second = combine(out.back().second, kv.second);
+      else
+        out.push_back(std::move(kv));
+    }
+    return out;
+  }
+
+  /// Count occurrences per key; one sort + scan.
+  template <typename K>
+  std::vector<std::pair<K, std::size_t>> count_by_key(
+      std::vector<K> keys, const std::string& label) {
+    std::vector<std::pair<K, std::size_t>> pairs;
+    pairs.reserve(keys.size());
+    for (auto& k : keys) pairs.emplace_back(std::move(k), std::size_t{1});
+    return aggregate_by_key<K, std::size_t>(
+        std::move(pairs),
+        [](std::size_t a, std::size_t b) { return a + b; }, 2, label);
+  }
+
+  static std::size_t div_ceil(std::size_t a, std::size_t b) {
+    return b == 0 ? 0 : (a + b - 1) / b;
+  }
+
+ private:
+  ClusterConfig config_;
+  RoundLedger* ledger_;
+};
+
+}  // namespace arbor::mpc

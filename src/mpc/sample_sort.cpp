@@ -1,0 +1,87 @@
+#include "mpc/sample_sort.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/hashing.hpp"
+
+namespace arbor::mpc {
+
+SampleSortResult sample_sort(Cluster& cluster,
+                             const std::vector<std::vector<Word>>& input,
+                             std::size_t samples_per_machine) {
+  const std::size_t machines = cluster.num_machines();
+  ARBOR_CHECK(input.size() == machines);
+  ARBOR_CHECK(samples_per_machine >= 1);
+  const std::size_t start_rounds = cluster.rounds_executed();
+
+  // Machine-local state lives here (the cluster only moves messages).
+  std::vector<std::vector<Word>> slabs = input;
+
+  // Round 1: every machine sends an evenly-spaced sample of its slab to
+  // machine 0 (the splitter coordinator).
+  cluster.run_round([&](std::size_t m, const auto&, Sender& send) {
+    std::vector<Word> sample;
+    const auto& slab = slabs[m];
+    if (!slab.empty()) {
+      std::vector<Word> sorted = slab;
+      std::sort(sorted.begin(), sorted.end());
+      for (std::size_t i = 0; i < samples_per_machine; ++i) {
+        const std::size_t idx =
+            i * sorted.size() / samples_per_machine;
+        sample.push_back(sorted[idx]);
+      }
+    }
+    send.send(0, std::move(sample));
+  });
+
+  // Round 2: coordinator picks machines-1 splitters from the pooled sample
+  // and broadcasts them. (For machines ≤ √S the broadcast fits directly;
+  // a bigger cluster would relay through a fan-out-√S tree at the same
+  // asymptotic cost.)
+  std::vector<Word> splitters;
+  cluster.run_round([&](std::size_t m, const auto& inbox, Sender& send) {
+    if (m != 0) return;
+    std::vector<Word> pool;
+    for (const auto& msg : inbox) pool.insert(pool.end(), msg.begin(),
+                                              msg.end());
+    std::sort(pool.begin(), pool.end());
+    std::vector<Word> chosen;
+    for (std::size_t b = 1; b < machines; ++b) {
+      if (pool.empty()) break;
+      chosen.push_back(pool[b * pool.size() / machines]);
+    }
+    splitters = chosen;  // retained locally for verification by callers
+    for (std::size_t dst = 0; dst < machines; ++dst)
+      send.send(dst, chosen);
+  });
+
+  // Round 3: route every key to its bucket machine (binary search over the
+  // received splitters); buckets sort locally after delivery.
+  cluster.run_round([&](std::size_t m, const auto& inbox, Sender& send) {
+    ARBOR_CHECK_MSG(!inbox.empty(), "splitters missing");
+    const std::vector<Word>& split = inbox.front();
+    std::vector<std::vector<Word>> outgoing(machines);
+    for (Word key : slabs[m]) {
+      const std::size_t bucket = static_cast<std::size_t>(
+          std::upper_bound(split.begin(), split.end(), key) -
+          split.begin());
+      outgoing[bucket].push_back(key);
+    }
+    for (std::size_t dst = 0; dst < machines; ++dst)
+      if (!outgoing[dst].empty())
+        send.send(dst, std::move(outgoing[dst]));
+  });
+
+  SampleSortResult result;
+  result.slabs.resize(machines);
+  for (std::size_t m = 0; m < machines; ++m) {
+    for (const auto& msg : cluster.inbox(m))
+      result.slabs[m].insert(result.slabs[m].end(), msg.begin(), msg.end());
+    std::sort(result.slabs[m].begin(), result.slabs[m].end());
+  }
+  result.rounds = cluster.rounds_executed() - start_rounds;
+  return result;
+}
+
+}  // namespace arbor::mpc

@@ -1,0 +1,41 @@
+// A real distributed sample sort executed on the Level-0 cluster.
+//
+// This is the [GSZ11]-style constant-round sort the Level-1 primitives
+// charge for: every machine holds a slab of keys; machines send key
+// samples to a coordinator, which broadcasts p-1 splitters; every machine
+// routes its keys to the splitter-assigned bucket machine; buckets sort
+// locally. Rounds: 3 (sample, splitters, route) + the local sort — i.e.
+// O(1) when slabs fit in memory, exactly what MpcContext::sort_rounds
+// models. Exists so the analytic costs are backed by an executable
+// dataflow under the same traffic caps (see tests/sample_sort_test.cpp,
+// which cross-checks the round count against sort_rounds).
+//
+// Limitations (documented, not hidden): keys are single words; the
+// coordinator pattern needs p·(samples_per_machine+1) ≤ S, which holds for
+// p ≤ √S machines — the regime the framework tests exercise. Larger
+// clusters would use a splitter tree; the cost model is unchanged.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mpc/cluster.hpp"
+
+namespace arbor::mpc {
+
+struct SampleSortResult {
+  /// Sorted keys as held by each machine after the sort (concatenation in
+  /// machine order is globally sorted).
+  std::vector<std::vector<Word>> slabs;
+  std::size_t rounds = 0;
+};
+
+/// Sort the union of `input[m]` (machine m's initial slab). Every slab and
+/// every bucket must fit in the cluster's per-machine word budget; the
+/// sort fails loudly (capacity check in the cluster) otherwise.
+/// `samples_per_machine` controls splitter quality (default 8).
+SampleSortResult sample_sort(Cluster& cluster,
+                             const std::vector<std::vector<Word>>& input,
+                             std::size_t samples_per_machine = 8);
+
+}  // namespace arbor::mpc

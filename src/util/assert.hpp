@@ -1,0 +1,52 @@
+// Lightweight runtime-check helpers.
+//
+// ARBOR_CHECK is always on (release included): algorithm invariants in this
+// library are cheap relative to the simulation itself, and silent invariant
+// drift is the main reproduction risk. ARBOR_DCHECK compiles out in NDEBUG
+// builds and guards the expensive structural validations (e.g. full
+// valid-mapping scans of every tree on every exponentiation step).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace arbor {
+
+/// Thrown when a runtime invariant of the library is violated.
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+}  // namespace detail
+
+}  // namespace arbor
+
+#define ARBOR_CHECK(expr)                                             \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::arbor::detail::check_failed(#expr, __FILE__, __LINE__, "");   \
+  } while (0)
+
+#define ARBOR_CHECK_MSG(expr, msg)                                    \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::arbor::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifdef NDEBUG
+#define ARBOR_DCHECK(expr) \
+  do {                     \
+  } while (0)
+#else
+#define ARBOR_DCHECK(expr) ARBOR_CHECK(expr)
+#endif

@@ -1,0 +1,36 @@
+// Stateless 64-bit mixing functions.
+//
+// The coloring simulation (core/coloring_mpc) replays the LOCAL list-coloring
+// algorithm independently inside many gathered cones; every replica must see
+// the *same* coin flips for a given (vertex, phase, trial). We therefore
+// derive all per-vertex randomness from a stateless mix of
+// (seed, vertex, tags...) instead of a stateful generator.
+#pragma once
+
+#include <cstdint>
+
+namespace arbor::util {
+
+/// Finalizer from SplitMix64 (Steele et al.); passes PractRand / BigCrush as
+/// the core of splitmix. Bijective on 64 bits.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combine a running hash with one more word (order-sensitive).
+constexpr std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v) noexcept {
+  return mix64(h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2)));
+}
+
+/// Hash an arbitrary-length key of 64-bit words.
+template <typename... Ts>
+constexpr std::uint64_t hash_words(std::uint64_t seed, Ts... words) noexcept {
+  std::uint64_t h = mix64(seed);
+  ((h = hash_combine(h, static_cast<std::uint64_t>(words))), ...);
+  return h;
+}
+
+}  // namespace arbor::util

@@ -1,0 +1,25 @@
+#include "util/rng.hpp"
+
+#include "util/assert.hpp"
+
+namespace arbor::util {
+
+std::uint64_t SplitRng::next_below(std::uint64_t bound) {
+  ARBOR_CHECK_MSG(bound > 0, "next_below(0)");
+  // Rejection sampling for exact uniformity.
+  const std::uint64_t threshold = (~bound + 1) % bound;  // 2^64 mod bound
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::uint64_t StatelessCoin::below(std::uint64_t bound, std::uint64_t a,
+                                   std::uint64_t b, std::uint64_t c) const {
+  ARBOR_CHECK_MSG(bound > 0, "StatelessCoin::below(0)");
+  const unsigned __int128 wide =
+      static_cast<unsigned __int128>(word(a, b, c)) * bound;
+  return static_cast<std::uint64_t>(wide >> 64);
+}
+
+}  // namespace arbor::util

@@ -1,0 +1,116 @@
+// Deterministic, splittable random number generation.
+//
+// Two layers:
+//  * SplitRng — a stateful generator (xoshiro256**) used where a sequential
+//    stream is fine (graph generators, shuffles). `split(tag)` derives an
+//    independent child stream, so parallel-in-spirit algorithm phases can
+//    draw without coupling their consumption order.
+//  * StatelessCoin — pure functions of (seed, key...) used where several
+//    simulated machines must reproduce the same draw independently.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/hashing.hpp"
+
+namespace arbor::util {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64.
+class SplitRng {
+ public:
+  explicit SplitRng(std::uint64_t seed) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x = mix64(x);
+      word = x;
+    }
+    // xoshiro must not start at the all-zero state.
+    if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+  }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound == 0 is rejected.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli(p).
+  bool next_bool(double p) noexcept { return next_double() < p; }
+
+  /// Derive an independent child generator keyed by `tag`.
+  SplitRng split(std::uint64_t tag) noexcept {
+    return SplitRng(hash_words(state_[0] ^ state_[2], tag, 0x5eedULL));
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+/// Pure per-key coins: every call with equal arguments returns the same
+/// value, regardless of call order — the property the cone-replay coloring
+/// simulation depends on.
+class StatelessCoin {
+ public:
+  explicit StatelessCoin(std::uint64_t seed) noexcept : seed_(seed) {}
+
+  std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Uniform 64-bit word for key (a, b, c).
+  std::uint64_t word(std::uint64_t a, std::uint64_t b = 0,
+                     std::uint64_t c = 0) const noexcept {
+    return hash_words(seed_, a, b, c);
+  }
+
+  /// Uniform in [0, bound) for key (a, b, c). Uses 128-bit multiply-shift,
+  /// bias ≤ bound/2^64 — negligible for bound ≪ 2^64 and, crucially, still a
+  /// pure function of the key.
+  std::uint64_t below(std::uint64_t bound, std::uint64_t a, std::uint64_t b = 0,
+                      std::uint64_t c = 0) const;
+
+  double uniform(std::uint64_t a, std::uint64_t b = 0,
+                 std::uint64_t c = 0) const noexcept {
+    return static_cast<double>(word(a, b, c) >> 11) * 0x1.0p-53;
+  }
+
+  bool bernoulli(double p, std::uint64_t a, std::uint64_t b = 0,
+                 std::uint64_t c = 0) const noexcept {
+    return uniform(a, b, c) < p;
+  }
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace arbor::util

@@ -1,0 +1,88 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace arbor::util {
+
+void Accumulator::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::variance() const noexcept {
+  return count_ ? m2_ / static_cast<double>(count_) : 0.0;
+}
+
+double Accumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+namespace {
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+}  // namespace
+
+Summary summarize(std::vector<double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.min = values.front();
+  s.max = values.back();
+  s.p25 = quantile_sorted(values, 0.25);
+  s.median = quantile_sorted(values, 0.50);
+  s.p75 = quantile_sorted(values, 0.75);
+  s.p95 = quantile_sorted(values, 0.95);
+  double sum = 0;
+  for (double v : values) sum += v;
+  s.mean = sum / static_cast<double>(values.size());
+  return s;
+}
+
+Summary summarize_counts(const std::vector<std::uint64_t>& values) {
+  std::vector<double> d(values.begin(), values.end());
+  return summarize(std::move(d));
+}
+
+std::string Summary::to_string() const {
+  std::ostringstream os;
+  os << "n=" << count << " min=" << min << " med=" << median
+     << " mean=" << mean << " p95=" << p95 << " max=" << max;
+  return os.str();
+}
+
+double linear_slope(const std::vector<double>& x,
+                    const std::vector<double>& y) {
+  ARBOR_CHECK(x.size() == y.size());
+  ARBOR_CHECK(x.size() >= 2);
+  const auto n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  ARBOR_CHECK_MSG(denom != 0.0, "degenerate x values in linear_slope");
+  return (n * sxy - sx * sy) / denom;
+}
+
+}  // namespace arbor::util

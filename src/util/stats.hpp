@@ -1,0 +1,46 @@
+// Small descriptive-statistics helpers used by benches and EXPERIMENTS.md
+// tables: summaries of distributions (max out-degree per run, layer sizes,
+// cone sizes, ...).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace arbor::util {
+
+/// One-pass accumulator for min/max/mean/variance (Welford).
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double min() const noexcept { return count_ ? min_ : 0.0; }
+  double max() const noexcept { return count_ ? max_ : 0.0; }
+  double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  double variance() const noexcept;  ///< population variance
+  double stddev() const noexcept;
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double min_ = 0.0, max_ = 0.0, mean_ = 0.0, m2_ = 0.0, sum_ = 0.0;
+};
+
+/// Summary of a sample: quantiles computed by sorting a copy.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0, p25 = 0, median = 0, p75 = 0, p95 = 0, max = 0, mean = 0;
+
+  std::string to_string() const;
+};
+
+Summary summarize(std::vector<double> values);
+Summary summarize_counts(const std::vector<std::uint64_t>& values);
+
+/// Least-squares slope of y over x (used to characterize round-growth
+/// shapes, e.g. rounds vs log n).
+double linear_slope(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace arbor::util

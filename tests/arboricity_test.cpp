@@ -1,0 +1,177 @@
+// Tests for density/arboricity measurement: Dinic max-flow, Goldberg's
+// exact densest subgraph, degeneracy, and the sandwich bounds.
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+#include "graph/arboricity.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/maxflow.hpp"
+#include "util/rng.hpp"
+
+namespace arbor::graph {
+namespace {
+
+TEST(MaxFlow, SimplePath) {
+  MaxFlow f(3);
+  f.add_arc(0, 1, 5);
+  f.add_arc(1, 2, 3);
+  EXPECT_EQ(f.solve(0, 2), 3);
+}
+
+TEST(MaxFlow, ParallelPaths) {
+  MaxFlow f(4);
+  f.add_arc(0, 1, 2);
+  f.add_arc(1, 3, 2);
+  f.add_arc(0, 2, 3);
+  f.add_arc(2, 3, 1);
+  EXPECT_EQ(f.solve(0, 3), 3);
+}
+
+TEST(MaxFlow, ClassicDiamondWithCross) {
+  // Standard example with a cross edge: max flow 2000 + 1? Construct:
+  MaxFlow f(4);
+  f.add_arc(0, 1, 100);
+  f.add_arc(0, 2, 100);
+  f.add_arc(1, 2, 1);
+  f.add_arc(1, 3, 100);
+  f.add_arc(2, 3, 100);
+  EXPECT_EQ(f.solve(0, 3), 200);
+}
+
+TEST(MaxFlow, MinCutSourceSide) {
+  MaxFlow f(4);
+  f.add_arc(0, 1, 10);
+  f.add_arc(1, 2, 1);  // bottleneck
+  f.add_arc(2, 3, 10);
+  EXPECT_EQ(f.solve(0, 3), 1);
+  const auto side = f.min_cut_source_side(0);
+  EXPECT_TRUE(side[0]);
+  EXPECT_TRUE(side[1]);
+  EXPECT_FALSE(side[2]);
+  EXPECT_FALSE(side[3]);
+}
+
+TEST(MaxFlow, DisconnectedIsZero) {
+  MaxFlow f(3);
+  f.add_arc(0, 1, 4);
+  EXPECT_EQ(f.solve(0, 2), 0);
+}
+
+TEST(MaxFlow, RejectsDoubleSolve) {
+  MaxFlow f(2);
+  f.add_arc(0, 1, 1);
+  f.solve(0, 1);
+  EXPECT_THROW(f.solve(0, 1), arbor::InvariantError);
+}
+
+TEST(DensestSubgraph, EmptyGraph) {
+  const Graph g = GraphBuilder(5).build();
+  const DensestSubgraph ds = exact_densest_subgraph(g);
+  EXPECT_EQ(ds.density, 0.0);
+  EXPECT_TRUE(ds.vertices.empty());
+}
+
+TEST(DensestSubgraph, SingleEdge) {
+  const Graph g = from_edges(2, std::vector<Edge>{{0, 1}});
+  const DensestSubgraph ds = exact_densest_subgraph(g);
+  EXPECT_DOUBLE_EQ(ds.density, 0.5);
+  EXPECT_EQ(ds.vertices.size(), 2u);
+}
+
+TEST(DensestSubgraph, CliqueDensity) {
+  for (std::size_t k : {3u, 5u, 8u}) {
+    const Graph g = clique(k);
+    const DensestSubgraph ds = exact_densest_subgraph(g);
+    EXPECT_DOUBLE_EQ(ds.density,
+                     static_cast<double>(k - 1) / 2.0)
+        << "K_" << k;
+    EXPECT_EQ(ds.vertices.size(), k);
+  }
+}
+
+TEST(DensestSubgraph, CycleDensityIsOne) {
+  const Graph g = cycle(12);
+  const DensestSubgraph ds = exact_densest_subgraph(g);
+  EXPECT_DOUBLE_EQ(ds.density, 1.0);
+}
+
+TEST(DensestSubgraph, FindsPlantedClique) {
+  util::SplitRng rng(5);
+  const Graph g = planted_clique(300, 200, 20, rng);
+  const DensestSubgraph ds = exact_densest_subgraph(g);
+  // K_20 alone has density 9.5; the maximizer may include a few extras but
+  // must be at least as dense.
+  EXPECT_GE(ds.density, 9.5);
+}
+
+TEST(DensestSubgraph, StarDensity) {
+  // The whole star is the densest subgraph: (n-1)/n.
+  const Graph g = star(10);
+  const DensestSubgraph ds = exact_densest_subgraph(g);
+  EXPECT_DOUBLE_EQ(ds.density, 9.0 / 10.0);
+}
+
+TEST(Degeneracy, KnownFamilies) {
+  EXPECT_EQ(degeneracy(path(10)), 1u);
+  EXPECT_EQ(degeneracy(star(10)), 1u);
+  EXPECT_EQ(degeneracy(cycle(10)), 2u);
+  EXPECT_EQ(degeneracy(clique(6)), 5u);
+  EXPECT_EQ(degeneracy(grid(4, 4)), 2u);
+  EXPECT_EQ(degeneracy(complete_bipartite(3, 9)), 3u);
+  EXPECT_EQ(degeneracy(GraphBuilder(4).build()), 0u);
+}
+
+TEST(Degeneracy, EliminationOrderWitnessesBound) {
+  util::SplitRng rng(6);
+  const Graph g = gnm(200, 800, rng);
+  std::vector<VertexId> order;
+  const std::size_t d = degeneracy(g, &order);
+  ASSERT_EQ(order.size(), g.num_vertices());
+  // Every vertex must have ≤ d neighbors later in the order.
+  std::vector<std::size_t> pos(g.num_vertices());
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    std::size_t later = 0;
+    for (VertexId w : g.neighbors(v))
+      if (pos[w] > pos[v]) ++later;
+    EXPECT_LE(later, d);
+  }
+}
+
+TEST(PeelingDensity, WithinFactorTwo) {
+  util::SplitRng rng(7);
+  const Graph g = planted_clique(300, 300, 24, rng);
+  const double exact = exact_densest_subgraph(g).density;
+  const double approx = peeling_density_lower_bound(g);
+  EXPECT_LE(approx, exact + 1e-9);
+  EXPECT_GE(approx, exact / 2.0 - 1e-9);
+}
+
+TEST(ArboricityBounds, SandwichHolds) {
+  util::SplitRng rng(8);
+  for (int i = 0; i < 6; ++i) {
+    const Graph g = gnm(120, 120 * (i + 1), rng);
+    const ArboricityBounds b = arboricity_bounds(g);
+    EXPECT_LE(b.lower, b.upper);
+    EXPECT_GE(b.upper, 1u);
+  }
+}
+
+TEST(ArboricityBounds, ExactOnForest) {
+  util::SplitRng rng(9);
+  const Graph g = random_forest(200, rng);
+  const ArboricityBounds b = arboricity_bounds(g);
+  EXPECT_EQ(b.lower, 1u);
+  EXPECT_EQ(b.upper, 1u);
+}
+
+TEST(ArboricityBounds, CliqueIsTight) {
+  // λ(K_6) = ⌈15/5⌉ = 3, degeneracy 5.
+  const ArboricityBounds b = arboricity_bounds(clique(6));
+  EXPECT_EQ(b.lower, 3u);
+  EXPECT_EQ(b.upper, 5u);
+}
+
+}  // namespace
+}  // namespace arbor::graph

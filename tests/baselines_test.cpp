@@ -1,0 +1,144 @@
+// Tests for the baselines: BE08's (2+ε)λ quality and Θ(log n) rounds,
+// GLM19's phase structure and Õ(√log n) round shape, and the sequential
+// references.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "util/assert.hpp"
+#include "baselines/be08_mpc.hpp"
+#include "baselines/glm19.hpp"
+#include "baselines/sequential.hpp"
+#include "graph/arboricity.hpp"
+#include "graph/generators.hpp"
+#include "mpc/ledger.hpp"
+#include "util/rng.hpp"
+
+namespace arbor::baselines {
+namespace {
+
+using graph::Graph;
+
+mpc::MpcContext make_ctx(const Graph& g, mpc::RoundLedger*& ledger_out) {
+  const auto cfg = mpc::ClusterConfig::for_problem(
+      g.num_vertices(), g.num_edges(), 0.6);
+  static thread_local std::vector<std::unique_ptr<mpc::RoundLedger>> keep;
+  keep.push_back(std::make_unique<mpc::RoundLedger>(cfg));
+  ledger_out = keep.back().get();
+  return mpc::MpcContext(cfg, ledger_out);
+}
+
+TEST(Be08, OutdegreeAtMostThreshold) {
+  util::SplitRng rng(1);
+  for (std::size_t lambda : {1u, 2u, 4u}) {
+    const Graph g = graph::forest_union(500, lambda, rng);
+    mpc::RoundLedger* ledger = nullptr;
+    auto ctx = make_ctx(g, ledger);
+    const Be08Result result = be08_orient(g, lambda, 0.2, ctx);
+    EXPECT_LE(result.orientation.max_outdegree(g), result.threshold)
+        << "λ=" << lambda;
+    EXPECT_TRUE(result.layering.is_complete());
+  }
+}
+
+TEST(Be08, RoundsGrowWithLogN) {
+  // Natural random graphs peel in O(1) rounds; the Θ(log n) behaviour
+  // needs the slow-peeling chain (one level per round by construction).
+  util::SplitRng rng(2);
+  std::vector<std::size_t> rounds;
+  for (std::size_t levels : {6u, 10u}) {
+    const auto chain = graph::slow_peeling_chain(levels, 10, rng);
+    mpc::RoundLedger* ledger = nullptr;
+    auto ctx = make_ctx(chain.graph, ledger);
+    const Be08Result result =
+        be08_orient(chain.graph, chain.lambda, 0.2, ctx);
+    // One peel round per level (constructed), so rounds ≈ levels.
+    EXPECT_GE(result.mpc_rounds, levels);
+    rounds.push_back(result.mpc_rounds);
+  }
+  EXPECT_GE(rounds[1], rounds[0] + 4);  // doubling n adds a level per 2×
+}
+
+TEST(Be08, AutoEstimatesK) {
+  util::SplitRng rng(3);
+  const Graph g = graph::forest_union(300, 3, rng);
+  mpc::RoundLedger* ledger = nullptr;
+  auto ctx = make_ctx(g, ledger);
+  const Be08Result result = be08_orient(g, 0, 0.2, ctx);
+  // k from degeneracy ∈ [λ, 2λ-1] → threshold ≤ (2.2)·2λ.
+  EXPECT_LE(result.threshold, static_cast<std::size_t>(2.2 * 2 * 3) + 1);
+  EXPECT_LE(result.orientation.max_outdegree(g), result.threshold);
+}
+
+TEST(Glm19, PhaseStructureMatchesSqrtLog) {
+  util::SplitRng rng(4);
+  const std::size_t n = 1 << 14;
+  const Graph g = graph::forest_union(n, 2, rng);
+  mpc::RoundLedger* ledger = nullptr;
+  auto ctx = make_ctx(g, ledger);
+  const Glm19Result result = glm19_orient(g, 2, 0.2, ctx);
+  const double sqrt_log = std::sqrt(std::log2(static_cast<double>(n)));
+  EXPECT_NEAR(static_cast<double>(result.phase_length), sqrt_log, 1.0);
+  // Phases ≈ local_rounds / T'.
+  EXPECT_LE(result.phases,
+            result.local_rounds / result.phase_length + 2);
+}
+
+TEST(Glm19, SameLayeringQualityAsPeeling) {
+  util::SplitRng rng(5);
+  const Graph g = graph::forest_union(400, 3, rng);
+  mpc::RoundLedger* ledger = nullptr;
+  auto ctx = make_ctx(g, ledger);
+  const Glm19Result result = glm19_orient(g, 3, 0.2, ctx);
+  EXPECT_TRUE(result.layering.is_complete());
+  const auto threshold = static_cast<std::size_t>(std::ceil(2.2 * 3));
+  EXPECT_LE(result.orientation.max_outdegree(g), threshold);
+}
+
+TEST(Glm19, FewerMpcRoundsThanBe08) {
+  // On the slow-peeling chain the underlying LOCAL process takes ~14
+  // rounds; GLM19 compresses each T' = √log n of them into O(log T') MPC
+  // rounds, which is where its advantage first becomes visible.
+  util::SplitRng rng(6);
+  const auto chain = graph::slow_peeling_chain(14, 10, rng);
+
+  mpc::RoundLedger* glm_ledger = nullptr;
+  auto glm_ctx = make_ctx(chain.graph, glm_ledger);
+  const Glm19Result glm =
+      glm19_orient(chain.graph, chain.lambda, 0.2, glm_ctx);
+
+  mpc::RoundLedger* be_ledger = nullptr;
+  auto be_ctx = make_ctx(chain.graph, be_ledger);
+  const Be08Result be = be08_orient(chain.graph, chain.lambda, 0.2, be_ctx);
+
+  EXPECT_GE(be.mpc_rounds, 14u);
+  EXPECT_LT(glm.mpc_rounds, be.mpc_rounds);
+}
+
+TEST(Glm19, ThrowsBelowArboricity) {
+  const Graph g = graph::clique(32);
+  mpc::RoundLedger* ledger = nullptr;
+  auto ctx = make_ctx(g, ledger);
+  EXPECT_THROW(glm19_orient(g, 1, 0.2, ctx), arbor::InvariantError);
+}
+
+TEST(Sequential, ReferenceConsistency) {
+  util::SplitRng rng(7);
+  const Graph g = graph::forest_union(300, 4, rng);
+  const SequentialReference ref = sequential_reference(g);
+  EXPECT_EQ(ref.orientation_outdegree, ref.degeneracy);
+  EXPECT_LE(ref.coloring_colors, ref.degeneracy + 1);
+  EXPECT_GE(ref.degeneracy, 2u);  // λ≈4 ⇒ degeneracy ≥ λ
+}
+
+TEST(Sequential, HPartitionMatchesReferencePeeling) {
+  util::SplitRng rng(8);
+  const Graph g = graph::forest_union(200, 2, rng);
+  const core::LayerAssignment a = sequential_h_partition(g, 8);
+  EXPECT_TRUE(a.is_complete());
+  EXPECT_LE(core::assignment_outdegree(g, a), 8u);
+}
+
+}  // namespace
+}  // namespace arbor::baselines

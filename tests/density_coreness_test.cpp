@@ -1,0 +1,197 @@
+// Tests for the MPC-native density estimation (the Theorem 1.1 preamble)
+// and the approximate core decomposition (paper footnote 2), both checked
+// against exact sequential oracles.
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+#include "core/coreness_mpc.hpp"
+#include "core/density_estimate.hpp"
+#include "core/orientation_mpc.hpp"
+#include "graph/arboricity.hpp"
+#include "graph/builder.hpp"
+#include "graph/coreness.hpp"
+#include "graph/generators.hpp"
+#include "mpc/ledger.hpp"
+#include "util/rng.hpp"
+
+namespace arbor::core {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+mpc::ClusterConfig test_config() { return mpc::ClusterConfig{64, 4096}; }
+
+TEST(ExactCoreness, KnownFamilies) {
+  {
+    const auto c = graph::exact_coreness(graph::clique(6));
+    for (auto v : c) EXPECT_EQ(v, 5u);
+  }
+  {
+    const auto c = graph::exact_coreness(graph::cycle(8));
+    for (auto v : c) EXPECT_EQ(v, 2u);
+  }
+  {
+    const auto c = graph::exact_coreness(graph::star(8));
+    for (auto v : c) EXPECT_EQ(v, 1u);
+  }
+  {
+    // Path: every vertex has coreness 1 (endpoints peel at degree 1).
+    const auto c = graph::exact_coreness(graph::path(9));
+    for (auto v : c) EXPECT_EQ(v, 1u);
+  }
+}
+
+TEST(ExactCoreness, PlantedCliqueCoreStandsOut) {
+  util::SplitRng rng(1);
+  const Graph g = graph::planted_clique(400, 400, 20, rng);
+  const auto c = graph::exact_coreness(g);
+  // At least 20 vertices (the clique) have coreness ≥ 19.
+  std::size_t high = 0;
+  for (auto v : c)
+    if (v >= 19) ++high;
+  EXPECT_GE(high, 20u);
+}
+
+TEST(ExactCoreness, MaxEqualsDegeneracy) {
+  util::SplitRng rng(2);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph g = graph::gnm(200, 200 * (trial + 2), rng);
+    const auto c = graph::exact_coreness(g);
+    const auto max_core = *std::max_element(c.begin(), c.end());
+    EXPECT_EQ(max_core, graph::degeneracy(g));
+  }
+}
+
+TEST(ExactCoreness, MonotoneUnderSubgraph) {
+  // Coreness in an induced subgraph never exceeds coreness in the graph.
+  util::SplitRng rng(3);
+  const Graph g = graph::gnm(150, 600, rng);
+  const auto full = graph::exact_coreness(g);
+  std::vector<VertexId> half;
+  for (VertexId v = 0; v < 75; ++v) half.push_back(v);
+  const auto sub = g.induced(half);
+  const auto sub_core = graph::exact_coreness(sub.graph);
+  for (VertexId sv = 0; sv < sub.graph.num_vertices(); ++sv)
+    EXPECT_LE(sub_core[sv], full[sub.to_original[sv]]);
+}
+
+TEST(DensityEstimateMpc, SandwichOnForestUnions) {
+  util::SplitRng rng(4);
+  for (std::size_t lambda : {1u, 2u, 4u, 8u, 16u}) {
+    const Graph g = graph::forest_union(600, lambda, rng);
+    mpc::RoundLedger ledger(test_config());
+    mpc::MpcContext ctx(test_config(), &ledger);
+    const DensityEstimate est = estimate_density_mpc(g, ctx);
+    // λ ≤ k ≤ 2·f·λ with f = 4.
+    EXPECT_GE(est.k, lambda) << "λ=" << lambda;
+    EXPECT_LE(est.k, 8 * lambda + 8) << "λ=" << lambda;
+    EXPECT_GE(ledger.total_rounds(), est.rounds_budget);
+  }
+}
+
+TEST(DensityEstimateMpc, EmptyGraph) {
+  const Graph g = graph::GraphBuilder(5).build();
+  mpc::RoundLedger ledger(test_config());
+  mpc::MpcContext ctx(test_config(), &ledger);
+  EXPECT_EQ(estimate_density_mpc(g, ctx).k, 1u);
+}
+
+TEST(DensityEstimateMpc, ChargesGlobalMemoryFactor) {
+  util::SplitRng rng(5);
+  const Graph g = graph::forest_union(500, 4, rng);
+  mpc::RoundLedger ledger(test_config());
+  mpc::MpcContext ctx(test_config(), &ledger);
+  const DensityEstimate est = estimate_density_mpc(g, ctx);
+  EXPECT_GE(ledger.peak_global_words(),
+            (g.num_vertices() + 2 * g.num_edges()) * est.guesses);
+}
+
+TEST(DensityEstimateMpc, RejectsWeakThreshold) {
+  const Graph g = graph::path(4);
+  mpc::RoundLedger ledger(test_config());
+  mpc::MpcContext ctx(test_config(), &ledger);
+  EXPECT_THROW(estimate_density_mpc(g, ctx, /*threshold_factor=*/2.0),
+               arbor::InvariantError);
+}
+
+TEST(OrientWithParallelGuessEstimator, EndToEnd) {
+  util::SplitRng rng(6);
+  const Graph g = graph::forest_union(800, 3, rng);
+  mpc::RoundLedger ledger(test_config());
+  mpc::MpcContext ctx(test_config(), &ledger);
+  OrientationParams params;
+  params.estimator = KEstimator::kParallelGuess;
+  const MpcOrientationResult result = mpc_orient(g, params, ctx);
+  EXPECT_GE(result.k_used, 3u);
+  EXPECT_LE(result.orientation.max_outdegree(g), result.outdegree_bound);
+  // The estimation preamble charges its O(log n) budget.
+  EXPECT_GE(ledger.rounds_by_label().at("density_estimate"), 5u);
+}
+
+TEST(ApproximateCoreness, WithinFactorTwoPlusEps) {
+  util::SplitRng rng(7);
+  const Graph g = graph::planted_clique(500, 1000, 24, rng);
+  const auto exact = graph::exact_coreness(g);
+  mpc::RoundLedger ledger(test_config());
+  mpc::MpcContext ctx(test_config(), &ledger);
+  const CorenessResult approx = approximate_coreness(g, 0.5, ctx);
+  ASSERT_EQ(approx.estimate.size(), g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    // Lower side: removal at threshold 2c means coreness ≤ 2c.
+    EXPECT_LE(exact[v], 2 * approx.estimate[v])
+        << "vertex " << v;
+    // Upper side: the guess at (1+ε)·coreness must have removed v (its
+    // threshold 2(1+ε)·coreness exceeds the core degree), so the estimate
+    // is at most (1+ε)·coreness (+1 for ceiling effects).
+    EXPECT_LE(approx.estimate[v],
+              static_cast<std::uint32_t>(1.5 * exact[v]) + 2)
+        << "vertex " << v;
+  }
+}
+
+TEST(ApproximateCoreness, SeparatesCoreFromPeriphery) {
+  util::SplitRng rng(8);
+  const Graph g = graph::planted_clique(600, 600, 32, rng);
+  const auto exact = graph::exact_coreness(g);
+  mpc::RoundLedger ledger(test_config());
+  mpc::MpcContext ctx(test_config(), &ledger);
+  const CorenessResult approx = approximate_coreness(g, 0.25, ctx);
+  // Clique members (coreness ≥ 31) must estimate far above the sparse
+  // periphery (coreness ≤ ~4).
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (exact[v] >= 31) {
+      EXPECT_GE(approx.estimate[v], 12u);
+    }
+    if (exact[v] <= 2) {
+      EXPECT_LE(approx.estimate[v], 4u);
+    }
+  }
+}
+
+TEST(ApproximateCoreness, RoundsSharedAcrossGuesses) {
+  util::SplitRng rng(9);
+  const Graph g = graph::gnm(1000, 8000, rng);
+  mpc::RoundLedger ledger(test_config());
+  mpc::MpcContext ctx(test_config(), &ledger);
+  const CorenessResult result = approximate_coreness(g, 0.5, ctx);
+  EXPECT_GE(result.guesses, 3u);
+  // Rounds = one shared budget, NOT budget × guesses.
+  EXPECT_EQ(ledger.rounds_by_label().at("coreness.parallel_guesses"),
+            result.rounds_budget);
+}
+
+TEST(ApproximateCoreness, EpsilonControlsGranularity) {
+  util::SplitRng rng(10);
+  const Graph g = graph::planted_clique(400, 800, 24, rng);
+  mpc::RoundLedger l1(test_config());
+  mpc::MpcContext c1(test_config(), &l1);
+  const CorenessResult coarse = approximate_coreness(g, 1.0, c1);
+  mpc::RoundLedger l2(test_config());
+  mpc::MpcContext c2(test_config(), &l2);
+  const CorenessResult fine = approximate_coreness(g, 0.1, c2);
+  EXPECT_GT(fine.guesses, coarse.guesses);
+}
+
+}  // namespace
+}  // namespace arbor::core

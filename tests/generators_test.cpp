@@ -1,0 +1,193 @@
+// Tests for the workload generators: structural invariants and the
+// controlled-arboricity guarantees the experiments rely on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "graph/arboricity.hpp"
+#include "graph/generators.hpp"
+#include "graph/union_find.hpp"
+#include "util/rng.hpp"
+
+namespace arbor::graph {
+namespace {
+
+bool is_acyclic(const Graph& g) {
+  UnionFind uf(g.num_vertices());
+  for (const Edge& e : g.edges())
+    if (!uf.unite(e.u, e.v)) return false;
+  return true;
+}
+
+TEST(Gnm, ExactEdgeCount) {
+  util::SplitRng rng(1);
+  const Graph g = gnm(100, 250, rng);
+  EXPECT_EQ(g.num_vertices(), 100u);
+  EXPECT_EQ(g.num_edges(), 250u);
+}
+
+TEST(Gnm, RejectsTooManyEdges) {
+  util::SplitRng rng(1);
+  EXPECT_THROW(gnm(4, 7, rng), arbor::InvariantError);
+}
+
+TEST(Gnm, FullDensityIsClique) {
+  util::SplitRng rng(2);
+  const Graph g = gnm(6, 15, rng);
+  EXPECT_EQ(g.num_edges(), 15u);
+  for (VertexId u = 0; u < 6; ++u)
+    for (VertexId v = u + 1; v < 6; ++v) EXPECT_TRUE(g.has_edge(u, v));
+}
+
+TEST(Gnp, EdgeCountConcentrates) {
+  util::SplitRng rng(3);
+  const std::size_t n = 400;
+  const double p = 0.05;
+  const Graph g = gnp(n, p, rng);
+  const double expected = p * static_cast<double>(n * (n - 1) / 2);
+  EXPECT_GT(static_cast<double>(g.num_edges()), expected * 0.85);
+  EXPECT_LT(static_cast<double>(g.num_edges()), expected * 1.15);
+}
+
+TEST(Gnp, ZeroAndOneProbability) {
+  util::SplitRng rng(4);
+  EXPECT_EQ(gnp(50, 0.0, rng).num_edges(), 0u);
+  EXPECT_EQ(gnp(10, 1.0, rng).num_edges(), 45u);
+}
+
+TEST(RandomForest, IsAcyclic) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    util::SplitRng rng(seed);
+    const Graph g = random_forest(500, rng);
+    EXPECT_TRUE(is_acyclic(g)) << "seed " << seed;
+    EXPECT_LE(g.num_edges(), 499u);
+  }
+}
+
+TEST(RandomForest, SpanningWhenNoExtraRoots) {
+  util::SplitRng rng(9);
+  const Graph g = random_forest(200, rng, /*root_prob=*/0.0);
+  EXPECT_EQ(g.num_edges(), 199u);  // a single tree
+  EXPECT_TRUE(is_acyclic(g));
+}
+
+TEST(ForestUnion, ArboricityAtMostK) {
+  for (std::size_t k : {1u, 2u, 4u, 8u}) {
+    util::SplitRng rng(100 + k);
+    const Graph g = forest_union(300, k, rng);
+    const ArboricityBounds bounds = arboricity_bounds(g);
+    EXPECT_LE(bounds.lower, k) << "k=" << k;
+    // Degeneracy of a union of k forests is at most 2k-1.
+    EXPECT_LE(bounds.upper, 2 * k) << "k=" << k;
+  }
+}
+
+TEST(ForestUnion, NearlyKnEdges) {
+  util::SplitRng rng(42);
+  const std::size_t n = 400, k = 6;
+  const Graph g = forest_union(n, k, rng);
+  // Each forest is spanning (n-1 edges); dedup removes only collisions.
+  EXPECT_GT(g.num_edges(), k * (n - 1) * 9 / 10);
+  EXPECT_LE(g.num_edges(), k * (n - 1));
+}
+
+TEST(Star, Shape) {
+  const Graph g = star(10);
+  EXPECT_EQ(g.num_edges(), 9u);
+  EXPECT_EQ(g.degree(0), 9u);
+  EXPECT_EQ(g.max_degree(), 9u);
+  EXPECT_EQ(arboricity_bounds(g).upper, 1u);  // degeneracy 1
+}
+
+TEST(PathAndCycle, Shape) {
+  EXPECT_EQ(path(10).num_edges(), 9u);
+  EXPECT_EQ(cycle(10).num_edges(), 10u);
+  EXPECT_EQ(cycle(2).num_edges(), 1u);
+  EXPECT_EQ(cycle(1).num_edges(), 0u);
+  EXPECT_TRUE(is_acyclic(path(10)));
+  EXPECT_FALSE(is_acyclic(cycle(10)));
+}
+
+TEST(Clique, Shape) {
+  const Graph g = clique(7);
+  EXPECT_EQ(g.num_edges(), 21u);
+  EXPECT_EQ(g.max_degree(), 6u);
+  EXPECT_EQ(degeneracy(g), 6u);
+}
+
+TEST(CompleteBipartite, Shape) {
+  const Graph g = complete_bipartite(3, 4);
+  EXPECT_EQ(g.num_vertices(), 7u);
+  EXPECT_EQ(g.num_edges(), 12u);
+  EXPECT_EQ(g.degree(0), 4u);   // left side
+  EXPECT_EQ(g.degree(3), 3u);   // right side
+}
+
+TEST(Grid, ShapeAndDegeneracy) {
+  const Graph g = grid(5, 8);
+  EXPECT_EQ(g.num_vertices(), 40u);
+  EXPECT_EQ(g.num_edges(), 5u * 7 + 4u * 8);
+  EXPECT_EQ(degeneracy(g), 2u);
+}
+
+TEST(PlantedClique, DensityDominatedByClique) {
+  util::SplitRng rng(7);
+  const Graph g = planted_clique(500, 500, 30, rng);
+  const DensestSubgraph ds = exact_densest_subgraph(g);
+  // Clique density (30-1)/2 = 14.5; background G(500,500) density ≈ 1.
+  EXPECT_GT(ds.density, 12.0);
+}
+
+TEST(BarabasiAlbert, SizeAndMinDegree) {
+  util::SplitRng rng(8);
+  const Graph g = barabasi_albert(300, 3, rng);
+  EXPECT_EQ(g.num_vertices(), 300u);
+  for (VertexId v = 4; v < 300; ++v) EXPECT_GE(g.degree(v), 3u);
+  // Arboricity of BA(m=3) stays near 3.
+  EXPECT_LE(degeneracy(g), 6u);
+}
+
+TEST(RelabelRandomly, PreservesDegreeMultiset) {
+  util::SplitRng rng(10);
+  const Graph g = gnm(200, 600, rng);
+  const Graph h = relabel_randomly(g, rng);
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  std::vector<std::size_t> dg, dh;
+  for (VertexId v = 0; v < 200; ++v) {
+    dg.push_back(g.degree(v));
+    dh.push_back(h.degree(v));
+  }
+  std::sort(dg.begin(), dg.end());
+  std::sort(dh.begin(), dh.end());
+  EXPECT_EQ(dg, dh);
+}
+
+TEST(Generators, Deterministic) {
+  util::SplitRng a(123), b(123);
+  const Graph g1 = gnm(100, 200, a);
+  const Graph g2 = gnm(100, 200, b);
+  ASSERT_EQ(g1.num_edges(), g2.num_edges());
+  const auto e1 = g1.edges();
+  const auto e2 = g2.edges();
+  for (std::size_t i = 0; i < e1.size(); ++i) EXPECT_EQ(e1[i], e2[i]);
+}
+
+// Parameterized sweep: forest unions hit their arboricity target closely
+// (the E2 workload contract).
+class ForestUnionSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ForestUnionSweep, DegeneracySandwich) {
+  const std::size_t k = GetParam();
+  util::SplitRng rng(1000 + k);
+  const Graph g = forest_union(256, k, rng);
+  const std::size_t d = degeneracy(g);
+  EXPECT_GE(d, k / 2);      // not degenerate far below target
+  EXPECT_LE(d, 2 * k);      // arboricity ≤ k ⇒ degeneracy ≤ 2k-1
+}
+
+INSTANTIATE_TEST_SUITE_P(Arboricity, ForestUnionSweep,
+                         ::testing::Values(1, 2, 3, 4, 6, 8, 12, 16));
+
+}  // namespace
+}  // namespace arbor::graph

@@ -1,0 +1,204 @@
+// Cross-module integration tests: complete Theorem 1.1 + 1.2 workflows on
+// diverse graph families, consistency between orientation and coloring
+// quality, and comparisons against the baselines — miniature versions of
+// the EXPERIMENTS.md runs that must stay green.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "util/assert.hpp"
+#include "baselines/be08_mpc.hpp"
+#include "baselines/glm19.hpp"
+#include "baselines/sequential.hpp"
+#include "core/coloring_mpc.hpp"
+#include "core/orientation_mpc.hpp"
+#include "graph/arboricity.hpp"
+#include "graph/generators.hpp"
+#include "mpc/ledger.hpp"
+#include "util/rng.hpp"
+
+namespace arbor {
+namespace {
+
+using graph::Graph;
+
+struct Workload {
+  const char* name;
+  Graph graph;
+};
+
+std::vector<Workload> workloads() {
+  util::SplitRng rng(4242);
+  std::vector<Workload> out;
+  out.push_back({"forest", graph::random_forest(600, rng)});
+  out.push_back({"forest_union_4", graph::forest_union(600, 4, rng)});
+  out.push_back({"gnm_sparse", graph::gnm(600, 1800, rng)});
+  out.push_back({"grid", graph::grid(25, 24)});
+  out.push_back({"star", graph::star(600)});
+  out.push_back({"ba", graph::barabasi_albert(600, 3, rng)});
+  out.push_back({"planted", graph::planted_clique(600, 1200, 24, rng)});
+  out.push_back({"cycle", graph::cycle(600)});
+  return out;
+}
+
+mpc::MpcContext make_ctx(const Graph& g, mpc::RoundLedger*& ledger_out) {
+  const auto cfg = mpc::ClusterConfig::for_problem(
+      g.num_vertices(), g.num_edges(), 0.6);
+  static thread_local std::vector<std::unique_ptr<mpc::RoundLedger>> keep;
+  keep.push_back(std::make_unique<mpc::RoundLedger>(cfg));
+  ledger_out = keep.back().get();
+  return mpc::MpcContext(cfg, ledger_out);
+}
+
+TEST(Integration, OrientationAcrossFamilies) {
+  for (auto& w : workloads()) {
+    mpc::RoundLedger* ledger = nullptr;
+    auto ctx = make_ctx(w.graph, ledger);
+    const core::MpcOrientationResult result =
+        core::mpc_orient(w.graph, {}, ctx);
+    const std::size_t measured = result.orientation.max_outdegree(w.graph);
+    EXPECT_LE(measured, result.outdegree_bound) << w.name;
+
+    // Against the sequential yardstick (degeneracy ≤ 2λ-1): we promise
+    // O(λ log log n) — generous factor over the yardstick.
+    const baselines::SequentialReference ref =
+        baselines::sequential_reference(w.graph);
+    const double loglog = std::max(
+        1.0, std::log2(std::log2(
+                 static_cast<double>(w.graph.num_vertices()))));
+    EXPECT_LE(static_cast<double>(measured),
+              16.0 * static_cast<double>(std::max<std::size_t>(
+                         ref.degeneracy, 1)) *
+                  loglog)
+        << w.name;
+    EXPECT_GT(ledger->total_rounds(), 0u) << w.name;
+  }
+}
+
+TEST(Integration, ColoringAcrossFamilies) {
+  for (auto& w : workloads()) {
+    mpc::RoundLedger* ledger = nullptr;
+    auto ctx = make_ctx(w.graph, ledger);
+    const core::MpcColoringResult result =
+        core::mpc_color(w.graph, {}, ctx);
+    const auto check = graph::check_coloring(w.graph, result.colors);
+    EXPECT_TRUE(check.proper) << w.name;
+    EXPECT_LE(check.colors_used, result.palette_size) << w.name;
+  }
+}
+
+TEST(Integration, ColoringPaletteTracksOrientationOutdegree) {
+  // The coloring palette is palette_factor × the layering out-degree; the
+  // layering out-degree is the orientation quality. Verify the coupling.
+  util::SplitRng rng(1);
+  const Graph g = graph::forest_union(500, 3, rng);
+  mpc::RoundLedger* ledger = nullptr;
+  auto ctx = make_ctx(g, ledger);
+  const core::MpcColoringResult coloring = core::mpc_color(g, {}, ctx);
+  EXPECT_GE(coloring.palette_size, 3 * coloring.layering_outdegree);
+  EXPECT_LE(coloring.palette_size, 3 * coloring.layering_outdegree + 3);
+}
+
+TEST(Integration, ThreeAlgorithmsGrowthShapesOnHardInstance) {
+  // The E1 story in miniature on the slow-peeling chain (the hard instance
+  // for threshold peeling). At in-memory scales our poly(log log n)
+  // constants still exceed BE08's log n, so the honest comparison — the
+  // one the paper's asymptotic claim makes — is the GROWTH of rounds as
+  // the instance deepens: BE08 pays one extra round per extra level, ours
+  // stays flat because its out-degree allowance (s+1)·k exceeds the
+  // chain's sustained degree and one partial phase clears everything.
+  util::SplitRng rng(2);
+  const std::size_t levels_small = 6, levels_large = 12;
+  std::vector<std::size_t> ours_rounds, be_rounds, glm_rounds;
+  std::size_t lambda = 0;
+  // Fix the cluster shape to the LARGE instance's S = n^δ for both runs:
+  // growth must come from the algorithms, not from S-quantization of the
+  // sort costs (the small instance simply occupies fewer machines).
+  const auto big_chain = graph::slow_peeling_chain(levels_large, 10, rng);
+  const auto shared_cfg = mpc::ClusterConfig::for_problem(
+      big_chain.graph.num_vertices(), big_chain.graph.num_edges(), 0.6);
+  for (std::size_t levels : {levels_small, levels_large}) {
+    const auto chain = graph::slow_peeling_chain(levels, 10, rng);
+    const Graph& g = chain.graph;
+    lambda = chain.lambda;
+
+    mpc::RoundLedger ours_l(shared_cfg);
+    mpc::MpcContext ours_ctx(shared_cfg, &ours_l);
+    core::OrientationParams params;
+    params.k = chain.lambda;
+    const auto ours = core::mpc_orient(g, params, ours_ctx);
+    EXPECT_LE(ours.orientation.max_outdegree(g), ours.outdegree_bound);
+    ours_rounds.push_back(ours_l.total_rounds());
+
+    mpc::RoundLedger be_l(shared_cfg);
+    mpc::MpcContext be_ctx(shared_cfg, &be_l);
+    const auto be = baselines::be08_orient(g, chain.lambda, 0.2, be_ctx);
+    EXPECT_LE(be.orientation.max_outdegree(g), be.threshold);
+    be_rounds.push_back(be_l.total_rounds());
+
+    mpc::RoundLedger glm_l(shared_cfg);
+    mpc::MpcContext glm_ctx(shared_cfg, &glm_l);
+    const auto glm = baselines::glm19_orient(g, chain.lambda, 0.2, glm_ctx);
+    EXPECT_EQ(glm.orientation.max_outdegree(g),
+              be.orientation.max_outdegree(g));
+    glm_rounds.push_back(glm_l.total_rounds());
+  }
+
+  // BE08: one MPC round per level — grows by the full level difference.
+  EXPECT_GE(be_rounds[1], be_rounds[0] + (levels_large - levels_small) - 1);
+  // Ours: near-flat in depth — grows strictly slower than BE08 (the only
+  // growth source is the log log n step count and sort-round quantization).
+  EXPECT_LE(ours_rounds[1] - ours_rounds[0],
+            be_rounds[1] - be_rounds[0]);
+  // GLM19: in between — compresses each √log n levels into O(log) rounds.
+  EXPECT_LT(glm_rounds[1] - glm_rounds[0], be_rounds[1] - be_rounds[0]);
+  (void)lambda;
+}
+
+TEST(Integration, OrientationThenGreedyColoringWorks) {
+  // A downstream-user workflow: take our layering, orient, then greedily
+  // color in decreasing-layer order using out-neighbors only — needs
+  // exactly outdegree+1 colors, independent of Δ.
+  const Graph g = graph::star(1000);
+  mpc::RoundLedger* ledger = nullptr;
+  auto ctx = make_ctx(g, ledger);
+  const auto result = core::mpc_orient(g, {}, ctx);
+  ASSERT_TRUE(result.layering.is_complete());
+
+  // Order by decreasing layer (ties by id), color greedily.
+  std::vector<graph::VertexId> order(g.num_vertices());
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) order[v] = v;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](graph::VertexId a, graph::VertexId b) {
+                     return result.layering.layer[a] >
+                            result.layering.layer[b];
+                   });
+  const auto colors = graph::greedy_coloring(g, order);
+  const auto check = graph::check_coloring(g, colors);
+  EXPECT_TRUE(check.proper);
+  EXPECT_LE(check.colors_used,
+            2 * core::assignment_outdegree(g, result.layering) + 1);
+}
+
+TEST(Integration, RelabelingInvariantQuality) {
+  // Algorithm quality must not depend on vertex numbering beyond noise.
+  util::SplitRng rng(3);
+  const Graph g = graph::forest_union(500, 3, rng);
+  const Graph h = graph::relabel_randomly(g, rng);
+
+  mpc::RoundLedger* lg = nullptr;
+  auto cg = make_ctx(g, lg);
+  const auto rg = core::mpc_orient(g, {}, cg);
+  mpc::RoundLedger* lh = nullptr;
+  auto ch = make_ctx(h, lh);
+  const auto rh = core::mpc_orient(h, {}, ch);
+
+  const auto dg = rg.orientation.max_outdegree(g);
+  const auto dh = rh.orientation.max_outdegree(h);
+  EXPECT_LE(dg, 2 * dh + 4);
+  EXPECT_LE(dh, 2 * dg + 4);
+}
+
+}  // namespace
+}  // namespace arbor

@@ -1,0 +1,224 @@
+// Tests for (partial) layer assignments: Definitions 2.1/2.2, Claim 2.3
+// (min-combine), Lemma 2.4 (path-count bound), tail counts, and the
+// reference peeling layering.
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+#include <cmath>
+
+#include "core/layering.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace arbor::core {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+LayerAssignment make_assignment(std::vector<Layer> layers, Layer l) {
+  LayerAssignment a;
+  a.layer = std::move(layers);
+  a.num_layers = l;
+  return a;
+}
+
+TEST(LayerAssignment, AssignedCountAndCompleteness) {
+  const auto a = make_assignment({1, 2, kInfiniteLayer}, 2);
+  EXPECT_EQ(a.assigned_count(), 2u);
+  EXPECT_FALSE(a.is_complete());
+  const auto b = make_assignment({1, 1}, 1);
+  EXPECT_TRUE(b.is_complete());
+}
+
+TEST(AssignmentOutdegree, CountsHigherOrEqualNeighbors) {
+  // Star center at layer 1, leaves at layer 2: center sees all leaves as
+  // higher, leaves see only the center which is lower.
+  const Graph g = graph::star(5);
+  std::vector<Layer> layers{1, 2, 2, 2, 2};
+  EXPECT_EQ(assignment_outdegree(g, make_assignment(layers, 2)), 4u);
+  // Flip: center high, leaves low → out-degree 1 (each leaf sees center).
+  std::vector<Layer> flipped{2, 1, 1, 1, 1};
+  EXPECT_EQ(assignment_outdegree(g, make_assignment(flipped, 2)), 1u);
+}
+
+TEST(AssignmentOutdegree, InfinityCountsAsHigher) {
+  const Graph g = graph::path(3);  // 0-1-2
+  std::vector<Layer> layers{1, kInfiniteLayer, 1};
+  // Vertex 0 and 2 each see vertex 1 at ∞ ≥ their layer; vertex 1 exempt.
+  EXPECT_EQ(assignment_outdegree(g, make_assignment(layers, 1)), 1u);
+}
+
+TEST(AssignmentOutdegree, InfiniteVerticesExempt) {
+  const Graph g = graph::star(6);
+  std::vector<Layer> layers{kInfiniteLayer, 1, 1, 1, 1, 1};
+  // Center at ∞ has 5 same-or-higher neighbors but is exempt; leaves see
+  // the ∞ center → out-degree 1.
+  EXPECT_EQ(assignment_outdegree(g, make_assignment(layers, 1)), 1u);
+}
+
+TEST(ValidPartialAssignment, RejectsOutOfRangeLayer) {
+  const Graph g = graph::path(2);
+  EXPECT_FALSE(
+      is_valid_partial_assignment(g, make_assignment({0, 1}, 1), 5));
+  EXPECT_FALSE(
+      is_valid_partial_assignment(g, make_assignment({3, 1}, 2), 5));
+  EXPECT_TRUE(
+      is_valid_partial_assignment(g, make_assignment({2, 1}, 2), 5));
+}
+
+// Claim 2.3, exact statement: min of two valid partial assignments with
+// the same L and d is valid with the same L and d. Property-tested over
+// random assignments derived from peelings.
+TEST(MinCombine, Claim23OnRandomGraphs) {
+  util::SplitRng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = graph::gnm(120, 360, rng);
+    // Two independent valid assignments: peel with different thresholds,
+    // then truncate to the same L.
+    LayerAssignment a = reference_peeling_layering(g, 12);
+    LayerAssignment b = reference_peeling_layering(g, 16);
+    const Layer l = std::min(a.num_layers, b.num_layers);
+    for (auto& x : a.layer)
+      if (x != kInfiniteLayer && x > l) x = kInfiniteLayer;
+    for (auto& x : b.layer)
+      if (x != kInfiniteLayer && x > l) x = kInfiniteLayer;
+    a.num_layers = b.num_layers = l;
+
+    const std::size_t da = assignment_outdegree(g, a);
+    const std::size_t db = assignment_outdegree(g, b);
+    const std::size_t d = std::max(da, db);
+    ASSERT_TRUE(is_valid_partial_assignment(g, a, d));
+    ASSERT_TRUE(is_valid_partial_assignment(g, b, d));
+
+    const LayerAssignment combined = min_combine(a, b);
+    EXPECT_TRUE(is_valid_partial_assignment(g, combined, d))
+        << "Claim 2.3 violated on trial " << trial;
+  }
+}
+
+TEST(MinCombine, InfinityYieldsOther) {
+  const auto a = make_assignment({kInfiniteLayer, 3}, 3);
+  const auto b = make_assignment({2, kInfiniteLayer}, 3);
+  const LayerAssignment c = min_combine(a, b);
+  EXPECT_EQ(c.layer[0], 2u);
+  EXPECT_EQ(c.layer[1], 3u);
+}
+
+TEST(TailLayerCounts, SuffixSumsCorrect) {
+  const auto a = make_assignment({1, 1, 2, 3, kInfiniteLayer}, 3);
+  const auto tail = tail_layer_counts(a);
+  // tail[j] = |{v : ℓ(v) ≥ j}|; ∞ counts everywhere.
+  EXPECT_EQ(tail[1], 5u);
+  EXPECT_EQ(tail[2], 3u);
+  EXPECT_EQ(tail[3], 2u);
+  EXPECT_EQ(tail[4], 1u);  // only the ∞ vertex
+}
+
+TEST(NumPaths, HandComputedChain) {
+  // Path 0-1-2 with layers 1,2,3: paths ending at 2 are (2), (1,2),
+  // (0,1,2) → 3. Paths ending at 0: just (0).
+  const Graph g = graph::path(3);
+  const auto a = make_assignment({1, 2, 3}, 3);
+  const auto in = num_paths_in(g, a);
+  EXPECT_EQ(in[0], 1u);
+  EXPECT_EQ(in[1], 2u);
+  EXPECT_EQ(in[2], 3u);
+  const auto out = num_paths_out(g, a);
+  EXPECT_EQ(out[0], 3u);
+  EXPECT_EQ(out[2], 1u);
+}
+
+TEST(NumPaths, DiamondMultiplicity) {
+  // 0 at layer 1; 1,2 at layer 2; 3 at layer 3; edges 0-1,0-2,1-3,2-3.
+  graph::GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(1, 3);
+  b.add_edge(2, 3);
+  const Graph g = b.build();
+  const auto a = make_assignment({1, 2, 2, 3}, 3);
+  const auto in = num_paths_in(g, a);
+  // Ending at 3: (3), (1,3), (2,3), (0,1,3), (0,2,3) = 5.
+  EXPECT_EQ(in[3], 5u);
+}
+
+TEST(NumPaths, InfiniteVerticesExcluded) {
+  const Graph g = graph::path(3);
+  const auto a = make_assignment({1, kInfiniteLayer, 2}, 2);
+  const auto in = num_paths_in(g, a);
+  EXPECT_EQ(in[1], 0u);  // ∞ vertex: no strictly increasing path ends here
+  EXPECT_EQ(in[2], 1u);  // only (2): its neighbor is ∞
+}
+
+TEST(NumPaths, SameLayerEdgesDoNotCount) {
+  const Graph g = graph::path(2);
+  const auto a = make_assignment({1, 1}, 1);
+  const auto in = num_paths_in(g, a);
+  EXPECT_EQ(in[0], 1u);
+  EXPECT_EQ(in[1], 1u);
+}
+
+TEST(NumPaths, DoubleCountingIdentityLemma24) {
+  // Σ_v NumPathsIn(v) = Σ_v NumPathsOut(v) (every path counted once each
+  // way), and both ≤ n·d^L.
+  util::SplitRng rng(2);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Graph g = graph::forest_union(100, 3, rng);
+    const LayerAssignment a = reference_peeling_layering(g, 12);
+    ASSERT_TRUE(a.is_complete());
+    const std::size_t d = assignment_outdegree(g, a);
+    const auto in = num_paths_in(g, a);
+    const auto out = num_paths_out(g, a);
+    long double sum_in = 0, sum_out = 0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      sum_in += in[v];
+      sum_out += out[v];
+    }
+    EXPECT_EQ(sum_in, sum_out);
+    const long double bound =
+        static_cast<long double>(g.num_vertices()) *
+        std::pow(static_cast<long double>(std::max<std::size_t>(d, 2)),
+                 static_cast<long double>(a.num_layers));
+    EXPECT_LE(sum_in, bound) << "Lemma 2.4 bound violated";
+  }
+}
+
+TEST(ReferencePeeling, CompleteAndValidOnSparseGraphs) {
+  util::SplitRng rng(3);
+  const Graph g = graph::forest_union(300, 4, rng);
+  const LayerAssignment a = reference_peeling_layering(g, 16);
+  EXPECT_TRUE(a.is_complete());
+  EXPECT_LE(assignment_outdegree(g, a), 16u);
+}
+
+TEST(ReferencePeeling, IncompleteOnDenseCore) {
+  const Graph g = graph::clique(10);  // min degree 9
+  const LayerAssignment a = reference_peeling_layering(g, 4);
+  EXPECT_FALSE(a.is_complete());
+  EXPECT_EQ(a.assigned_count(), 0u);
+}
+
+// Parameterized: the reference layering's layer count is ≤ log-ish in n
+// when the threshold is at least twice the average degree.
+class PeelingLayersSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(PeelingLayersSweep, LayerCountLogarithmic) {
+  const auto [n, k] = GetParam();
+  util::SplitRng rng(n + k);
+  const Graph g = graph::forest_union(n, k, rng);
+  const LayerAssignment a = reference_peeling_layering(g, 4 * k);
+  ASSERT_TRUE(a.is_complete());
+  const double log_n = std::log2(static_cast<double>(n));
+  EXPECT_LE(a.num_layers, static_cast<Layer>(3.0 * log_n + 4));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Growth, PeelingLayersSweep,
+    ::testing::Combine(::testing::Values(128, 512, 2048),
+                       ::testing::Values(1, 2, 4)));
+
+}  // namespace
+}  // namespace arbor::core

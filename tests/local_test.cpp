@@ -1,0 +1,241 @@
+// Tests for the LOCAL model substrate: synchronous round engine, threshold
+// peeling (BE08), and the randomized list coloring with its determinism
+// contract (the property the MPC cone replay depends on).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/assert.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "local/list_coloring.hpp"
+#include "local/network.hpp"
+#include "local/peeling.hpp"
+#include "util/rng.hpp"
+
+namespace arbor::local {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+TEST(RoundEngine, DoubleBufferingIsSynchronous) {
+  // On a path, propagate a token from vertex 0: state = max of neighbors'
+  // previous states. After r rounds the token reaches distance exactly r —
+  // it would travel farther if updates leaked within a round.
+  const Graph g = graph::path(6);
+  std::vector<int> init(6, 0);
+  init[0] = 1;
+  RoundEngine<int> engine(g, init);
+  const auto update = [&](VertexId v, const std::vector<int>& prev) {
+    int best = prev[v];
+    for (VertexId w : g.neighbors(v)) best = std::max(best, prev[w]);
+    return best;
+  };
+  engine.run_round(update);
+  EXPECT_EQ(engine.state(1), 1);
+  EXPECT_EQ(engine.state(2), 0);  // not yet
+  engine.run_round(update);
+  EXPECT_EQ(engine.state(2), 1);
+  EXPECT_EQ(engine.state(3), 0);
+  EXPECT_EQ(engine.rounds(), 2u);
+}
+
+TEST(RoundEngine, RunUntilStopsOnPredicate) {
+  const Graph g = graph::path(5);
+  std::vector<int> init(5, 0);
+  init[0] = 1;
+  RoundEngine<int> engine(g, init);
+  const bool done = engine.run_until(
+      [&](VertexId v, const std::vector<int>& prev) {
+        int best = prev[v];
+        for (VertexId w : g.neighbors(v)) best = std::max(best, prev[w]);
+        return best;
+      },
+      [](const std::vector<int>& s) {
+        return std::accumulate(s.begin(), s.end(), 0) == 5;
+      },
+      /*max_rounds=*/10);
+  EXPECT_TRUE(done);
+  EXPECT_EQ(engine.rounds(), 4u);  // distance from 0 to 4
+}
+
+TEST(Peeling, ForestCompletesWithThresholdTwo) {
+  util::SplitRng rng(1);
+  const Graph g = graph::random_forest(500, rng, 0.0);
+  const PeelingResult result = peel_by_threshold(g, 2, 100);
+  EXPECT_TRUE(result.complete);
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    EXPECT_GE(result.layer[v], 1u);
+}
+
+TEST(Peeling, StallsBelowMinDegree) {
+  const Graph g = graph::clique(6);  // min degree 5
+  const PeelingResult result = peel_by_threshold(g, 2, 100);
+  EXPECT_FALSE(result.complete);
+  EXPECT_EQ(result.num_layers, 0u);  // nothing ever peeled
+}
+
+TEST(Peeling, LayeringHasBoundedForwardDegree) {
+  util::SplitRng rng(2);
+  const Graph g = graph::forest_union(300, 3, rng);
+  const std::size_t threshold = 12;  // ≥ 4λ
+  const PeelingResult result = peel_by_threshold(g, threshold, 100);
+  ASSERT_TRUE(result.complete);
+  // A vertex peeled in round i has ≤ threshold neighbors in rounds ≥ i.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    std::size_t forward = 0;
+    for (VertexId w : g.neighbors(v))
+      if (result.layer[w] >= result.layer[v]) ++forward;
+    EXPECT_LE(forward, threshold);
+  }
+}
+
+TEST(Peeling, GeometricDecayAtDoubleAverageDegree) {
+  util::SplitRng rng(3);
+  const Graph g = graph::gnm(2000, 4000, rng);  // avg degree 4
+  const PeelingResult result = peel_by_threshold(g, 8, 100);
+  ASSERT_TRUE(result.complete);
+  // At threshold ≥ 2·avg-degree at least half the vertices peel per round,
+  // so rounds ≤ log2(n) + O(1).
+  EXPECT_LE(result.rounds, 12u);
+}
+
+TEST(Be08, RoundsLogarithmicAndComplete) {
+  util::SplitRng rng(4);
+  const Graph g = graph::forest_union(4096, 4, rng);
+  const PeelingResult result = be08_h_partition(g, 4, 0.2);
+  EXPECT_TRUE(result.complete);
+  EXPECT_LE(result.rounds, 30u);
+  EXPECT_GE(result.rounds, 3u);
+}
+
+TEST(Be08, ThrowsWhenThresholdBelowArboricity) {
+  const Graph g = graph::clique(64);  // λ = 32
+  EXPECT_THROW(be08_h_partition(g, 1, 0.2), arbor::InvariantError);
+}
+
+// ---------------- list coloring ----------------
+
+std::vector<std::vector<graph::Color>> uniform_palettes(const Graph& g,
+                                                        std::size_t size) {
+  std::vector<graph::Color> palette(size);
+  std::iota(palette.begin(), palette.end(), graph::Color{0});
+  return std::vector<std::vector<graph::Color>>(g.num_vertices(), palette);
+}
+
+std::vector<std::uint64_t> identity_keys(const Graph& g) {
+  std::vector<std::uint64_t> keys(g.num_vertices());
+  std::iota(keys.begin(), keys.end(), std::uint64_t{0});
+  return keys;
+}
+
+TEST(ListColoring, ProperOnRandomGraph) {
+  util::SplitRng rng(5);
+  const Graph g = graph::gnm(300, 900, rng);
+  const std::size_t palette = g.max_degree() + 1;
+  const util::StatelessCoin coin(77);
+  const ListColoringResult result =
+      list_color(g, identity_keys(g), uniform_palettes(g, palette), coin, 1);
+  ASSERT_TRUE(result.complete);
+  EXPECT_TRUE(graph::check_coloring(g, result.colors).proper);
+}
+
+TEST(ListColoring, ConvergesFast) {
+  util::SplitRng rng(6);
+  const Graph g = graph::gnm(1000, 3000, rng);
+  const util::StatelessCoin coin(78);
+  const ListColoringResult result = list_color(
+      g, identity_keys(g), uniform_palettes(g, g.max_degree() + 1), coin, 1);
+  ASSERT_TRUE(result.complete);
+  EXPECT_LE(result.rounds, 40u);  // O(log n) whp, usually ≤ ~15
+}
+
+TEST(ListColoring, RespectsPalettes) {
+  const Graph g = graph::cycle(10);
+  // Per-vertex palettes of size 3 with distinct offsets.
+  std::vector<std::vector<graph::Color>> palettes(10);
+  for (VertexId v = 0; v < 10; ++v)
+    palettes[v] = {static_cast<graph::Color>(v), 100, 101};
+  const util::StatelessCoin coin(79);
+  const ListColoringResult result =
+      list_color(g, identity_keys(g), palettes, coin, 2);
+  ASSERT_TRUE(result.complete);
+  for (VertexId v = 0; v < 10; ++v) {
+    const graph::Color c = result.colors[v];
+    EXPECT_TRUE(c == v || c == 100 || c == 101);
+  }
+  EXPECT_TRUE(graph::check_coloring(g, result.colors).proper);
+}
+
+TEST(ListColoring, RejectsTooSmallPalette) {
+  const Graph g = graph::clique(4);
+  const util::StatelessCoin coin(80);
+  EXPECT_THROW(
+      list_color(g, identity_keys(g), uniform_palettes(g, 3), coin, 1),
+      arbor::InvariantError);
+}
+
+TEST(ListColoring, DeterministicGivenSeedAndKeys) {
+  util::SplitRng rng(7);
+  const Graph g = graph::gnm(200, 500, rng);
+  const util::StatelessCoin coin(81);
+  const auto r1 = list_color(g, identity_keys(g),
+                             uniform_palettes(g, g.max_degree() + 1), coin, 3);
+  const auto r2 = list_color(g, identity_keys(g),
+                             uniform_palettes(g, g.max_degree() + 1), coin, 3);
+  EXPECT_EQ(r1.colors, r2.colors);
+  EXPECT_EQ(r1.rounds, r2.rounds);
+}
+
+TEST(ListColoring, PhaseTagChangesOutcome) {
+  util::SplitRng rng(8);
+  const Graph g = graph::gnm(200, 500, rng);
+  const util::StatelessCoin coin(82);
+  const auto r1 = list_color(g, identity_keys(g),
+                             uniform_palettes(g, g.max_degree() + 2), coin, 1);
+  const auto r2 = list_color(g, identity_keys(g),
+                             uniform_palettes(g, g.max_degree() + 2), coin, 2);
+  EXPECT_NE(r1.colors, r2.colors);
+}
+
+// The cone-replay property: coloring an induced subgraph whose vertices
+// keep their ORIGINAL keys reproduces, for vertices whose full
+// neighborhood is inside the subgraph, exactly the colors of the full run
+// — provided the neighborhood states match. We verify the strongest easily
+// checkable form: a disjoint union colored jointly equals the two halves
+// colored separately (no cross-edges, so cones never leave a half).
+TEST(ListColoring, ReplayConsistencyOnDisjointUnion) {
+  util::SplitRng rng(9);
+  const Graph half_a = graph::gnm(60, 150, rng);
+  const Graph half_b = graph::gnm(60, 150, rng);
+
+  // Build the union: ids 0..59 for A, 60..119 for B.
+  graph::GraphBuilder builder(120);
+  for (const auto& e : half_a.edges()) builder.add_edge(e.u, e.v);
+  for (const auto& e : half_b.edges()) builder.add_edge(e.u + 60, e.v + 60);
+  const Graph joint = builder.build();
+
+  const std::size_t palette =
+      std::max(half_a.max_degree(), half_b.max_degree()) + 1;
+  const util::StatelessCoin coin(83);
+
+  const auto joint_result = list_color(
+      joint, identity_keys(joint), uniform_palettes(joint, palette), coin, 5);
+  ASSERT_TRUE(joint_result.complete);
+
+  const auto a_result = list_color(half_a, identity_keys(half_a),
+                                   uniform_palettes(half_a, palette), coin, 5);
+  std::vector<std::uint64_t> b_keys(60);
+  std::iota(b_keys.begin(), b_keys.end(), std::uint64_t{60});
+  const auto b_result =
+      list_color(half_b, b_keys, uniform_palettes(half_b, palette), coin, 5);
+
+  for (VertexId v = 0; v < 60; ++v) {
+    EXPECT_EQ(joint_result.colors[v], a_result.colors[v]);
+    EXPECT_EQ(joint_result.colors[v + 60], b_result.colors[v]);
+  }
+}
+
+}  // namespace
+}  // namespace arbor::local

@@ -1,0 +1,104 @@
+// Tests for the LOCAL-in-MPC embedding: the distributed threshold peeling
+// must agree bit-for-bit with the sequential reference, consume exactly
+// one cluster round per LOCAL round, and respect the traffic caps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "local/mpc_embedding.hpp"
+#include "local/peeling.hpp"
+#include "mpc/cluster.hpp"
+#include "util/rng.hpp"
+
+namespace arbor::local {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+TEST(EmbeddedPeeling, MatchesReferenceExactly) {
+  util::SplitRng rng(1);
+  const Graph g = graph::forest_union(500, 3, rng);
+  const std::size_t threshold = 12;
+
+  const PeelingResult reference = peel_by_threshold(g, threshold, 100);
+  ASSERT_TRUE(reference.complete);
+
+  mpc::Cluster cluster(mpc::ClusterConfig{8, 4096}, nullptr);
+  const EmbeddedPeelingResult embedded =
+      embedded_threshold_peeling(g, threshold, cluster, 100);
+  ASSERT_TRUE(embedded.complete);
+  EXPECT_EQ(embedded.num_layers, reference.num_layers);
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    EXPECT_EQ(embedded.layer[v], reference.layer[v]) << "vertex " << v;
+}
+
+TEST(EmbeddedPeeling, OneClusterRoundPerLocalRound) {
+  util::SplitRng rng(2);
+  const Graph g = graph::gnm(400, 1200, rng);
+  mpc::Cluster cluster(mpc::ClusterConfig{8, 8192}, nullptr);
+  const EmbeddedPeelingResult embedded =
+      embedded_threshold_peeling(g, 12, cluster, 100);
+  ASSERT_TRUE(embedded.complete);
+  EXPECT_EQ(embedded.cluster_rounds,
+            static_cast<std::size_t>(embedded.num_layers));
+}
+
+TEST(EmbeddedPeeling, ChainCascadesOneLevelPerRound) {
+  util::SplitRng rng(3);
+  const auto chain = graph::slow_peeling_chain(6, 10, rng);
+  const auto threshold = static_cast<std::size_t>(
+      std::ceil(2.2 * static_cast<double>(chain.lambda)));
+  // The chain is dense; give machines room for the notification bursts.
+  mpc::Cluster cluster(mpc::ClusterConfig{4, 1 << 17}, nullptr);
+  const EmbeddedPeelingResult embedded =
+      embedded_threshold_peeling(chain.graph, threshold, cluster, 100);
+  ASSERT_TRUE(embedded.complete);
+  EXPECT_EQ(embedded.num_layers, chain.levels);
+}
+
+TEST(EmbeddedPeeling, StallsGracefullyBelowMinDegree) {
+  const Graph g = graph::clique(12);
+  mpc::Cluster cluster(mpc::ClusterConfig{4, 4096}, nullptr);
+  const EmbeddedPeelingResult embedded =
+      embedded_threshold_peeling(g, 2, cluster, 50);
+  EXPECT_FALSE(embedded.complete);
+  EXPECT_EQ(embedded.num_layers, 0u);
+}
+
+TEST(EmbeddedPeeling, TrafficCapViolationIsLoud) {
+  // A star peels all leaves in round 1: the hub's machine receives ~n
+  // notification words. With a tiny word budget the cluster must throw
+  // rather than silently exceed the model.
+  const Graph g = graph::star(2000);
+  mpc::Cluster cluster(mpc::ClusterConfig{8, 64}, nullptr);
+  EXPECT_THROW(embedded_threshold_peeling(g, 3, cluster, 10),
+               arbor::InvariantError);
+}
+
+TEST(EmbeddedPeeling, SingleMachineDegenerate) {
+  util::SplitRng rng(4);
+  const Graph g = graph::random_forest(100, rng);
+  mpc::Cluster cluster(mpc::ClusterConfig{1, 4096}, nullptr);
+  const EmbeddedPeelingResult embedded =
+      embedded_threshold_peeling(g, 2, cluster, 100);
+  EXPECT_TRUE(embedded.complete);
+  const PeelingResult reference = peel_by_threshold(g, 2, 100);
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    EXPECT_EQ(embedded.layer[v], reference.layer[v]);
+}
+
+TEST(EmbeddedPeeling, EmptyGraph) {
+  const Graph g = graph::GraphBuilder(0).build();
+  mpc::Cluster cluster(mpc::ClusterConfig{2, 64}, nullptr);
+  const EmbeddedPeelingResult embedded =
+      embedded_threshold_peeling(g, 2, cluster, 10);
+  EXPECT_TRUE(embedded.complete);
+  EXPECT_EQ(embedded.cluster_rounds, 0u);
+}
+
+}  // namespace
+}  // namespace arbor::local

@@ -1,0 +1,194 @@
+// Tests for the layering pipeline: Lemma 3.13 single shots, Lemma 3.14
+// iteration, Lemma 3.15 complete layering with its decay and out-degree
+// properties, parameter derivation, and the termination fallbacks.
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+#include "core/layering_pipeline.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "mpc/ledger.hpp"
+#include "util/rng.hpp"
+
+namespace arbor::core {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+mpc::ClusterConfig test_config() { return mpc::ClusterConfig{64, 4096}; }
+
+TEST(PipelineParams, PracticalDerivation) {
+  const PipelineParams p = PipelineParams::practical(4);
+  const std::size_t budget = p.derive_budget(4096);
+  EXPECT_EQ(budget, 64u);  // k^3 = 64 ≥ min_budget
+  const Layer layers = p.derive_layers(budget);
+  EXPECT_GE(layers, 1u);
+  const std::size_t steps = p.derive_steps(1 << 16, layers);
+  EXPECT_GT(std::size_t{1} << steps, layers);  // Lemma 3.7 requirement
+}
+
+TEST(PipelineParams, PaperPresetClampsToCap) {
+  const PipelineParams p = PipelineParams::paper(4);
+  // 4^100 overflows anything: must clamp to the cap.
+  EXPECT_EQ(p.derive_budget(4096), 4096u);
+}
+
+TEST(PipelineParams, BudgetRespectsExplicitCap) {
+  PipelineParams p = PipelineParams::practical(10);
+  p.budget_cap = 500;
+  EXPECT_LE(p.derive_budget(4096), 500u);
+}
+
+TEST(RunPartialOnce, ProducesValidPartialAssignment) {
+  util::SplitRng rng(1);
+  const Graph g = graph::forest_union(200, 3, rng);
+  mpc::RoundLedger ledger(test_config());
+  mpc::MpcContext ctx(test_config(), &ledger);
+  const PipelineParams p = PipelineParams::practical(6);
+  const PartialLayeringResult result =
+      run_partial_once(g, p, p.derive_budget(4096), ctx);
+  EXPECT_TRUE(
+      is_valid_partial_assignment(g, result.assignment,
+                                  result.outdegree_bound));
+  // A healthy shot assigns a large fraction.
+  EXPECT_GT(result.assignment.assigned_count(), g.num_vertices() / 2);
+}
+
+TEST(RunPartialIterated, AssignsEverythingOnForests) {
+  util::SplitRng rng(2);
+  const Graph g = graph::forest_union(300, 2, rng);
+  mpc::RoundLedger ledger(test_config());
+  mpc::MpcContext ctx(test_config(), &ledger);
+  const PipelineParams p = PipelineParams::practical(4);
+  const PartialPipelineResult result =
+      run_partial_iterated(g, p, p.derive_budget(4096), ctx);
+  EXPECT_TRUE(result.assignment.is_complete());
+  EXPECT_TRUE(is_valid_partial_assignment(g, result.assignment,
+                                          result.outdegree_bound));
+}
+
+TEST(CompleteLayering, CompleteValidAndDecaying) {
+  util::SplitRng rng(3);
+  for (std::size_t lambda : {1u, 2u, 4u}) {
+    const Graph g = graph::forest_union(1000, lambda, rng);
+    mpc::RoundLedger ledger(test_config());
+    mpc::MpcContext ctx(test_config(), &ledger);
+    const PipelineParams p = PipelineParams::practical(2 * lambda);
+    const CompleteLayeringResult result = complete_layering(g, p, ctx);
+    ASSERT_TRUE(result.assignment.is_complete());
+    const std::size_t measured =
+        assignment_outdegree(g, result.assignment);
+    EXPECT_LE(measured, result.outdegree_bound)
+        << "reported bound must dominate the measured out-degree";
+    // O(k log log n) shape with small constants: generous envelope.
+    const double loglog =
+        std::log2(std::log2(static_cast<double>(g.num_vertices())));
+    EXPECT_LE(static_cast<double>(measured),
+              20.0 * static_cast<double>(2 * lambda) * loglog)
+        << "λ=" << lambda;
+
+    // Monotone decay: tail counts never increase with j.
+    const auto tail = tail_layer_counts(result.assignment);
+    for (std::size_t j = 2; j < tail.size(); ++j)
+      EXPECT_LE(tail[j], tail[j - 1]);
+  }
+}
+
+TEST(CompleteLayering, GeometricDecayEnvelope) {
+  // With k comfortably above λ the Lemma 3.15 decay |{ℓ≥j}| ≤ 0.5^{j-1}·n
+  // should hold up to a small constant-factor slack in the exponent.
+  util::SplitRng rng(4);
+  const Graph g = graph::forest_union(4000, 2, rng);
+  mpc::RoundLedger ledger(test_config());
+  mpc::MpcContext ctx(test_config(), &ledger);
+  const PipelineParams p = PipelineParams::practical(8);
+  const CompleteLayeringResult result = complete_layering(g, p, ctx);
+  ASSERT_TRUE(result.assignment.is_complete());
+  const auto tail = tail_layer_counts(result.assignment);
+  const double n = static_cast<double>(g.num_vertices());
+  for (std::size_t j = 1; j < tail.size(); ++j) {
+    const double envelope =
+        n * std::pow(0.7, static_cast<double>(j - 1)) + 8.0;
+    EXPECT_LE(static_cast<double>(tail[j]), envelope)
+        << "decay envelope violated at layer " << j;
+  }
+}
+
+TEST(CompleteLayering, HandlesDenseCoreViaFallback) {
+  // k far below λ: every partial phase stalls on the clique core; the
+  // escalation path (threshold-doubling peel) must still complete.
+  const Graph g = graph::clique(40);
+  mpc::RoundLedger ledger(test_config());
+  mpc::MpcContext ctx(test_config(), &ledger);
+  const PipelineParams p = PipelineParams::practical(2);
+  const CompleteLayeringResult result = complete_layering(g, p, ctx);
+  EXPECT_TRUE(result.assignment.is_complete());
+  EXPECT_LE(assignment_outdegree(g, result.assignment),
+            result.outdegree_bound);
+}
+
+TEST(CompleteLayering, EmptyAndTinyGraphs) {
+  mpc::RoundLedger ledger(test_config());
+  mpc::MpcContext ctx(test_config(), &ledger);
+  const PipelineParams p = PipelineParams::practical(1);
+  const Graph empty = graph::GraphBuilder(0).build();
+  EXPECT_TRUE(complete_layering(empty, p, ctx).assignment.is_complete());
+  const Graph lone = graph::GraphBuilder(1).build();
+  const auto result = complete_layering(lone, p, ctx);
+  ASSERT_EQ(result.assignment.layer.size(), 1u);
+  EXPECT_NE(result.assignment.layer[0], kInfiniteLayer);
+}
+
+TEST(CompleteLayering, RoundsGrowSlowlyWithN) {
+  // The headline claim in miniature: rounds should grow far slower than
+  // log n. Compare the charged rounds at n and at n^2-ish scale: the ratio
+  // must stay well below the ratio of log n (which would be 2).
+  util::SplitRng rng(5);
+  std::vector<std::size_t> rounds;
+  for (std::size_t n : {256u, 65536u}) {
+    const Graph g = graph::forest_union(n, 2, rng);
+    mpc::RoundLedger ledger(test_config());
+    mpc::MpcContext ctx(test_config(), &ledger);
+    const PipelineParams p = PipelineParams::practical(8);
+    const CompleteLayeringResult result = complete_layering(g, p, ctx);
+    ASSERT_TRUE(result.assignment.is_complete());
+    rounds.push_back(ledger.total_rounds());
+  }
+  // 256 → 65536 is a 2× jump in log n. poly(log log n) growth should keep
+  // the round ratio below ~1.8; BE08 would sit at ≈ 2.
+  EXPECT_LT(static_cast<double>(rounds[1]),
+            1.8 * static_cast<double>(rounds[0]))
+      << "rounds grew like log n: " << rounds[0] << " -> " << rounds[1];
+}
+
+TEST(CompleteLayering, StatsArePopulated) {
+  util::SplitRng rng(6);
+  const Graph g = graph::forest_union(500, 3, rng);
+  mpc::RoundLedger ledger(test_config());
+  mpc::MpcContext ctx(test_config(), &ledger);
+  PipelineParams p = PipelineParams::practical(6);
+  // Disable Stage-1 peeling so the exponentiation phases must do the work
+  // (otherwise a sparse forest is fully peeled before any phase runs).
+  p.peel_rounds_factor = 0.0;
+  const CompleteLayeringResult result = complete_layering(g, p, ctx);
+  EXPECT_GE(result.stats.phases, 1u);
+  EXPECT_GE(result.stats.max_budget_used, 64u);
+  EXPECT_TRUE(result.assignment.is_complete());
+}
+
+TEST(CompleteLayering, Stage1AloneSufficesOnSparseGraphs) {
+  // The complementary case: default Stage-1 peeling clears a sparse forest
+  // without needing exponentiation phases at all.
+  util::SplitRng rng(7);
+  const Graph g = graph::forest_union(500, 3, rng);
+  mpc::RoundLedger ledger(test_config());
+  mpc::MpcContext ctx(test_config(), &ledger);
+  const PipelineParams p = PipelineParams::practical(6);
+  const CompleteLayeringResult result = complete_layering(g, p, ctx);
+  EXPECT_TRUE(result.assignment.is_complete());
+  EXPECT_GE(result.stats.fallback_peel_rounds, 1u);
+}
+
+}  // namespace
+}  // namespace arbor::core

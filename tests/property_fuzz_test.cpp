@@ -1,0 +1,171 @@
+// Randomized property sweeps ("fuzz light"): for a grid of (family, seed)
+// pairs, the end-to-end invariants must hold — orientation totality and
+// bound domination, coloring properness, layer-assignment validity,
+// ledger sanity, and determinism. These catch interaction bugs the
+// per-module tests can miss, across a wider input distribution.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "util/assert.hpp"
+#include "core/coloring_mpc.hpp"
+#include "core/layering_pipeline.hpp"
+#include "core/orientation_mpc.hpp"
+#include "graph/builder.hpp"
+#include "graph/coloring.hpp"
+#include "graph/generators.hpp"
+#include "mpc/ledger.hpp"
+#include "util/rng.hpp"
+
+namespace arbor {
+namespace {
+
+using graph::Graph;
+
+Graph make_family(int family, std::uint64_t seed) {
+  util::SplitRng rng(seed);
+  switch (family) {
+    case 0:
+      return graph::random_forest(400, rng);
+    case 1:
+      return graph::forest_union(300, 1 + seed % 6, rng);
+    case 2:
+      return graph::gnm(300, 300 * (1 + seed % 4), rng);
+    case 3:
+      return graph::barabasi_albert(300, 2 + seed % 3, rng);
+    case 4:
+      return graph::planted_clique(300, 500, 12 + (seed % 12), rng);
+    case 5: {
+      // Disjoint mixture: grid ⊔ star ⊔ cycle with cross noise.
+      graph::GraphBuilder b(320);
+      const Graph grid = graph::grid(10, 10);
+      for (const auto& e : grid.edges()) b.add_edge(e.u, e.v);
+      const Graph star = graph::star(100);
+      for (const auto& e : star.edges())
+        b.add_edge(e.u + 100, e.v + 100);
+      const Graph cyc = graph::cycle(100);
+      for (const auto& e : cyc.edges())
+        b.add_edge(e.u + 200, e.v + 200);
+      for (int i = 0; i < 40; ++i)
+        b.add_edge(static_cast<graph::VertexId>(rng.next_below(320)),
+                   static_cast<graph::VertexId>(rng.next_below(320)));
+      return b.build();
+    }
+    default:
+      return graph::gnp(300, 0.02, rng);
+  }
+}
+
+class EndToEndSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(EndToEndSweep, OrientationInvariants) {
+  const auto [family, seed] = GetParam();
+  const Graph g = make_family(family, seed);
+  const auto cfg = mpc::ClusterConfig::for_problem(g.num_vertices(),
+                                                   g.num_edges(), 0.6);
+  mpc::RoundLedger ledger(cfg);
+  mpc::MpcContext ctx(cfg, &ledger);
+  core::OrientationParams params;
+  params.seed = seed;
+  const auto result = core::mpc_orient(g, params, ctx);
+
+  // Totality: out-degrees sum to m.
+  const auto out = result.orientation.outdegrees(g);
+  std::size_t total = 0;
+  for (std::size_t d : out) total += d;
+  EXPECT_EQ(total, g.num_edges());
+  // Bound domination.
+  EXPECT_LE(result.orientation.max_outdegree(g), result.outdegree_bound);
+  // Rounds and memory recorded.
+  EXPECT_GT(ledger.total_rounds(), 0u);
+  EXPECT_GT(ledger.peak_global_words(), 0u);
+}
+
+TEST_P(EndToEndSweep, ColoringInvariants) {
+  const auto [family, seed] = GetParam();
+  const Graph g = make_family(family, seed);
+  const auto cfg = mpc::ClusterConfig::for_problem(g.num_vertices(),
+                                                   g.num_edges(), 0.6);
+  mpc::RoundLedger ledger(cfg);
+  mpc::MpcContext ctx(cfg, &ledger);
+  core::ColoringParams params;
+  params.seed = seed ^ 0xc0ffee;
+  const auto result = core::mpc_color(g, params, ctx);
+  const auto check = graph::check_coloring(g, result.colors);
+  EXPECT_TRUE(check.proper);
+  EXPECT_LE(check.colors_used, std::max<std::size_t>(result.palette_size,
+                                                     1));
+}
+
+TEST_P(EndToEndSweep, LayeringInvariants) {
+  const auto [family, seed] = GetParam();
+  const Graph g = make_family(family, seed);
+  const auto cfg = mpc::ClusterConfig::for_problem(g.num_vertices(),
+                                                   g.num_edges(), 0.6);
+  mpc::RoundLedger ledger(cfg);
+  mpc::MpcContext ctx(cfg, &ledger);
+  const std::size_t k = core::estimate_density_parameter(g);
+  const auto result =
+      core::complete_layering(g, core::PipelineParams::practical(k), ctx);
+  EXPECT_TRUE(result.assignment.is_complete());
+  EXPECT_LE(core::assignment_outdegree(g, result.assignment),
+            result.outdegree_bound);
+  // Tail counts are monotone.
+  const auto tail = core::tail_layer_counts(result.assignment);
+  for (std::size_t j = 2; j < tail.size(); ++j)
+    EXPECT_LE(tail[j], tail[j - 1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, EndToEndSweep,
+    ::testing::Combine(::testing::Range(0, 6),
+                       ::testing::Values(11ull, 22ull, 33ull)));
+
+// Paper-preset smoke: the literal 100-laden constants, clamped, must still
+// produce valid (if coarse) results on small graphs.
+TEST(PaperPreset, PipelineStillValid) {
+  util::SplitRng rng(1);
+  const graph::Graph g = graph::forest_union(200, 2, rng);
+  const auto cfg = mpc::ClusterConfig::for_problem(200, g.num_edges(), 0.6);
+  mpc::RoundLedger ledger(cfg);
+  mpc::MpcContext ctx(cfg, &ledger);
+  const auto result =
+      core::complete_layering(g, core::PipelineParams::paper(4), ctx);
+  EXPECT_TRUE(result.assignment.is_complete());
+  EXPECT_LE(core::assignment_outdegree(g, result.assignment),
+            result.outdegree_bound);
+}
+
+// Strict-ledger failure injection: a budget far above the machine size
+// must trip the strict memory check, proving violations cannot pass
+// silently when enforcement is on.
+TEST(FailureInjection, StrictLedgerCatchesOversizedBudget) {
+  util::SplitRng rng(2);
+  const graph::Graph g = graph::gnm(500, 4000, rng);
+  const mpc::ClusterConfig tiny{64, 64};  // 64-word machines
+  mpc::RoundLedger ledger(tiny, /*strict=*/true);
+  mpc::MpcContext ctx(tiny, &ledger);
+  core::PipelineParams params = core::PipelineParams::practical(8);
+  params.budget_cap = 4096;  // trees up to 4096 nodes >> 64-word machines
+  params.peel_rounds_factor = 0.0;  // force the exponentiation path
+  EXPECT_THROW(core::complete_layering(g, params, ctx),
+               arbor::InvariantError);
+}
+
+TEST(FailureInjection, NonStrictLedgerRecordsViolationInstead) {
+  util::SplitRng rng(2);
+  const graph::Graph g = graph::gnm(500, 4000, rng);
+  const mpc::ClusterConfig tiny{64, 64};
+  mpc::RoundLedger ledger(tiny, /*strict=*/false);
+  mpc::MpcContext ctx(tiny, &ledger);
+  core::PipelineParams params = core::PipelineParams::practical(8);
+  params.budget_cap = 4096;
+  params.peel_rounds_factor = 0.0;
+  const auto result = core::complete_layering(g, params, ctx);
+  EXPECT_TRUE(result.assignment.is_complete());
+  EXPECT_GT(ledger.local_violations(), 0u);
+}
+
+}  // namespace
+}  // namespace arbor

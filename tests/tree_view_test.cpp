@@ -1,0 +1,190 @@
+// Tests for TreeView: Definitions 2.3 (valid mappings), 2.5 (attachment),
+// 2.6 (missing neighbors), 2.7 (monotone reachability), and the arena
+// invariants.
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+#include "core/tree_view.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace arbor::core {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+using NodeId = TreeView::NodeId;
+
+TEST(TreeView, SingleNode) {
+  const TreeView t = TreeView::single(7);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.root_vertex(), 7u);
+  EXPECT_EQ(t.height(), 0u);
+  EXPECT_TRUE(t.structurally_sound());
+}
+
+TEST(TreeView, StarShape) {
+  const Graph g = graph::star(5);
+  const TreeView t = TreeView::star(0, g.neighbors(0));
+  EXPECT_EQ(t.size(), 5u);
+  EXPECT_EQ(t.height(), 1u);
+  EXPECT_EQ(t.node(0).children.size(), 4u);
+  EXPECT_TRUE(t.is_valid_mapping(g));
+  EXPECT_TRUE(t.structurally_sound());
+}
+
+TEST(TreeView, LeavesAtDepth) {
+  const Graph g = graph::star(4);
+  const TreeView t = TreeView::star(0, g.neighbors(0));
+  EXPECT_EQ(t.leaves_at_depth(1).size(), 3u);
+  EXPECT_TRUE(t.leaves_at_depth(0).empty());  // root has children
+  EXPECT_TRUE(t.leaves_at_depth(2).empty());
+  const TreeView s = TreeView::single(2);
+  EXPECT_EQ(s.leaves_at_depth(0).size(), 1u);  // lone root is a leaf
+}
+
+TEST(TreeView, MissingCountEqualsDegreeMinusChildren) {
+  // Path 0-1-2; star tree rooted at 1 has children {0, 2}: missing = 0.
+  const Graph g = graph::path(3);
+  const TreeView t = TreeView::star(1, g.neighbors(1));
+  EXPECT_EQ(t.missing_count(g, 0), 0u);
+  // Leaves have no children: leaf mapping to 0 has degree 1 → missing 1.
+  EXPECT_EQ(t.missing_count(g, 1), 1u);
+}
+
+TEST(TreeView, AttachReplacesLeafAndExtendsDepth) {
+  // Graph: path 0-1-2-3. Tree A = star at 1 (children 0,2); tree B = star
+  // at 2 (children 1,3). Attach B at A's leaf mapping to 2.
+  const Graph g = graph::path(4);
+  const TreeView a = TreeView::star(1, g.neighbors(1));
+  const TreeView b = TreeView::star(2, g.neighbors(2));
+
+  NodeId leaf_to_2 = TreeView::kNoNode;
+  for (NodeId x : a.leaves_at_depth(1))
+    if (a.vertex_of(x) == 2) leaf_to_2 = x;
+  ASSERT_NE(leaf_to_2, TreeView::kNoNode);
+
+  const std::vector<std::pair<NodeId, const TreeView*>> attachments{
+      {leaf_to_2, &b}};
+  const TreeView merged = a.attach(attachments);
+  EXPECT_EQ(merged.size(), a.size() + b.size() - 1);  // leaf slot reused
+  EXPECT_EQ(merged.height(), 2u);
+  EXPECT_TRUE(merged.is_valid_mapping(g));
+  EXPECT_TRUE(merged.structurally_sound());
+  // The leaf now has B's children (mapping to 1 and 3).
+  EXPECT_EQ(merged.node(leaf_to_2).children.size(), 2u);
+}
+
+TEST(TreeView, AttachRejectsMismatchedRoot) {
+  const Graph g = graph::path(3);
+  const TreeView a = TreeView::star(1, g.neighbors(1));
+  const TreeView wrong = TreeView::single(0);
+  NodeId leaf_to_2 = TreeView::kNoNode;
+  for (NodeId x : a.leaves_at_depth(1))
+    if (a.vertex_of(x) == 2) leaf_to_2 = x;
+  const std::vector<std::pair<NodeId, const TreeView*>> attachments{
+      {leaf_to_2, &wrong}};
+  EXPECT_THROW(a.attach(attachments), arbor::InvariantError);
+}
+
+TEST(TreeView, AttachRejectsNonLeaf) {
+  const Graph g = graph::path(3);
+  const TreeView a = TreeView::star(1, g.neighbors(1));
+  const TreeView b = TreeView::single(1);
+  const std::vector<std::pair<NodeId, const TreeView*>> attachments{
+      {a.root(), &b}};  // root is not a leaf here
+  EXPECT_THROW(a.attach(attachments), arbor::InvariantError);
+}
+
+TEST(TreeView, AttachRejectsDuplicateLeaf) {
+  const Graph g = graph::path(3);
+  const TreeView a = TreeView::star(1, g.neighbors(1));
+  const TreeView b = TreeView::single(2);
+  NodeId leaf_to_2 = TreeView::kNoNode;
+  for (NodeId x : a.leaves_at_depth(1))
+    if (a.vertex_of(x) == 2) leaf_to_2 = x;
+  const std::vector<std::pair<NodeId, const TreeView*>> attachments{
+      {leaf_to_2, &b}, {leaf_to_2, &b}};
+  EXPECT_THROW(a.attach(attachments), arbor::InvariantError);
+}
+
+TEST(TreeView, ValidMappingDetectsNonEdges) {
+  // Tree claims an edge 0-2 that does not exist in the path 0-1-2.
+  std::vector<TreeView::Node> nodes(2);
+  nodes[0] = {0, TreeView::kNoNode, 0, {1}};
+  nodes[1] = {2, 0, 1, {}};
+  const TreeView t = TreeView::from_nodes(std::move(nodes));
+  EXPECT_FALSE(t.is_valid_mapping(graph::path(3)));
+  // On a triangle the same tree IS valid (0-2 exists there).
+  EXPECT_TRUE(t.is_valid_mapping(graph::cycle(3)));
+}
+
+TEST(TreeView, ValidMappingDetectsDuplicateSiblings) {
+  // Root 1 with two children both mapping to 0 (0-1 is an edge of path(2)).
+  std::vector<TreeView::Node> nodes(3);
+  nodes[0] = {1, TreeView::kNoNode, 0, {1, 2}};
+  nodes[1] = {0, 0, 1, {}};
+  nodes[2] = {0, 0, 1, {}};
+  const TreeView t = TreeView::from_nodes(std::move(nodes));
+  EXPECT_FALSE(t.is_valid_mapping(graph::path(2)));
+}
+
+TEST(TreeView, FromNodesRejectsMalformedArena) {
+  // Child points to parent with wrong depth.
+  std::vector<TreeView::Node> nodes(2);
+  nodes[0] = {0, TreeView::kNoNode, 0, {1}};
+  nodes[1] = {1, 0, 5, {}};  // depth should be 1
+  EXPECT_THROW(TreeView::from_nodes(std::move(nodes)),
+               arbor::InvariantError);
+}
+
+TEST(TreeView, MonotoneReachability) {
+  // Chain tree: root→a→b mapping to vertices 2,1,0 of path(3) with layers
+  // ℓ(0)=1 < ℓ(1)=2 < ℓ(2)=3. Reading each node's path UP to the root must
+  // be strictly increasing — true for all three nodes here.
+  std::vector<TreeView::Node> nodes(3);
+  nodes[0] = {2, TreeView::kNoNode, 0, {1}};
+  nodes[1] = {1, 0, 1, {2}};
+  nodes[2] = {0, 1, 2, {}};
+  const TreeView t = TreeView::from_nodes(std::move(nodes));
+  LayerAssignment a;
+  a.layer = {1, 2, 3};
+  a.num_layers = 3;
+  const auto reach = t.monotonically_reachable(a);
+  EXPECT_TRUE(reach[0]);
+  EXPECT_TRUE(reach[1]);
+  EXPECT_TRUE(reach[2]);
+
+  // Break monotonicity: make ℓ(1) = 3 (equal to root's vertex layer).
+  a.layer = {1, 3, 3};
+  const auto reach2 = t.monotonically_reachable(a);
+  EXPECT_TRUE(reach2[0]);
+  EXPECT_FALSE(reach2[1]);
+  EXPECT_FALSE(reach2[2]);  // blocked by its ancestor
+}
+
+TEST(TreeView, MonotoneReachabilityInfinityBlocks) {
+  std::vector<TreeView::Node> nodes(2);
+  nodes[0] = {1, TreeView::kNoNode, 0, {1}};
+  nodes[1] = {0, 0, 1, {}};
+  const TreeView t = TreeView::from_nodes(std::move(nodes));
+  LayerAssignment a;
+  a.layer = {kInfiniteLayer, 2};
+  a.num_layers = 2;
+  const auto reach = t.monotonically_reachable(a);
+  EXPECT_TRUE(reach[0]);
+  EXPECT_FALSE(reach[1]);  // maps to an ∞ vertex
+
+  a.layer = {1, kInfiniteLayer};
+  const auto reach2 = t.monotonically_reachable(a);
+  EXPECT_FALSE(reach2[0]);  // root itself at ∞
+}
+
+TEST(TreeView, SerializedWords) {
+  EXPECT_EQ(TreeView::single(0).serialized_words(), 3u);
+  const Graph g = graph::star(4);
+  EXPECT_EQ(TreeView::star(0, g.neighbors(0)).serialized_words(), 9u);
+}
+
+}  // namespace
+}  // namespace arbor::core
