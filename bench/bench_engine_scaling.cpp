@@ -1,0 +1,98 @@
+// E-engine: round throughput of the execution engine vs. thread count.
+//
+// Workload: the shared routing storm (bench/engine_storm.hpp) over a
+// paper-shaped cluster built for a generator graph with >= 1M edges. Every
+// configuration must produce bit-identical inbox fingerprints and identical
+// ledger round/word totals; the bench aborts if any executor disagrees.
+//
+//   ./bench_engine_scaling [n] [m] [rounds]
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "bench_util.hpp"
+#include "engine_storm.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+int main(int argc, char** argv) {
+  using arbor::bench::StormOutcome;
+  using arbor::mpc::ClusterConfig;
+  using arbor::mpc::ExecutionPolicy;
+
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                 : (1u << 18);
+  const std::size_t m = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
+                                 : (1u << 20);
+  const std::size_t rounds =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 6;
+
+  arbor::bench::banner(
+      "E-engine: round throughput vs. thread count",
+      "Claim: the flat-buffer parallel engine sustains >= 2x the round "
+      "throughput of the serial reference executor at 8 threads, with "
+      "bit-identical inboxes and identical ledger totals.");
+
+  arbor::util::SplitRng rng(7);
+  const arbor::graph::Graph g = arbor::graph::gnm(n, m, rng);
+  std::printf("graph: n=%zu m=%zu  (hardware threads: %u)\n\n",
+              g.num_vertices(), g.num_edges(),
+              std::thread::hardware_concurrency());
+
+  const ClusterConfig base =
+      ClusterConfig::for_problem(g.num_vertices(), g.num_edges(), 0.7);
+  const auto slabs = arbor::bench::edge_slabs(g, base.num_machines);
+  std::printf("cluster: M=%zu machines, S=%zu words, %zu rounds/config\n\n",
+              base.num_machines, base.words_per_machine, rounds);
+
+  struct Config {
+    const char* name;
+    ExecutionPolicy policy;
+  };
+  const Config configs[] = {
+      {"serial", ExecutionPolicy::serial()},
+      {"parallel(1)", ExecutionPolicy::parallel(1)},
+      {"parallel(2)", ExecutionPolicy::parallel(2)},
+      {"parallel(4)", ExecutionPolicy::parallel(4)},
+      {"parallel(8)", ExecutionPolicy::parallel(8)},
+  };
+
+  arbor::bench::Table table({"executor", "ms", "rounds/s", "Mwords/s",
+                             "speedup", "peak_traffic", "fingerprint"});
+  StormOutcome serial_out;
+  double speedup_at_8 = 0;
+  for (const Config& config : configs) {
+    ClusterConfig cfg = base;
+    cfg.execution = config.policy;
+    const StormOutcome out = arbor::bench::run_storm(slabs, cfg, rounds);
+    if (config.policy.mode == ExecutionPolicy::Mode::kSerial) {
+      serial_out = out;
+    } else {
+      if (out.fingerprint != serial_out.fingerprint ||
+          out.ledger_rounds != serial_out.ledger_rounds ||
+          out.peak_traffic != serial_out.peak_traffic) {
+        std::fprintf(stderr,
+                     "FATAL: %s disagrees with serial executor "
+                     "(fingerprint/ledger mismatch)\n",
+                     config.name);
+        return 1;
+      }
+      if (config.policy.threads == 8)
+        speedup_at_8 = serial_out.secs / out.secs;
+    }
+    char fp[32];
+    std::snprintf(fp, sizeof(fp), "%016llx",
+                  static_cast<unsigned long long>(out.fingerprint));
+    table.add_row({config.name, arbor::bench::fmt(out.secs * 1e3, 1),
+                   arbor::bench::fmt(out.rounds / out.secs, 1),
+                   arbor::bench::fmt(out.words_moved / out.secs / 1e6, 2),
+                   arbor::bench::fmt(serial_out.secs / out.secs, 2),
+                   arbor::bench::fmt(out.peak_traffic), fp});
+  }
+  table.print();
+
+  std::printf("\nspeedup at 8 threads vs serial: %.2fx (target >= 2x on "
+              "multicore hardware)\n",
+              speedup_at_8);
+  return 0;
+}

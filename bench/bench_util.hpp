@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/engine.hpp"
 #include "graph/graph.hpp"
 #include "mpc/config.hpp"
 #include "mpc/ledger.hpp"
@@ -63,26 +64,31 @@ inline std::string fmt(double v, int precision = 2) {
   return buf;
 }
 
-/// Owning (config, ledger, context) bundle for one algorithm run.
+/// Owning (config, ledger, engine, context) bundle for one algorithm run.
+/// The engine is shared by every Level-0 cluster the run spawns
+/// (`mpc::Cluster(cfg, ledger, run.ctx->engine())`), so a bench selects
+/// serial vs parallel execution in exactly one place.
 struct Run {
   mpc::ClusterConfig config;
   std::unique_ptr<mpc::RoundLedger> ledger;
+  std::unique_ptr<engine::Engine> engine;
   std::unique_ptr<mpc::MpcContext> ctx;
 
-  static Run for_graph(const graph::Graph& g, double delta = 0.6) {
-    Run r;
-    r.config = mpc::ClusterConfig::for_problem(g.num_vertices(),
-                                               g.num_edges(), delta);
-    r.ledger = std::make_unique<mpc::RoundLedger>(r.config);
-    r.ctx = std::make_unique<mpc::MpcContext>(r.config, r.ledger.get());
-    return r;
+  static Run for_graph(const graph::Graph& g, double delta = 0.6,
+                       mpc::ExecutionPolicy policy = {}) {
+    mpc::ClusterConfig cfg = mpc::ClusterConfig::for_problem(
+        g.num_vertices(), g.num_edges(), delta);
+    cfg.execution = policy;
+    return with_config(cfg);
   }
 
   static Run with_config(const mpc::ClusterConfig& cfg) {
     Run r;
     r.config = cfg;
     r.ledger = std::make_unique<mpc::RoundLedger>(cfg);
-    r.ctx = std::make_unique<mpc::MpcContext>(cfg, r.ledger.get());
+    r.engine = std::make_unique<engine::Engine>(cfg.execution);
+    r.ctx = std::make_unique<mpc::MpcContext>(cfg, r.ledger.get(),
+                                              r.engine.get());
     return r;
   }
 };

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure, build, test. Standard pre-merge gate — run from
+# anywhere; exits non-zero on the first failure.
+#
+#   scripts/check.sh                 # Release build into ./build
+#   scripts/check.sh -DARBOR_WERROR=ON   # extra cmake args pass through
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B build -S . "$@"
+cmake --build build -j"${JOBS}"
+ctest --test-dir build --output-on-failure -j"${JOBS}"

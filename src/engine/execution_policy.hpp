@@ -1,0 +1,45 @@
+// How a cluster executes its synchronous rounds.
+//
+// serial() is the reference executor: machines step one after another on the
+// calling thread and inboxes are materialized as per-message vectors — the
+// exact semantics the framework tests were written against. parallel(k)
+// selects the engine: machines are partitioned across k worker threads and
+// messages move through flat word arenas with offset-based routing. Both
+// produce bit-identical inboxes and ledger totals (tests/engine_test.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+
+namespace arbor::engine {
+
+struct ExecutionPolicy {
+  enum class Mode : std::uint8_t { kSerial, kParallel };
+
+  Mode mode = Mode::kSerial;
+  std::size_t threads = 1;
+
+  static ExecutionPolicy serial() { return {}; }
+
+  /// `threads == 0` means "use the hardware concurrency".
+  static ExecutionPolicy parallel(std::size_t threads = 0) {
+    if (threads == 0) {
+      const unsigned hw = std::thread::hardware_concurrency();
+      threads = hw == 0 ? 1 : static_cast<std::size_t>(hw);
+    }
+    return {Mode::kParallel, threads};
+  }
+
+  bool is_parallel() const noexcept { return mode == Mode::kParallel; }
+
+  /// Worker threads the engine will actually run with (≥ 1).
+  std::size_t effective_threads() const noexcept {
+    return is_parallel() && threads > 0 ? threads : 1;
+  }
+
+  friend bool operator==(const ExecutionPolicy&,
+                         const ExecutionPolicy&) = default;
+};
+
+}  // namespace arbor::engine

@@ -1,0 +1,87 @@
+#include "engine/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace arbor::engine {
+
+ThreadPool::ThreadPool(std::size_t workers)
+    : width_(std::max<std::size_t>(workers, 1)) {
+  // The calling thread participates in every run_blocks, so only width-1
+  // threads are spawned; a pool of width 1 runs everything inline.
+  errors_.resize(width_);
+  workers_.reserve(width_ - 1);
+  for (std::size_t i = 0; i + 1 < width_; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::run_block_of(std::size_t index, std::size_t n,
+                              const BlockFn& fn) {
+  const std::size_t chunk = (n + width_ - 1) / width_;
+  const std::size_t begin = std::min(index * chunk, n);
+  const std::size_t end = std::min(begin + chunk, n);
+  if (begin >= end) return;
+  try {
+    fn(begin, end);
+  } catch (...) {
+    errors_[index] = std::current_exception();
+  }
+}
+
+void ThreadPool::run_blocks(std::size_t n, const BlockFn& fn) {
+  if (n == 0) return;
+  std::fill(errors_.begin(), errors_.end(), std::exception_ptr{});
+  if (!workers_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job_n_ = n;
+      job_fn_ = &fn;
+      pending_ = workers_.size();
+      ++generation_;
+    }
+    start_cv_.notify_all();
+  }
+  // The caller takes the last block while the workers run theirs.
+  run_block_of(width_ - 1, n, fn);
+  if (!workers_.empty()) {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return pending_ == 0; });
+    job_fn_ = nullptr;
+  }
+  // Deterministic error reporting: lowest block index wins.
+  for (const auto& err : errors_)
+    if (err) std::rethrow_exception(err);
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const BlockFn* fn = nullptr;
+    std::size_t n = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      fn = job_fn_;
+      n = job_n_;
+    }
+    run_block_of(index, n, *fn);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace arbor::engine

@@ -1,0 +1,63 @@
+// Fixed-size worker pool running contiguous index blocks with a barrier.
+//
+// The engine's unit of parallelism is "a block of machine (or inbox) ids":
+// run_blocks(n, fn) partitions [0, n) into one contiguous block per worker,
+// runs fn(begin, end) on each worker, and returns only after every block
+// finished (the round barrier). Exceptions thrown inside a block are
+// captured and rethrown on the calling thread — the one from the
+// lowest-indexed block wins, so error reporting is deterministic regardless
+// of scheduling.
+//
+// The pool is created once per engine and reused for every phase of every
+// round; a round costs two condition-variable handshakes, not thread spawns.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace arbor::engine {
+
+class ThreadPool {
+ public:
+  /// Pool of `workers`-way parallelism (at least 1). The calling thread
+  /// runs the last block of every run_blocks, so only workers-1 threads
+  /// are spawned.
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Parallelism width (blocks per run), caller included.
+  std::size_t size() const noexcept { return width_; }
+
+  using BlockFn = std::function<void(std::size_t begin, std::size_t end)>;
+
+  /// Run fn over [0, n) split into size() contiguous blocks; blocks until
+  /// all workers finish. Not reentrant and not thread-safe: one run at a
+  /// time, from one caller.
+  void run_blocks(std::size_t n, const BlockFn& fn);
+
+ private:
+  void worker_loop(std::size_t index);
+  void run_block_of(std::size_t index, std::size_t n, const BlockFn& fn);
+
+  std::size_t width_;
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;  // bumped per run_blocks call
+  std::size_t pending_ = 0;
+  std::size_t job_n_ = 0;
+  const BlockFn* job_fn_ = nullptr;
+  bool stop_ = false;
+  std::vector<std::exception_ptr> errors_;  // slot per worker
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace arbor::engine

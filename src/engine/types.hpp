@@ -1,0 +1,15 @@
+// Base vocabulary of the execution engine.
+//
+// The engine layer sits below mpc/: it knows about machine words and message
+// buffers but nothing about clusters, ledgers, or graphs. mpc::Word aliases
+// engine::Word so the two layers agree without a dependency cycle.
+#pragma once
+
+#include <cstdint>
+
+namespace arbor::engine {
+
+/// One machine word = O(log n) bits (vertex id, edge endpoint, layer/color).
+using Word = std::uint64_t;
+
+}  // namespace arbor::engine

@@ -59,8 +59,7 @@ EmbeddedPeelingResult embedded_threshold_peeling(const graph::Graph& g,
         }
       }
       for (std::size_t dst = 0; dst < machines; ++dst)
-        if (!outgoing[dst].empty())
-          send.send(dst, std::move(outgoing[dst]));
+        if (!outgoing[dst].empty()) send.send(dst, outgoing[dst]);
     });
 
     // Post-round state update (the receiving side of the same round):

@@ -1,67 +1,55 @@
 #include "mpc/cluster.hpp"
 
-#include <algorithm>
-
 #include "util/assert.hpp"
 
 namespace arbor::mpc {
+namespace {
 
-void Sender::send(std::size_t dst_machine, std::vector<Word> payload) {
-  words_sent_ += payload.size();
-  ARBOR_CHECK_MSG(words_sent_ <= capacity_,
-                  "machine " + std::to_string(source_) +
-                      " exceeded send capacity " + std::to_string(capacity_));
-  out_.emplace_back(dst_machine, std::move(payload));
+engine::Engine& deref_engine(engine::Engine* e) {
+  ARBOR_CHECK_MSG(e != nullptr, "Cluster requires a non-null engine");
+  return *e;
 }
 
+}  // namespace
+
 Cluster::Cluster(ClusterConfig config, RoundLedger* ledger)
-    : config_(config), ledger_(ledger), inboxes_(config.num_machines) {
+    : config_(config),
+      ledger_(ledger),
+      owned_engine_(std::make_unique<engine::Engine>(config.execution)),
+      engine_(owned_engine_.get()),
+      state_(engine_->make_state(config.num_machines)) {
   ARBOR_CHECK(config.num_machines > 0);
   ARBOR_CHECK(config.words_per_machine > 0);
 }
 
-void Cluster::preload(std::size_t dst, std::vector<Word> payload) {
-  ARBOR_CHECK(dst < inboxes_.size());
-  inboxes_[dst].push_back(std::move(payload));
+Cluster::Cluster(ClusterConfig config, RoundLedger* ledger,
+                 engine::Engine* engine)
+    : config_(config),
+      ledger_(ledger),
+      engine_(&deref_engine(engine)),
+      state_(engine_->make_state(config.num_machines)) {
+  ARBOR_CHECK(config.num_machines > 0);
+  ARBOR_CHECK(config.words_per_machine > 0);
+}
+
+void Cluster::preload(std::size_t dst, std::span<const Word> payload) {
+  ARBOR_CHECK(dst < state_.num_machines());
+  state_.preload(dst, payload);
 }
 
 void Cluster::run_round(const StepFn& step) {
-  std::vector<std::pair<std::size_t, std::vector<Word>>> in_flight;
-  std::size_t max_traffic = 0;
-
-  for (std::size_t m = 0; m < inboxes_.size(); ++m) {
-    std::vector<std::pair<std::size_t, std::vector<Word>>> outgoing;
-    Sender sender(m, config_.words_per_machine, outgoing);
-    step(m, inboxes_[m], sender);
-    max_traffic = std::max(max_traffic, sender.words_sent());
-    for (auto& msg : outgoing) {
-      ARBOR_CHECK_MSG(msg.first < inboxes_.size(),
-                      "message to nonexistent machine");
-      in_flight.push_back(std::move(msg));
-    }
-  }
-
-  // Deliver, enforcing the receiver-side cap.
-  for (auto& box : inboxes_) box.clear();
-  std::vector<std::size_t> received(inboxes_.size(), 0);
-  for (auto& [dst, payload] : in_flight) {
-    received[dst] += payload.size();
-    ARBOR_CHECK_MSG(received[dst] <= config_.words_per_machine,
-                    "machine " + std::to_string(dst) +
-                        " exceeded receive capacity");
-    inboxes_[dst].push_back(std::move(payload));
-  }
-  max_traffic = std::max(
-      max_traffic,
-      received.empty()
-          ? std::size_t{0}
-          : *std::max_element(received.begin(), received.end()));
-
+  const engine::RoundStats stats =
+      engine_->run_round(state_, config_.words_per_machine, rounds_, step);
   ++rounds_;
   if (ledger_) {
     ledger_->charge(1, "cluster.round");
-    ledger_->note_round_traffic(max_traffic);
+    ledger_->note_round_traffic(stats.max_traffic());
   }
+}
+
+InboxView Cluster::inbox(std::size_t m) const {
+  ARBOR_CHECK(m < state_.num_machines());
+  return state_.inbox(m);
 }
 
 }  // namespace arbor::mpc

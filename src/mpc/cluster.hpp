@@ -7,12 +7,27 @@
 // distributed dataflows (sample sort, broadcast trees) on it and check they
 // respect the same budgets the primitives charge. It also backs the LOCAL
 // model embedding used by baseline round-per-round simulation.
+//
+// Round execution is delegated to engine::Engine (src/engine/): the
+// ExecutionPolicy knob on ClusterConfig selects the serial reference
+// executor or the thread-pool-backed parallel engine. Both produce
+// bit-identical inboxes and ledger totals (tests/engine_test.cpp), so any
+// program written against this API can be flipped to parallel execution
+// without behavioural change — PROVIDED its step functions honour the
+// engine::StepFn concurrency contract: under a parallel policy steps run
+// concurrently for different machines and must only write machine-owned
+// state (see src/engine/engine.hpp).
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <initializer_list>
+#include <memory>
+#include <span>
 #include <vector>
 
+#include "engine/engine.hpp"
+#include "engine/inbox.hpp"
+#include "engine/outbox.hpp"
 #include "mpc/config.hpp"
 #include "mpc/ledger.hpp"
 
@@ -20,55 +35,52 @@ namespace arbor::mpc {
 
 /// Outgoing-message sink handed to the per-machine step function; enforces
 /// the sender-side traffic cap as messages are queued.
-class Sender {
- public:
-  Sender(std::size_t source, std::size_t capacity,
-         std::vector<std::pair<std::size_t, std::vector<Word>>>& out)
-      : source_(source), capacity_(capacity), out_(out) {}
+using Sender = engine::Sender;
 
-  void send(std::size_t dst_machine, std::vector<Word> payload);
-
-  std::size_t words_sent() const noexcept { return words_sent_; }
-  std::size_t source() const noexcept { return source_; }
-
- private:
-  std::size_t source_;
-  std::size_t capacity_;
-  std::size_t words_sent_ = 0;
-  std::vector<std::pair<std::size_t, std::vector<Word>>>& out_;
-};
+/// Read-only views over a machine's received messages.
+using InboxView = engine::InboxView;
+using MessageView = engine::MessageView;
 
 class Cluster {
  public:
   /// Step function: (machine id, messages received last round, sender).
-  using StepFn =
-      std::function<void(std::size_t, const std::vector<std::vector<Word>>&,
-                         Sender&)>;
+  using StepFn = engine::StepFn;
 
+  /// Executes with an engine built from `config.execution`.
   Cluster(ClusterConfig config, RoundLedger* ledger);
+
+  /// Executes on `engine` (not owned; must outlive the cluster). Lets many
+  /// clusters share one worker pool, e.g. via MpcContext::engine().
+  Cluster(ClusterConfig config, RoundLedger* ledger, engine::Engine* engine);
 
   std::size_t num_machines() const noexcept { return config_.num_machines; }
   std::size_t capacity() const noexcept { return config_.words_per_machine; }
   std::size_t rounds_executed() const noexcept { return rounds_; }
+  const engine::Engine& engine() const noexcept { return *engine_; }
 
   /// Deliver `payload` into machine `dst`'s inbox before the first round
-  /// (input loading; not charged as a round).
-  void preload(std::size_t dst, std::vector<Word> payload);
+  /// (input loading; not charged as a round). Copies straight into the
+  /// inbox storage; the caller keeps ownership of its buffer.
+  void preload(std::size_t dst, std::span<const Word> payload);
+  void preload(std::size_t dst, std::initializer_list<Word> payload) {
+    preload(dst, std::span<const Word>(payload.begin(), payload.size()));
+  }
 
   /// Execute one synchronous round: every machine sees its inbox, emits
-  /// messages; receiver-side volume is validated; inboxes swap.
+  /// messages; receiver-side volume is validated once per machine; inboxes
+  /// swap.
   void run_round(const StepFn& step);
 
   /// Messages currently waiting at machine `m` (for inspection/tests).
-  const std::vector<std::vector<Word>>& inbox(std::size_t m) const {
-    return inboxes_.at(m);
-  }
+  InboxView inbox(std::size_t m) const;
 
  private:
   ClusterConfig config_;
   RoundLedger* ledger_;  // not owned; may be null
   std::size_t rounds_ = 0;
-  std::vector<std::vector<std::vector<Word>>> inboxes_;  // per machine
+  std::unique_ptr<engine::Engine> owned_engine_;
+  engine::Engine* engine_;  // owned_engine_.get() or external
+  engine::RoundState state_;
 };
 
 }  // namespace arbor::mpc

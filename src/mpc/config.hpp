@@ -9,17 +9,26 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "engine/execution_policy.hpp"
+#include "engine/types.hpp"
 #include "util/assert.hpp"
 
 namespace arbor::mpc {
 
 /// One machine word = O(log n) bits: enough for a vertex id, an edge
 /// endpoint pair member, or a layer/color value.
-using Word = std::uint64_t;
+using Word = engine::Word;
+
+using engine::ExecutionPolicy;
 
 struct ClusterConfig {
   std::size_t num_machines = 0;
   std::size_t words_per_machine = 0;  ///< S
+
+  /// How the Level-0 cluster executes rounds: the serial reference executor
+  /// (default) or the thread-pool engine. Purely an execution knob — the
+  /// simulated model (machines, caps, rounds) is identical either way.
+  ExecutionPolicy execution{};
 
   /// Derive a cluster for a graph problem of n vertices / m edges with
   /// local memory S = max(n^δ, min_words) and enough machines for

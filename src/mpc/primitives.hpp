@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/engine.hpp"
 #include "mpc/config.hpp"
 #include "mpc/ledger.hpp"
 #include "util/assert.hpp"
@@ -29,13 +30,25 @@ namespace arbor::mpc {
 
 class MpcContext {
  public:
-  MpcContext(ClusterConfig config, RoundLedger* ledger)
-      : config_(config), ledger_(ledger) {
+  /// `engine` (optional, not owned) is the execution backend for any
+  /// Level-0 clusters spawned while running under this context; pipelines
+  /// and benches thread it through so `Cluster(cfg, ledger, ctx.engine())`
+  /// shares one worker pool. Null means "each cluster builds its own from
+  /// cfg.execution".
+  MpcContext(ClusterConfig config, RoundLedger* ledger,
+             engine::Engine* engine = nullptr)
+      : config_(config), ledger_(ledger), engine_(engine) {
     ARBOR_CHECK(config.num_machines > 0 && config.words_per_machine > 0);
   }
 
   const ClusterConfig& config() const noexcept { return config_; }
   RoundLedger* ledger() const noexcept { return ledger_; }
+  engine::Engine* engine() const noexcept { return engine_; }
+
+  /// Policy Level-0 clusters under this context should execute with.
+  ExecutionPolicy execution_policy() const noexcept {
+    return engine_ ? engine_->policy() : config_.execution;
+  }
 
   /// Rounds to sort N words with S-word machines: ⌈log_S N⌉, at least 1.
   std::size_t sort_rounds(std::size_t total_words) const {
@@ -126,6 +139,7 @@ class MpcContext {
  private:
   ClusterConfig config_;
   RoundLedger* ledger_;
+  engine::Engine* engine_ = nullptr;  // not owned; may be null
 };
 
 }  // namespace arbor::mpc

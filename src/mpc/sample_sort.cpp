@@ -32,7 +32,7 @@ SampleSortResult sample_sort(Cluster& cluster,
         sample.push_back(sorted[idx]);
       }
     }
-    send.send(0, std::move(sample));
+    send.send(0, sample);
   });
 
   // Round 2: coordinator picks machines-1 splitters from the pooled sample
@@ -60,7 +60,7 @@ SampleSortResult sample_sort(Cluster& cluster,
   // received splitters); buckets sort locally after delivery.
   cluster.run_round([&](std::size_t m, const auto& inbox, Sender& send) {
     ARBOR_CHECK_MSG(!inbox.empty(), "splitters missing");
-    const std::vector<Word>& split = inbox.front();
+    const auto split = inbox.front();  // zero-copy view of the message
     std::vector<std::vector<Word>> outgoing(machines);
     for (Word key : slabs[m]) {
       const std::size_t bucket = static_cast<std::size_t>(
@@ -69,8 +69,7 @@ SampleSortResult sample_sort(Cluster& cluster,
       outgoing[bucket].push_back(key);
     }
     for (std::size_t dst = 0; dst < machines; ++dst)
-      if (!outgoing[dst].empty())
-        send.send(dst, std::move(outgoing[dst]));
+      if (!outgoing[dst].empty()) send.send(dst, outgoing[dst]);
   });
 
   SampleSortResult result;

@@ -1,0 +1,408 @@
+// Tests for the parallel execution engine (src/engine/): thread pool
+// semantics, flat inbox/outbox buffers, and — the load-bearing property —
+// that parallel(k) execution is bit-identical to the serial reference
+// executor for every Level-0 program in the tree (delivery order, inbox
+// contents, ledger totals), with the traffic caps enforced exactly under
+// concurrency.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "engine/execution_policy.hpp"
+#include "engine/inbox.hpp"
+#include "engine/thread_pool.hpp"
+#include "graph/generators.hpp"
+#include "local/mpc_embedding.hpp"
+#include "mpc/broadcast.hpp"
+#include "mpc/cluster.hpp"
+#include "mpc/primitives.hpp"
+#include "mpc/sample_sort.hpp"
+#include "util/assert.hpp"
+#include "util/hashing.hpp"
+#include "util/rng.hpp"
+
+namespace arbor {
+namespace {
+
+using engine::ExecutionPolicy;
+using mpc::Cluster;
+using mpc::ClusterConfig;
+using mpc::RoundLedger;
+using mpc::Sender;
+using mpc::Word;
+
+// ---------------------------------------------------------------- policy
+
+TEST(ExecutionPolicy, SerialDefaults) {
+  const ExecutionPolicy p = ExecutionPolicy::serial();
+  EXPECT_FALSE(p.is_parallel());
+  EXPECT_EQ(p.effective_threads(), 1u);
+}
+
+TEST(ExecutionPolicy, ParallelThreads) {
+  const ExecutionPolicy p = ExecutionPolicy::parallel(4);
+  EXPECT_TRUE(p.is_parallel());
+  EXPECT_EQ(p.effective_threads(), 4u);
+  // threads == 0 resolves to hardware concurrency, at least one.
+  EXPECT_GE(ExecutionPolicy::parallel(0).effective_threads(), 1u);
+}
+
+// ------------------------------------------------------------ thread pool
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  engine::ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(100);
+  pool.run_blocks(100, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, HandlesFewerItemsThanWorkers) {
+  engine::ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.run_blocks(3, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossManyRounds) {
+  engine::ThreadPool pool(4);
+  std::atomic<std::size_t> total{0};
+  for (int round = 0; round < 200; ++round)
+    pool.run_blocks(17, [&](std::size_t begin, std::size_t end) {
+      total.fetch_add(end - begin);
+    });
+  EXPECT_EQ(total.load(), 200u * 17u);
+}
+
+TEST(ThreadPool, PropagatesLowestBlockException) {
+  engine::ThreadPool pool(4);
+  try {
+    pool.run_blocks(4, [&](std::size_t begin, std::size_t) {
+      throw std::runtime_error("block " + std::to_string(begin));
+    });
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "block 0");
+  }
+}
+
+// ------------------------------------------------------- flat inbox views
+
+TEST(Inbox, FlatAppendAndViews) {
+  engine::Inbox inbox;
+  inbox.append(std::vector<Word>{1, 2, 3});
+  inbox.append(std::vector<Word>{9});
+  const engine::InboxView view(inbox);
+  ASSERT_EQ(view.size(), 2u);
+  EXPECT_FALSE(view.empty());
+  EXPECT_EQ(view.total_words(), 4u);
+  EXPECT_EQ(view[0].size(), 3u);
+  EXPECT_EQ(view[0][1], 2u);
+  EXPECT_EQ(view[1][0], 9u);
+  const std::vector<Word> materialized = view.front();
+  EXPECT_EQ(materialized, (std::vector<Word>{1, 2, 3}));
+  std::size_t count = 0, words = 0;
+  for (const auto& msg : view) {
+    ++count;
+    words += msg.size();
+  }
+  EXPECT_EQ(count, 2u);
+  EXPECT_EQ(words, 4u);
+  inbox.clear();
+  EXPECT_TRUE(engine::InboxView(inbox).empty());
+}
+
+TEST(Inbox, NestedViewAdaptsVectors) {
+  const std::vector<std::vector<Word>> nested{{4, 5}, {6}};
+  const engine::InboxView view(nested);
+  ASSERT_EQ(view.size(), 2u);
+  EXPECT_EQ(view.total_words(), 3u);
+  EXPECT_EQ(view[0], (std::vector<Word>{4, 5}));
+  EXPECT_EQ(view[1][0], 6u);
+}
+
+// -------------------------------------------- delivery order determinism
+
+// The engine must deliver messages in (source asc, send order) for every
+// destination — the serial executor's order — regardless of scheduling.
+TEST(Engine, DeliveryOrderMatchesSerial) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    ClusterConfig cfg{6, 64};
+    cfg.execution = ExecutionPolicy::parallel(threads);
+    Cluster cluster(cfg, nullptr);
+    cluster.run_round([](std::size_t m, const auto&, Sender& send) {
+      // Every machine sends two messages to machine 0, tagged by source.
+      send.send(0, {m * 10});
+      send.send(0, {m * 10 + 1});
+    });
+    const auto inbox = cluster.inbox(0);
+    ASSERT_EQ(inbox.size(), 12u);
+    for (std::size_t i = 0; i < 12; ++i)
+      EXPECT_EQ(inbox[i][0], (i / 2) * 10 + (i % 2)) << "message " << i;
+  }
+}
+
+TEST(Engine, PreloadVisibleInFirstRound) {
+  ClusterConfig cfg{3, 64};
+  cfg.execution = ExecutionPolicy::parallel(2);
+  Cluster cluster(cfg, nullptr);
+  cluster.preload(1, {7, 8});
+  std::vector<Word> seen;
+  cluster.run_round([&](std::size_t m, const auto& inbox, Sender&) {
+    if (m == 1 && !inbox.empty()) {
+      const std::vector<Word> msg = inbox.front();
+      seen = msg;
+    }
+  });
+  EXPECT_EQ(seen, (std::vector<Word>{7, 8}));
+}
+
+// Checksum of every machine's inbox (message boundaries included).
+std::uint64_t inbox_fingerprint(const Cluster& cluster) {
+  std::uint64_t h = util::mix64(0xabcdef);
+  for (std::size_t m = 0; m < cluster.num_machines(); ++m) {
+    for (const auto& msg : cluster.inbox(m)) {
+      h = util::hash_combine(h, msg.size());
+      for (Word w : msg) h = util::hash_combine(h, w);
+    }
+    h = util::hash_combine(h, 0x6d61636821ULL);  // machine separator
+  }
+  return h;
+}
+
+// A multi-round routing storm: every machine scatters hashed words, then the
+// fingerprints of the full inbox state must agree serial vs parallel(k),
+// and so must the ledger (rounds, peak traffic).
+TEST(Engine, StormBitIdenticalAcrossExecutors) {
+  const std::size_t machines = 32;
+  const ClusterConfig base{machines, 4096};
+  std::vector<std::uint64_t> fingerprints;
+  std::vector<std::size_t> peak_traffic;
+  for (const auto& policy :
+       {ExecutionPolicy::serial(), ExecutionPolicy::parallel(1),
+        ExecutionPolicy::parallel(3), ExecutionPolicy::parallel(8)}) {
+    ClusterConfig cfg = base;
+    cfg.execution = policy;
+    RoundLedger ledger(cfg);
+    Cluster cluster(cfg, &ledger);
+    for (std::size_t round = 0; round < 5; ++round) {
+      cluster.run_round([&](std::size_t m, const auto&, Sender& send) {
+        for (std::size_t i = 0; i < 16; ++i) {
+          const Word w = util::hash_words(7, round, m, i);
+          send.send(w % machines, {w, w ^ m});
+        }
+      });
+    }
+    fingerprints.push_back(inbox_fingerprint(cluster));
+    peak_traffic.push_back(ledger.peak_round_traffic());
+    EXPECT_EQ(ledger.total_rounds(), 5u);
+  }
+  for (std::size_t i = 1; i < fingerprints.size(); ++i) {
+    EXPECT_EQ(fingerprints[i], fingerprints[0]) << "policy " << i;
+    EXPECT_EQ(peak_traffic[i], peak_traffic[0]) << "policy " << i;
+  }
+}
+
+// ---------------------------------- determinism of the Level-0 programs
+
+TEST(Engine, SampleSortIdenticalToSerialAcrossSeeds) {
+  for (const std::uint64_t seed : {1u, 2u, 77u}) {
+    util::SplitRng rng(seed);
+    const std::size_t machines = 8;
+    std::vector<std::vector<Word>> input(machines);
+    for (auto& slab : input)
+      for (int i = 0; i < 32; ++i) slab.push_back(rng.next_below(1u << 20));
+
+    ClusterConfig serial_cfg{machines, 1024};
+    RoundLedger serial_ledger(serial_cfg);
+    Cluster serial_cluster(serial_cfg, &serial_ledger);
+    const auto serial_result = mpc::sample_sort(serial_cluster, input);
+
+    for (const std::size_t threads : {1u, 4u}) {
+      ClusterConfig cfg{machines, 1024};
+      cfg.execution = ExecutionPolicy::parallel(threads);
+      RoundLedger ledger(cfg);
+      Cluster cluster(cfg, &ledger);
+      const auto result = mpc::sample_sort(cluster, input);
+      EXPECT_EQ(result.slabs, serial_result.slabs)
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(result.rounds, serial_result.rounds);
+      EXPECT_EQ(ledger.total_rounds(), serial_ledger.total_rounds());
+      EXPECT_EQ(ledger.peak_round_traffic(),
+                serial_ledger.peak_round_traffic());
+      EXPECT_EQ(ledger.rounds_by_label(), serial_ledger.rounds_by_label());
+    }
+  }
+}
+
+TEST(Engine, BroadcastIdenticalToSerial) {
+  const std::vector<Word> payload{3, 1, 4, 1, 5};
+  ClusterConfig serial_cfg{13, 256};
+  RoundLedger serial_ledger(serial_cfg);
+  Cluster serial_cluster(serial_cfg, &serial_ledger);
+  const auto serial_result =
+      mpc::broadcast_tree(serial_cluster, 4, payload, 3);
+
+  ClusterConfig cfg{13, 256};
+  cfg.execution = ExecutionPolicy::parallel(4);
+  RoundLedger ledger(cfg);
+  Cluster cluster(cfg, &ledger);
+  const auto result = mpc::broadcast_tree(cluster, 4, payload, 3);
+
+  EXPECT_EQ(result.copies, serial_result.copies);
+  EXPECT_EQ(result.rounds, serial_result.rounds);
+  EXPECT_EQ(ledger.total_rounds(), serial_ledger.total_rounds());
+  EXPECT_EQ(ledger.peak_round_traffic(), serial_ledger.peak_round_traffic());
+}
+
+TEST(Engine, EmbeddedPeelingIdenticalToSerial) {
+  util::SplitRng rng(11);
+  const graph::Graph g = graph::gnm(400, 1200, rng);
+
+  Cluster serial_cluster(ClusterConfig{8, 1 << 14}, nullptr);
+  const auto serial_result =
+      local::embedded_threshold_peeling(g, 6, serial_cluster, 200);
+
+  ClusterConfig cfg{8, 1 << 14};
+  cfg.execution = ExecutionPolicy::parallel(4);
+  Cluster cluster(cfg, nullptr);
+  const auto result = local::embedded_threshold_peeling(g, 6, cluster, 200);
+
+  EXPECT_EQ(result.layer, serial_result.layer);
+  EXPECT_EQ(result.num_layers, serial_result.num_layers);
+  EXPECT_EQ(result.cluster_rounds, serial_result.cluster_rounds);
+  EXPECT_EQ(result.complete, serial_result.complete);
+}
+
+// ------------------------------------------------ cap enforcement, parallel
+
+TEST(Engine, SendCapacityEnforcedUnderParallel) {
+  ClusterConfig cfg{4, 4};
+  cfg.execution = ExecutionPolicy::parallel(4);
+  Cluster cluster(cfg, nullptr);
+  EXPECT_THROW(
+      cluster.run_round([](std::size_t m, const auto&, Sender& send) {
+        if (m == 2) send.send(0, {1, 2, 3, 4, 5});  // 5 > 4 words
+      }),
+      arbor::InvariantError);
+}
+
+TEST(Engine, ReceiveCapacityEnforcedOncePerMachineNamingOffender) {
+  ClusterConfig cfg{4, 4};
+  cfg.execution = ExecutionPolicy::parallel(2);
+  Cluster cluster(cfg, nullptr);
+  try {
+    cluster.run_round([](std::size_t m, const auto&, Sender& send) {
+      // Individually within the send cap, but machine 3 receives 3 × 3 = 9.
+      if (m != 3) send.send(3, {m, m, m});
+    });
+    FAIL() << "expected receive-capacity violation";
+  } catch (const arbor::InvariantError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("machine 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("receive capacity"), std::string::npos) << what;
+    EXPECT_NE(what.find("9 > 4"), std::string::npos) << what;
+  }
+}
+
+TEST(Engine, SerialReceiveCapMessageAlsoNamesMachine) {
+  Cluster cluster(ClusterConfig{3, 4}, nullptr);
+  try {
+    cluster.run_round([](std::size_t m, const auto&, Sender& send) {
+      if (m != 2) send.send(2, {1, 2, 3});
+    });
+    FAIL() << "expected receive-capacity violation";
+  } catch (const arbor::InvariantError& e) {
+    EXPECT_NE(std::string(e.what()).find("machine 2"), std::string::npos);
+  }
+}
+
+TEST(Engine, MessageToNonexistentMachineRejected) {
+  ClusterConfig cfg{2, 16};
+  cfg.execution = ExecutionPolicy::parallel(2);
+  Cluster cluster(cfg, nullptr);
+  EXPECT_THROW(
+      cluster.run_round([](std::size_t m, const auto&, Sender& send) {
+        if (m == 0) send.send(5, {1});
+      }),
+      arbor::InvariantError);
+}
+
+// Outbox/inbox arenas must be reusable: after a violation-free run of many
+// rounds the cluster still produces exact results (regression against
+// stale offsets from recycled buffers).
+TEST(Engine, ArenaReuseKeepsRoundsExact) {
+  ClusterConfig cfg{4, 1024};
+  cfg.execution = ExecutionPolicy::parallel(2);
+  Cluster cluster(cfg, nullptr);
+  // Ring of growing-then-shrinking payloads.
+  for (std::size_t round = 0; round < 50; ++round) {
+    const std::size_t len = 1 + (round * 7) % 23;
+    cluster.run_round([&](std::size_t m, const auto& inbox, Sender& send) {
+      std::vector<Word> payload(len, round * 100 + m);
+      if (round > 0) {
+        ARBOR_CHECK(inbox.size() == 1);
+        // Previous round's payload came from our left neighbor.
+        const std::size_t prev_len = 1 + ((round - 1) * 7) % 23;
+        ARBOR_CHECK(inbox.front().size() == prev_len);
+        const std::size_t left = (m + 3) % 4;
+        ARBOR_CHECK(inbox.front()[0] == (round - 1) * 100 + left);
+      }
+      send.send((m + 1) % 4, payload);
+    });
+  }
+  EXPECT_EQ(cluster.rounds_executed(), 50u);
+}
+
+// A shared Engine executes one round at a time; driving a second cluster
+// from inside a step function must fail loudly, not corrupt scratch state.
+TEST(Engine, RunRoundIsNotReentrant) {
+  ClusterConfig cfg{2, 64};
+  cfg.execution = ExecutionPolicy::parallel(1);
+  engine::Engine shared(cfg.execution);
+  Cluster a(cfg, nullptr, &shared);
+  Cluster b(cfg, nullptr, &shared);
+  EXPECT_THROW(a.run_round([&](std::size_t, const auto&, Sender&) {
+    b.run_round([](std::size_t, const auto&, Sender&) {});
+  }),
+               arbor::InvariantError);
+  // The guard resets: the engine is usable again afterwards.
+  b.run_round([](std::size_t m, const auto&, Sender& send) {
+    send.send(1 - m, {m});
+  });
+  EXPECT_EQ(b.inbox(0).front()[0], 1u);
+}
+
+// MpcContext carries the engine so every cluster in a pipeline shares it.
+TEST(Engine, SharedEngineThroughContext) {
+  ClusterConfig cfg{8, 512};
+  cfg.execution = ExecutionPolicy::parallel(2);
+  engine::Engine shared(cfg.execution);
+  RoundLedger ledger(cfg);
+  mpc::MpcContext ctx(cfg, &ledger, &shared);
+  EXPECT_EQ(ctx.engine(), &shared);
+  EXPECT_TRUE(ctx.execution_policy().is_parallel());
+
+  Cluster a(cfg, &ledger, ctx.engine());
+  Cluster b(cfg, &ledger, ctx.engine());
+  EXPECT_EQ(&a.engine(), &shared);
+  EXPECT_EQ(&b.engine(), &shared);
+  a.run_round([](std::size_t m, const auto&, Sender& send) {
+    send.send((m + 1) % 8, {m});
+  });
+  b.run_round([](std::size_t m, const auto&, Sender& send) {
+    send.send((m + 7) % 8, {m});
+  });
+  EXPECT_EQ(a.inbox(1).front()[0], 0u);
+  EXPECT_EQ(b.inbox(1).front()[0], 2u);
+}
+
+}  // namespace
+}  // namespace arbor
