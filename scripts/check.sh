@@ -11,4 +11,11 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 
 cmake -B build -S . "$@"
 cmake --build build -j"${JOBS}"
-ctest --test-dir build --output-on-failure -j"${JOBS}"
+
+# Tier-1 runs twice: once on the central Level-1 reference path, once with
+# the engine-backed distributed Level-1 primitives. The two are
+# bit-identical by design, so the whole suite must pass under both.
+echo "== tier-1: distributed Level-1 OFF (central reference path) =="
+ARBOR_DISTRIBUTED_LEVEL1=0 ctest --test-dir build --output-on-failure -j"${JOBS}"
+echo "== tier-1: distributed Level-1 ON (engine-backed sample sort) =="
+ARBOR_DISTRIBUTED_LEVEL1=1 ctest --test-dir build --output-on-failure -j"${JOBS}"

@@ -270,7 +270,8 @@ MpcColoringResult mpc_color(const graph::Graph& g,
   for (std::size_t p = 0; p < parts; ++p) {
     const graph::Graph& part_graph = partition.parts[p];
     mpc::RoundLedger sub_ledger(ctx.config());
-    mpc::MpcContext sub_ctx(ctx.config(), &sub_ledger);
+    // Shares the parent's worker pool (one engine per pipeline run).
+    mpc::MpcContext sub_ctx(ctx.config(), &sub_ledger, ctx.ensure_engine());
     std::vector<std::uint64_t> part_keys(part_graph.num_vertices());
     for (graph::VertexId sv = 0; sv < part_graph.num_vertices(); ++sv)
       part_keys[sv] = partition.to_original[p][sv];

@@ -77,10 +77,12 @@ MpcOrientationResult mpc_orient(const graph::Graph& g,
   ctx.charge(1, "orient.edge_partition");
 
   // Parts run in parallel: each gets a sub-ledger; rounds merge as max.
+  // Sub-contexts share the parent's engine so every Level-0 cluster this
+  // pipeline spawns reuses one worker pool.
   std::vector<LayerAssignment> part_layering(parts);
   for (std::size_t p = 0; p < parts; ++p) {
     mpc::RoundLedger sub_ledger(ctx.config());
-    mpc::MpcContext sub_ctx(ctx.config(), &sub_ledger);
+    mpc::MpcContext sub_ctx(ctx.config(), &sub_ledger, ctx.ensure_engine());
     PipelineParams part_pipeline = params.pipeline;
     // Each part has arboricity O(log n) whp (Lemma 2.1).
     part_pipeline.k = std::max<std::size_t>(

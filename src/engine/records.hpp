@@ -1,0 +1,103 @@
+// Fixed-width record utilities for the engine's flat word arenas.
+//
+// A "record" is `width` consecutive Words inside a flat arena; the first
+// `key_words` of them form the sort key, compared lexicographically (word 0
+// most significant). This is the wire format the Level-1 record sort
+// (mpc/sample_sort.cpp) and its benches move multi-word payloads through:
+// arenas of whole records travel as ordinary messages, so the routing and
+// delivery phases never need to know the width — only the endpoints do.
+// The helpers live here, next to the arenas the records travel through;
+// engine/ still depends only on util/.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "engine/types.hpp"
+#include "util/assert.hpp"
+
+namespace arbor::engine {
+
+/// Number of whole records in an arena of `arena_words` words; rejects
+/// arenas that are not a whole number of records.
+inline std::size_t record_count(std::size_t arena_words, std::size_t width) {
+  ARBOR_CHECK(width > 0);
+  ARBOR_CHECK_MSG(arena_words % width == 0,
+                  "arena is not a whole number of records");
+  return arena_words / width;
+}
+
+/// Lexicographic three-way compare of two keys of `key_words` words.
+inline int compare_keys(const Word* a, const Word* b,
+                        std::size_t key_words) {
+  for (std::size_t i = 0; i < key_words; ++i) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+/// Stable in-place sort of the records in `arena` by their key prefix.
+/// Sorts a permutation and gathers once, so records move exactly one time
+/// regardless of width.
+inline void stable_sort_records(std::vector<Word>& arena, std::size_t width,
+                                std::size_t key_words) {
+  ARBOR_CHECK(key_words > 0 && key_words <= width);
+  const std::size_t n = record_count(arena.size(), width);
+  if (n <= 1) return;
+  ARBOR_CHECK_MSG(n <= UINT32_MAX,
+                  "record count exceeds the 32-bit permutation index");
+  if (width == 2 && key_words == 2) {
+    // Hot path for the Level-1 (key, index) records: packed pairs sort
+    // without index indirection, and a full-record key makes ties
+    // byte-identical, so an unstable sort yields the same sequence.
+    std::vector<std::pair<Word, Word>> packed(n);
+    for (std::size_t i = 0; i < n; ++i)
+      packed[i] = {arena[2 * i], arena[2 * i + 1]};
+    std::sort(packed.begin(), packed.end());
+    for (std::size_t i = 0; i < n; ++i) {
+      arena[2 * i] = packed[i].first;
+      arena[2 * i + 1] = packed[i].second;
+    }
+    return;
+  }
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t lhs, std::uint32_t rhs) {
+                     return compare_keys(arena.data() + lhs * width,
+                                         arena.data() + rhs * width,
+                                         key_words) < 0;
+                   });
+  std::vector<Word> sorted(arena.size());
+  for (std::size_t i = 0; i < n; ++i)
+    std::copy_n(arena.data() + order[i] * width, width,
+                sorted.data() + i * width);
+  arena.swap(sorted);
+}
+
+/// Evenly-spaced sample of at most `max_samples` key prefixes from a
+/// key-sorted record arena. The sample count is clamped to the record
+/// count, so every sampled index is distinct — small slabs contribute each
+/// key at most once instead of repeating their first records.
+inline std::vector<Word> sample_record_keys(const std::vector<Word>& arena,
+                                            std::size_t width,
+                                            std::size_t key_words,
+                                            std::size_t max_samples) {
+  ARBOR_CHECK(key_words > 0 && key_words <= width);
+  const std::size_t n = record_count(arena.size(), width);
+  const std::size_t samples = std::min(max_samples, n);
+  std::vector<Word> out;
+  out.reserve(samples * key_words);
+  for (std::size_t i = 0; i < samples; ++i) {
+    const std::size_t idx = i * n / samples;  // strictly increasing: s ≤ n
+    const Word* key = arena.data() + idx * width;
+    out.insert(out.end(), key, key + key_words);
+  }
+  return out;
+}
+
+}  // namespace arbor::engine

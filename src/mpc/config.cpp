@@ -1,0 +1,18 @@
+#include "mpc/config.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace arbor::mpc {
+
+bool distributed_level1_env_default() {
+  static const bool value = [] {
+    const char* env = std::getenv("ARBOR_DISTRIBUTED_LEVEL1");
+    if (env == nullptr) return false;
+    const std::string_view v(env);
+    return v == "1" || v == "on" || v == "true" || v == "yes";
+  }();
+  return value;
+}
+
+}  // namespace arbor::mpc

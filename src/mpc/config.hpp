@@ -21,6 +21,13 @@ using Word = engine::Word;
 
 using engine::ExecutionPolicy;
 
+/// Process-wide default for ClusterConfig::distributed_level1, read once
+/// from the ARBOR_DISTRIBUTED_LEVEL1 environment variable ("1"/"on"/
+/// "true"/"yes" enable it). Lets scripts/check.sh run the whole tier-1
+/// suite on both the central and the distributed Level-1 path without
+/// touching every test's config literal.
+bool distributed_level1_env_default();
+
 struct ClusterConfig {
   std::size_t num_machines = 0;
   std::size_t words_per_machine = 0;  ///< S
@@ -29,6 +36,15 @@ struct ClusterConfig {
   /// (default) or the thread-pool engine. Purely an execution knob — the
   /// simulated model (machines, caps, rounds) is identical either way.
   ExecutionPolicy execution{};
+
+  /// Execute the Level-1 primitives (MpcContext::sort_items_by_key,
+  /// aggregate_by_key, count_by_key) as real engine-backed record sorts on
+  /// Level-0 clusters instead of the central reference implementation.
+  /// Outputs and ledger charges are bit-identical either way
+  /// (tests/level1_distributed_test.cpp), so serial/central vs.
+  /// distributed can be diffed directly. Default off (or the
+  /// ARBOR_DISTRIBUTED_LEVEL1 environment override).
+  bool distributed_level1 = distributed_level1_env_default();
 
   /// Derive a cluster for a graph problem of n vertices / m edges with
   /// local memory S = max(n^δ, min_words) and enough machines for

@@ -1,4 +1,107 @@
-// MpcContext is header-only (templates); this translation unit exists so the
-// module has a home for future non-template helpers and to keep the build
-// graph uniform.
+// Non-template machinery behind MpcContext: the lazily-owned shared engine
+// and the engine-backed stable-sort permutation the keyed Level-1 sorts run
+// on when ClusterConfig::distributed_level1 is set.
 #include "mpc/primitives.hpp"
+
+#include <numeric>
+
+#include "mpc/cluster.hpp"
+#include "mpc/sample_sort.hpp"
+
+namespace arbor::mpc {
+namespace {
+
+// Wire format of the Level-1 record sort (see src/mpc/README.md): one
+// record per item, (order-preserving key, original index), both words part
+// of the lexicographic sort key — a total order whose sorted sequence is
+// exactly the stable sort by key.
+constexpr std::size_t kRecordWidth = 2;
+
+// Slab sizing for the internal sort cluster: enough machines that slabs
+// parallelize across the engine's workers, few enough that per-machine
+// sorts amortize the routing. Capped by the model config's machine count
+// and by kMaxSortMachines — the coordinator's splitter broadcast is
+// quadratic in the machine count, and past a few hundred machines the
+// extra slab parallelism is pure overhead for any realistic worker pool.
+constexpr std::size_t kTargetRecordsPerMachine = 2048;
+constexpr std::size_t kMaxSortMachines = 512;
+
+// Splitter sample size per machine (clamped to the slab size inside the
+// sort). 32 evenly-spaced samples of distinct (key, index) records keep
+// bucket skew low even on heavily duplicated keys, because the index
+// tiebreaker spreads duplicates across splitter intervals.
+constexpr std::size_t kSamplesPerMachine = 32;
+
+}  // namespace
+
+engine::Engine* MpcContext::ensure_engine() {
+  if (engine_ == nullptr) {
+    owned_engine_ = std::make_unique<engine::Engine>(config_.execution);
+    engine_ = owned_engine_.get();
+  }
+  return engine_;
+}
+
+std::vector<std::size_t> engine_sorted_order(const ClusterConfig& config,
+                                             engine::Engine* engine,
+                                             const std::vector<Word>& keys) {
+  ARBOR_CHECK_MSG(config.num_machines > 0, "misconfigured cluster");
+  const std::size_t n = keys.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  if (n <= 1) return order;
+
+  const std::size_t machines = std::clamp<std::size_t>(
+      MpcContext::div_ceil(n, kTargetRecordsPerMachine), 1,
+      std::min(config.num_machines, kMaxSortMachines));
+
+  // The internal cluster is an execution vehicle: it runs unledgered (the
+  // Level-1 caller already charged the analytic sort cost, identical to
+  // the central path) and with a capacity sized to the dataflow rather
+  // than the model's S — sampling skew must never abort a sort whose cost
+  // was charged correctly. The S-cap grounding of the sample-sort
+  // dataflow lives in tests/level0_programs_test.cpp.
+  // Capacity must cover every round's worst case: routing (a maximally
+  // skewed bucket receives all n records), the coordinator's pooled sample
+  // (round 1), and the coordinator's splitter broadcast — (machines-1)
+  // splitter keys to each of `machines` destinations, a quadratic send
+  // volume (round 2).
+  ClusterConfig sort_cfg = config;
+  sort_cfg.num_machines = machines;
+  sort_cfg.words_per_machine =
+      std::max(config.words_per_machine,
+               2 * n * kRecordWidth +
+                   machines * kSamplesPerMachine * kRecordWidth +
+                   machines * (machines - 1) * kRecordWidth);
+  Cluster cluster(sort_cfg, /*ledger=*/nullptr, engine);
+
+  // Contiguous initial distribution: machine m holds records
+  // [m·per, (m+1)·per).
+  const std::size_t per = MpcContext::div_ceil(n, machines);
+  std::vector<std::vector<Word>> slabs(machines);
+  for (std::size_t m = 0; m < machines; ++m) {
+    const std::size_t begin = m * per;
+    const std::size_t end = std::min(n, begin + per);
+    if (begin >= end) continue;
+    slabs[m].reserve((end - begin) * kRecordWidth);
+    for (std::size_t i = begin; i < end; ++i) {
+      slabs[m].push_back(keys[i]);
+      slabs[m].push_back(static_cast<Word>(i));
+    }
+  }
+
+  const RecordSortResult sorted =
+      sample_sort_records(cluster, std::move(slabs), kRecordWidth,
+                          /*key_words=*/kRecordWidth, kSamplesPerMachine);
+
+  std::size_t pos = 0;
+  for (const auto& slab : sorted.slabs) {
+    const std::size_t records = slab.size() / kRecordWidth;
+    for (std::size_t r = 0; r < records; ++r)
+      order[pos++] = static_cast<std::size_t>(slab[r * kRecordWidth + 1]);
+  }
+  ARBOR_CHECK_MSG(pos == n, "record sort lost or duplicated records");
+  return order;
+}
+
+}  // namespace arbor::mpc

@@ -7,18 +7,30 @@
 //  * broadcast / convergecast trees of
 //    fan-out √S replicating k copies        — O(log_{√S} k) rounds,
 //  * aggregate-by-key, prefix sums, joins   — O(1) sorts.
-// Each operation here executes its semantics centrally (the simulation is a
-// single process) and charges the cluster-model cost to the RoundLedger,
+// Each operation charges the cluster-model cost to the RoundLedger,
 // including the peak per-machine and global footprints implied by the data
-// volumes. The Level-0 cluster tests in tests/mpc_cluster_test.cpp validate
-// that these dataflows really fit the per-round traffic caps.
+// volumes. The Level-0 cluster tests in tests/level0_programs_test.cpp
+// validate that these dataflows really fit the per-round traffic caps.
+//
+// Execution: by default the semantics run centrally (std::stable_sort — the
+// reference path). With ClusterConfig::distributed_level1 set, the keyed
+// sorts execute as real [GSZ11] sample sorts on an engine-backed Level-0
+// cluster (mpc/sample_sort.cpp), sharing one worker pool across every
+// cluster a pipeline spawns via the lazily-owned Engine. The two paths are
+// bit-identical in outputs AND ledger totals: the distributed run sorts
+// (order-preserving key, original index) records — a total order equal to
+// the stable sort — and keeps charging the same analytic costs (its
+// internal cluster runs unledgered; see src/mpc/README.md).
 #pragma once
 
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "engine/engine.hpp"
@@ -28,13 +40,22 @@
 
 namespace arbor::mpc {
 
+/// Stable-sort permutation of `keys` computed by an engine-backed
+/// distributed record sort: order[i] is the original index of the i-th
+/// smallest key, equal keys in original order — exactly the permutation
+/// std::stable_sort applies. Defined in primitives.cpp.
+std::vector<std::size_t> engine_sorted_order(const ClusterConfig& config,
+                                             engine::Engine* engine,
+                                             const std::vector<Word>& keys);
+
 class MpcContext {
  public:
   /// `engine` (optional, not owned) is the execution backend for any
   /// Level-0 clusters spawned while running under this context; pipelines
   /// and benches thread it through so `Cluster(cfg, ledger, ctx.engine())`
-  /// shares one worker pool. Null means "each cluster builds its own from
-  /// cfg.execution".
+  /// shares one worker pool. Null means "built lazily from cfg.execution
+  /// on first use" (ensure_engine), so a pipeline and all its
+  /// sub-contexts still end up on one pool.
   MpcContext(ClusterConfig config, RoundLedger* ledger,
              engine::Engine* engine = nullptr)
       : config_(config), ledger_(ledger), engine_(engine) {
@@ -44,6 +65,12 @@ class MpcContext {
   const ClusterConfig& config() const noexcept { return config_; }
   RoundLedger* ledger() const noexcept { return ledger_; }
   engine::Engine* engine() const noexcept { return engine_; }
+
+  /// The shared execution engine, constructing (and then owning) one from
+  /// config().execution if none was injected. Pipelines pass this into
+  /// sub-contexts and Level-0 clusters so one worker pool serves the whole
+  /// run.
+  engine::Engine* ensure_engine();
 
   /// Policy Level-0 clusters under this context should execute with.
   ExecutionPolicy execution_policy() const noexcept {
@@ -87,7 +114,62 @@ class MpcContext {
     note_local_words(div_ceil(total_words, config_.num_machines));
   }
 
-  /// Distributed sort: charges ⌈log_S(N·w)⌉ rounds and notes footprints.
+  /// Order-preserving Word encoding of an integral key: k1 < k2 iff
+  /// word_key(k1) < word_key(k2). Signed keys are biased into unsigned
+  /// range; unsigned keys pass through.
+  template <typename K>
+  static Word word_key(K key) {
+    static_assert(std::is_integral_v<K> && sizeof(K) <= sizeof(Word),
+                  "keys must be integral and at most one word wide");
+    if constexpr (std::is_signed_v<K>)
+      return static_cast<Word>(static_cast<std::int64_t>(key)) ^
+             (Word{1} << 63);
+    else
+      return static_cast<Word>(key);
+  }
+
+  /// Distributed sort by an extracted word key: charges ⌈log_S(N·w)⌉
+  /// rounds and notes footprints, then reorders `items` exactly as
+  /// std::stable_sort comparing key_of(a) < key_of(b) would. With
+  /// config().distributed_level1 the permutation is computed by a real
+  /// engine-backed sample sort of (key, index) records on a Level-0
+  /// cluster sharing ensure_engine(); otherwise centrally. Bit-identical
+  /// either way.
+  template <typename T, typename KeyFn>
+  void sort_items_by_key(std::vector<T>& items, KeyFn key_of,
+                         std::size_t words_per_item,
+                         const std::string& label) {
+    static_assert(
+        std::is_same_v<std::invoke_result_t<KeyFn, const T&>, Word>,
+        "KeyFn must return Word — encode signed or narrow keys with "
+        "MpcContext::word_key so both execution paths compare identically");
+    const std::size_t total = items.size() * words_per_item;
+    charge(sort_rounds(total), label);
+    note_balanced(total);
+    if (config_.distributed_level1 && items.size() > 1) {
+      std::vector<Word> keys;
+      keys.reserve(items.size());
+      for (const T& item : items) keys.push_back(key_of(item));
+      const std::vector<std::size_t> order =
+          engine_sorted_order(config_, ensure_engine(), keys);
+      std::vector<T> sorted;
+      sorted.reserve(items.size());
+      for (const std::size_t idx : order)
+        sorted.push_back(std::move(items[idx]));
+      items = std::move(sorted);
+    } else {
+      std::stable_sort(items.begin(), items.end(),
+                       [&key_of](const T& a, const T& b) {
+                         return key_of(a) < key_of(b);
+                       });
+    }
+  }
+
+  /// Distributed sort under an arbitrary comparator: same charging as the
+  /// keyed sort, but the semantics always run on the central reference
+  /// path — a comparator that is not induced by a word key cannot be
+  /// routed through the record sort. Prefer sort_items_by_key where a key
+  /// exists.
   template <typename T, typename Cmp>
   void sort_items(std::vector<T>& items, Cmp cmp, std::size_t words_per_item,
                   const std::string& label) {
@@ -98,17 +180,26 @@ class MpcContext {
   }
 
   /// Aggregate values by key with an associative combiner; one sort + local
-  /// scan. Returns (key, combined) pairs sorted by key.
+  /// scan. Returns (key, combined) pairs sorted by key. Integral keys run
+  /// on the keyed (distributable) sort; other key types fall back to the
+  /// central comparator path.
   template <typename K, typename V, typename Combine>
   std::vector<std::pair<K, V>> aggregate_by_key(
       std::vector<std::pair<K, V>> items, Combine combine,
       std::size_t words_per_item, const std::string& label) {
-    sort_items(
-        items,
-        [](const std::pair<K, V>& a, const std::pair<K, V>& b) {
-          return a.first < b.first;
-        },
-        words_per_item, label);
+    if constexpr (std::is_integral_v<K> && sizeof(K) <= sizeof(Word)) {
+      sort_items_by_key(
+          items,
+          [](const std::pair<K, V>& kv) { return word_key(kv.first); },
+          words_per_item, label);
+    } else {
+      sort_items(
+          items,
+          [](const std::pair<K, V>& a, const std::pair<K, V>& b) {
+            return a.first < b.first;
+          },
+          words_per_item, label);
+    }
     std::vector<std::pair<K, V>> out;
     out.reserve(items.size());
     for (auto& kv : items) {
@@ -133,13 +224,19 @@ class MpcContext {
   }
 
   static std::size_t div_ceil(std::size_t a, std::size_t b) {
-    return b == 0 ? 0 : (a + b - 1) / b;
+    ARBOR_CHECK_MSG(b != 0, "div_ceil by zero — misconfigured cluster");
+    return (a + b - 1) / b;
   }
 
  private:
   ClusterConfig config_;
   RoundLedger* ledger_;
-  engine::Engine* engine_ = nullptr;  // not owned; may be null
+  engine::Engine* engine_ = nullptr;  // external, or owned_engine_.get()
+  // Lazily built by ensure_engine(); handed out as a raw pointer, so the
+  // owning context must outlive every sub-context and cluster using it
+  // (pipelines satisfy this by construction: sub-contexts are locals
+  // inside the owner's scope).
+  std::unique_ptr<engine::Engine> owned_engine_;
 };
 
 }  // namespace arbor::mpc

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 
+#include "engine/records.hpp"
 #include "util/assert.hpp"
-#include "util/hashing.hpp"
 
 namespace arbor::mpc {
 
@@ -19,16 +19,20 @@ SampleSortResult sample_sort(Cluster& cluster,
   std::vector<std::vector<Word>> slabs = input;
 
   // Round 1: every machine sends an evenly-spaced sample of its slab to
-  // machine 0 (the splitter coordinator).
+  // machine 0 (the splitter coordinator). The sample count is clamped to
+  // the slab size so indices never repeat — a slab smaller than
+  // samples_per_machine contributes each key once instead of skewing the
+  // pool toward its low keys.
   cluster.run_round([&](std::size_t m, const auto&, Sender& send) {
     std::vector<Word> sample;
     const auto& slab = slabs[m];
     if (!slab.empty()) {
       std::vector<Word> sorted = slab;
       std::sort(sorted.begin(), sorted.end());
-      for (std::size_t i = 0; i < samples_per_machine; ++i) {
-        const std::size_t idx =
-            i * sorted.size() / samples_per_machine;
+      const std::size_t samples =
+          std::min(samples_per_machine, sorted.size());
+      for (std::size_t i = 0; i < samples; ++i) {
+        const std::size_t idx = i * sorted.size() / samples;
         sample.push_back(sorted[idx]);
       }
     }
@@ -36,30 +40,35 @@ SampleSortResult sample_sort(Cluster& cluster,
   });
 
   // Round 2: coordinator picks machines-1 splitters from the pooled sample
-  // and broadcasts them. (For machines ≤ √S the broadcast fits directly;
-  // a bigger cluster would relay through a fan-out-√S tree at the same
-  // asymptotic cost.)
-  std::vector<Word> splitters;
+  // and broadcasts them. The broadcast happens even when the splitter set
+  // is empty — a single-machine cluster needs no splitters, and an
+  // all-empty pool has none to offer — so the routing round can rely on
+  // the message being present rather than on an accident of the protocol.
+  // (For machines ≤ √S the broadcast fits directly; a bigger cluster would
+  // relay through a fan-out-√S tree at the same asymptotic cost.)
   cluster.run_round([&](std::size_t m, const auto& inbox, Sender& send) {
     if (m != 0) return;
-    std::vector<Word> pool;
-    for (const auto& msg : inbox) pool.insert(pool.end(), msg.begin(),
-                                              msg.end());
-    std::sort(pool.begin(), pool.end());
     std::vector<Word> chosen;
-    for (std::size_t b = 1; b < machines; ++b) {
-      if (pool.empty()) break;
-      chosen.push_back(pool[b * pool.size() / machines]);
+    if (machines > 1) {
+      std::vector<Word> pool;
+      for (const auto& msg : inbox) pool.insert(pool.end(), msg.begin(),
+                                                msg.end());
+      std::sort(pool.begin(), pool.end());
+      for (std::size_t b = 1; b < machines; ++b) {
+        if (pool.empty()) break;
+        chosen.push_back(pool[b * pool.size() / machines]);
+      }
     }
-    splitters = chosen;  // retained locally for verification by callers
     for (std::size_t dst = 0; dst < machines; ++dst)
       send.send(dst, chosen);
   });
 
   // Round 3: route every key to its bucket machine (binary search over the
-  // received splitters); buckets sort locally after delivery.
+  // received splitters); buckets sort locally after delivery. The splitter
+  // message is always present (round 2 broadcasts explicitly, empty or
+  // not); an empty splitter set routes everything to machine 0.
   cluster.run_round([&](std::size_t m, const auto& inbox, Sender& send) {
-    ARBOR_CHECK_MSG(!inbox.empty(), "splitters missing");
+    ARBOR_CHECK_MSG(!inbox.empty(), "splitter broadcast missing");
     const auto split = inbox.front();  // zero-copy view of the message
     std::vector<std::vector<Word>> outgoing(machines);
     for (Word key : slabs[m]) {
@@ -79,6 +88,104 @@ SampleSortResult sample_sort(Cluster& cluster,
       result.slabs[m].insert(result.slabs[m].end(), msg.begin(), msg.end());
     std::sort(result.slabs[m].begin(), result.slabs[m].end());
   }
+  result.rounds = cluster.rounds_executed() - start_rounds;
+  return result;
+}
+
+RecordSortResult sample_sort_records(
+    Cluster& cluster, std::vector<std::vector<Word>> input,
+    std::size_t record_width, std::size_t key_words,
+    std::size_t samples_per_machine) {
+  const std::size_t machines = cluster.num_machines();
+  ARBOR_CHECK(input.size() == machines);
+  ARBOR_CHECK(record_width > 0);
+  if (key_words == 0) key_words = record_width;
+  ARBOR_CHECK(key_words <= record_width);
+  ARBOR_CHECK(samples_per_machine >= 1);
+  const std::size_t start_rounds = cluster.rounds_executed();
+
+  std::vector<std::vector<Word>> slabs = std::move(input);
+  for (const auto& slab : slabs)
+    engine::record_count(slab.size(), record_width);  // validates widths
+
+  // Round 1: each machine key-sorts its slab and sends an evenly-spaced,
+  // clamped sample of key prefixes to the coordinator. Sorting mutates
+  // only slabs[m] — machine-owned state, safe under the engine's
+  // concurrency contract — and the sorted slab is reused by the routing
+  // round.
+  cluster.run_round([&](std::size_t m, const auto&, Sender& send) {
+    engine::stable_sort_records(slabs[m], record_width, key_words);
+    send.send(0, engine::sample_record_keys(slabs[m], record_width,
+                                            key_words, samples_per_machine));
+  });
+
+  // Round 2: coordinator pools the sampled keys, picks machines-1 splitter
+  // keys at the sample quantiles, and broadcasts them — explicitly empty
+  // for a single-machine cluster or an all-empty pool (see sample_sort).
+  cluster.run_round([&](std::size_t m, const auto& inbox, Sender& send) {
+    if (m != 0) return;
+    std::vector<Word> chosen;
+    if (machines > 1) {
+      std::vector<Word> pool;
+      for (const auto& msg : inbox)
+        pool.insert(pool.end(), msg.begin(), msg.end());
+      engine::stable_sort_records(pool, key_words, key_words);
+      const std::size_t pooled = pool.size() / key_words;
+      for (std::size_t b = 1; b < machines && pooled > 0; ++b) {
+        const Word* key = pool.data() + (b * pooled / machines) * key_words;
+        chosen.insert(chosen.end(), key, key + key_words);
+      }
+    }
+    for (std::size_t dst = 0; dst < machines; ++dst)
+      send.send(dst, chosen);
+  });
+
+  // Round 3: route every record to its bucket machine. bucket(r) = number
+  // of splitter keys ≤ key(r) — the record-key analogue of the word
+  // version's upper_bound — so an empty splitter set routes everything to
+  // machine 0.
+  cluster.run_round([&](std::size_t m, const auto& inbox, Sender& send) {
+    ARBOR_CHECK_MSG(!inbox.empty(), "splitter broadcast missing");
+    const auto split = inbox.front().span();
+    const std::size_t num_split = split.size() / key_words;
+    const auto& slab = slabs[m];
+    const std::size_t records =
+        engine::record_count(slab.size(), record_width);
+    std::vector<std::vector<Word>> outgoing(machines);
+    for (std::size_t r = 0; r < records; ++r) {
+      const Word* rec = slab.data() + r * record_width;
+      std::size_t lo = 0, hi = num_split;
+      while (lo < hi) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        if (engine::compare_keys(split.data() + mid * key_words, rec,
+                                 key_words) <= 0)
+          lo = mid + 1;
+        else
+          hi = mid;
+      }
+      outgoing[lo].insert(outgoing[lo].end(), rec, rec + record_width);
+    }
+    for (std::size_t dst = 0; dst < machines; ++dst)
+      if (!outgoing[dst].empty()) send.send(dst, outgoing[dst]);
+  });
+
+  // Round 4 (compute-only, no messages): each bucket machine concatenates
+  // its routed records and key-sorts them. Running this inside a round —
+  // instead of on the calling thread after the fact — lets the engine
+  // spread the final sorts across its workers; each step writes only its
+  // own preallocated result slab, honouring the concurrency contract.
+  // Delivery order is (source machine asc, send order) on both executors,
+  // so the stable sort makes the result deterministic and, with a
+  // full-record key, the unique total order.
+  RecordSortResult result;
+  result.slabs.resize(machines);
+  cluster.run_round([&](std::size_t m, const auto& inbox, Sender&) {
+    auto& slab = result.slabs[m];
+    slab.reserve(inbox.total_words());
+    for (const auto& msg : inbox)
+      slab.insert(slab.end(), msg.begin(), msg.end());
+    engine::stable_sort_records(slab, record_width, key_words);
+  });
   result.rounds = cluster.rounds_executed() - start_rounds;
   return result;
 }

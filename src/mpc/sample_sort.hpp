@@ -7,13 +7,25 @@
 // locally. Rounds: 3 (sample, splitters, route) + the local sort — i.e.
 // O(1) when slabs fit in memory, exactly what MpcContext::sort_rounds
 // models. Exists so the analytic costs are backed by an executable
-// dataflow under the same traffic caps (see tests/sample_sort_test.cpp,
+// dataflow under the same traffic caps (see tests/level0_programs_test.cpp,
 // which cross-checks the round count against sort_rounds).
 //
-// Limitations (documented, not hidden): keys are single words; the
-// coordinator pattern needs p·(samples_per_machine+1) ≤ S, which holds for
-// p ≤ √S machines — the regime the framework tests exercise. Larger
-// clusters would use a splitter tree; the cost model is unchanged.
+// Protocol notes:
+//  * samples are clamped to the slab size, so a machine never repeats an
+//    index (splitter quality on tiny skewed slabs);
+//  * the coordinator ALWAYS broadcasts its splitter set, even when it is
+//    empty (machines == 1, or an all-empty input pool) — the routing round
+//    relies on that message being present, so "no splitters" is an explicit
+//    empty payload, never a missing message;
+//  * `sample_sort_records` generalizes the dataflow from single Words to
+//    fixed-width multi-word records ordered by a key prefix (see
+//    src/mpc/README.md for the wire format). `sample_sort` is the
+//    single-word special case, kept for the Level-0 framework tests.
+//
+// Limitations (documented, not hidden): the coordinator pattern needs
+// p·(samples_per_machine+1)·key_words ≤ S, which holds for p ≤ √S machines —
+// the regime the framework tests exercise. Larger clusters would use a
+// splitter tree; the cost model is unchanged.
 #pragma once
 
 #include <cstdint>
@@ -37,5 +49,32 @@ struct SampleSortResult {
 SampleSortResult sample_sort(Cluster& cluster,
                              const std::vector<std::vector<Word>>& input,
                              std::size_t samples_per_machine = 8);
+
+/// Sort fixed-width multi-word records by their leading key words.
+///
+/// `input[m]` is machine m's initial slab: a flat arena of whole records,
+/// `record_width` words each; the first `key_words` words of a record form
+/// its sort key, compared lexicographically (`key_words == 0` means "the
+/// whole record is the key"). After the sort each machine holds a
+/// key-sorted slab and the concatenation in machine order is globally
+/// key-sorted. With a full-record key and distinct records the result is a
+/// total order (this is how MpcContext gets bit-identical stable sorts:
+/// the original index rides along as the last key word). With a partial
+/// key, ties within one source slab keep their order and ties across slabs
+/// order by source machine — deterministic, but not stable across the
+/// whole input.
+struct RecordSortResult {
+  std::vector<std::vector<Word>> slabs;  ///< key-sorted record arenas
+  /// 3 communication rounds (sample, splitters, route) + 1 compute-only
+  /// round for the parallel bucket sorts = 4.
+  std::size_t rounds = 0;
+};
+
+/// `input` is taken by value: callers whose slabs are throwaway (the
+/// Level-1 sort path) move them in and skip a full-data copy.
+RecordSortResult sample_sort_records(
+    Cluster& cluster, std::vector<std::vector<Word>> input,
+    std::size_t record_width, std::size_t key_words = 0,
+    std::size_t samples_per_machine = 8);
 
 }  // namespace arbor::mpc

@@ -79,6 +79,49 @@ TEST(SampleSort, HandlesEmptyAndSkewedSlabs) {
   EXPECT_EQ(out.size(), 7u);
 }
 
+// Regression: slabs smaller than samples_per_machine used to emit repeated
+// sample indices (i·size/samples collides for size < samples), skewing the
+// splitter pool toward the low keys of tiny slabs. Samples are now clamped
+// to the slab size — every machine contributes each key at most once and
+// the sort stays a correct permutation.
+TEST(SampleSort, TinySkewedSlabsClampSamples) {
+  const ClusterConfig cfg{4, 512};
+  Cluster cluster(cfg, nullptr);
+  std::vector<std::vector<Word>> input(4);
+  input[0] = {1000};            // far smaller than samples_per_machine = 8
+  input[1] = {7, 7};            // duplicates in a tiny slab
+  input[2] = {900, 5, 900};     // skewed values
+  input[3] = {};                // empty slab sends an empty sample
+  const SampleSortResult result = sample_sort(cluster, input, 8);
+  std::vector<Word> out;
+  for (const auto& slab : result.slabs)
+    out.insert(out.end(), slab.begin(), slab.end());
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+  EXPECT_EQ(out, flatten_sorted(input));
+}
+
+// Regression: a single-machine cluster takes the explicit empty-splitter
+// path (the coordinator broadcasts an empty splitter set to itself) and
+// still sorts in the standard 3 rounds.
+TEST(SampleSort, SingleMachine) {
+  const ClusterConfig cfg{1, 512};
+  Cluster cluster(cfg, nullptr);
+  const std::vector<std::vector<Word>> input{{9, 2, 7, 2, 5}};
+  const SampleSortResult result = sample_sort(cluster, input);
+  ASSERT_EQ(result.slabs.size(), 1u);
+  EXPECT_EQ(result.slabs[0], (std::vector<Word>{2, 2, 5, 7, 9}));
+  EXPECT_EQ(result.rounds, 3u);
+}
+
+TEST(SampleSort, SingleMachineEmptyInput) {
+  const ClusterConfig cfg{1, 64};
+  Cluster cluster(cfg, nullptr);
+  const SampleSortResult result = sample_sort(cluster, {{}});
+  ASSERT_EQ(result.slabs.size(), 1u);
+  EXPECT_TRUE(result.slabs[0].empty());
+  EXPECT_EQ(result.rounds, 3u);
+}
+
 TEST(SampleSort, DuplicateKeysPreserved) {
   const ClusterConfig cfg{4, 512};
   Cluster cluster(cfg, nullptr);
@@ -90,6 +133,110 @@ TEST(SampleSort, DuplicateKeysPreserved) {
     total += slab.size();
   }
   EXPECT_EQ(total, 32u);
+}
+
+// ------------------------- record sample sort (multi-word, key extractor)
+
+// Flatten record slabs and return records sorted by their key prefix
+// (stable), as the reference ordering.
+std::vector<std::vector<Word>> reference_record_sort(
+    const std::vector<std::vector<Word>>& slabs, std::size_t width,
+    std::size_t key_words) {
+  std::vector<std::vector<Word>> records;
+  for (const auto& slab : slabs)
+    for (std::size_t off = 0; off + width <= slab.size(); off += width)
+      records.emplace_back(slab.begin() + off, slab.begin() + off + width);
+  std::stable_sort(records.begin(), records.end(),
+                   [&](const std::vector<Word>& a, const std::vector<Word>& b) {
+                     return std::lexicographical_compare(
+                         a.begin(), a.begin() + key_words, b.begin(),
+                         b.begin() + key_words);
+                   });
+  return records;
+}
+
+TEST(RecordSampleSort, SortsMultiWordRecordsByKeyPrefix) {
+  const ClusterConfig cfg{4, 4096};
+  Cluster cluster(cfg, nullptr);
+  // Records of 3 words: (key_hi, key_lo, payload); key_words = 2.
+  util::SplitRng rng(5);
+  std::vector<std::vector<Word>> input(4);
+  std::size_t payload = 0;
+  for (auto& slab : input)
+    for (int r = 0; r < 12; ++r) {
+      slab.push_back(rng.next_below(4));      // key_hi: many duplicates
+      slab.push_back(rng.next_below(1 << 10));
+      slab.push_back(payload++);
+    }
+  const RecordSortResult result =
+      sample_sort_records(cluster, input, 3, /*key_words=*/2);
+  EXPECT_EQ(result.rounds, 4u);
+
+  std::vector<std::vector<Word>> out;
+  for (const auto& slab : result.slabs)
+    for (std::size_t off = 0; off + 3 <= slab.size(); off += 3)
+      out.emplace_back(slab.begin() + off, slab.begin() + off + 3);
+  ASSERT_EQ(out.size(), 48u);
+  // Global key order across machine slabs; payloads intact as a set.
+  for (std::size_t i = 1; i < out.size(); ++i)
+    EXPECT_FALSE(std::lexicographical_compare(out[i].begin(),
+                                              out[i].begin() + 2,
+                                              out[i - 1].begin(),
+                                              out[i - 1].begin() + 2))
+        << "record " << i << " out of key order";
+  std::vector<Word> payloads;
+  for (const auto& rec : out) payloads.push_back(rec[2]);
+  std::sort(payloads.begin(), payloads.end());
+  for (std::size_t i = 0; i < payloads.size(); ++i) EXPECT_EQ(payloads[i], i);
+}
+
+// With the whole record as the key and distinct records, the result is the
+// unique total order — identical to the central reference sort.
+TEST(RecordSampleSort, FullRecordKeyMatchesReferenceExactly) {
+  const ClusterConfig cfg{8, 8192};
+  Cluster cluster(cfg, nullptr);
+  util::SplitRng rng(9);
+  std::vector<std::vector<Word>> input(8);
+  std::size_t idx = 0;
+  for (auto& slab : input)
+    for (int r = 0; r < 20; ++r) {
+      slab.push_back(rng.next_below(16));  // heavily duplicated key word
+      slab.push_back(idx++);               // distinct tiebreaker
+    }
+  const RecordSortResult result = sample_sort_records(cluster, input, 2);
+  const auto expected = reference_record_sort(input, 2, 2);
+  std::vector<std::vector<Word>> out;
+  for (const auto& slab : result.slabs)
+    for (std::size_t off = 0; off + 2 <= slab.size(); off += 2)
+      out.emplace_back(slab.begin() + off, slab.begin() + off + 2);
+  EXPECT_EQ(out, expected);
+}
+
+TEST(RecordSampleSort, SingleMachineAndTinySlabs) {
+  const ClusterConfig cfg{1, 256};
+  Cluster cluster(cfg, nullptr);
+  const std::vector<std::vector<Word>> input{{5, 1, 2, 2, 5, 3}};
+  const RecordSortResult result = sample_sort_records(cluster, input, 2, 1);
+  ASSERT_EQ(result.slabs.size(), 1u);
+  EXPECT_EQ(result.slabs[0], (std::vector<Word>{2, 2, 5, 1, 5, 3}));
+  EXPECT_EQ(result.rounds, 4u);
+}
+
+TEST(RecordSampleSort, AllSlabsEmpty) {
+  const ClusterConfig cfg{3, 64};
+  Cluster cluster(cfg, nullptr);
+  const RecordSortResult result =
+      sample_sort_records(cluster, std::vector<std::vector<Word>>(3), 4);
+  for (const auto& slab : result.slabs) EXPECT_TRUE(slab.empty());
+  EXPECT_EQ(result.rounds, 4u);
+}
+
+TEST(RecordSampleSort, RejectsRaggedArena) {
+  const ClusterConfig cfg{2, 64};
+  Cluster cluster(cfg, nullptr);
+  EXPECT_THROW(
+      sample_sort_records(cluster, {{1, 2, 3}, {}}, /*record_width=*/2),
+      arbor::InvariantError);
 }
 
 TEST(BroadcastTree, AllMachinesReceive) {

@@ -1,0 +1,270 @@
+// Central-vs-distributed Level-1 equivalence: with
+// ClusterConfig::distributed_level1 the keyed primitives execute as real
+// engine-backed sample sorts, and everything downstream — pipeline outputs
+// AND ledger round totals — must be bit-identical to the central reference
+// path, under both the serial executor and parallel(4).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "core/coloring_mpc.hpp"
+#include "core/layering_pipeline.hpp"
+#include "core/orientation_mpc.hpp"
+#include "graph/generators.hpp"
+#include "mpc/ledger.hpp"
+#include "mpc/primitives.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace arbor {
+namespace {
+
+using mpc::ClusterConfig;
+using mpc::MpcContext;
+using mpc::RoundLedger;
+using mpc::Word;
+
+ClusterConfig config_for(const graph::Graph& g, bool distributed,
+                         engine::ExecutionPolicy policy = {}) {
+  ClusterConfig cfg =
+      ClusterConfig::for_problem(g.num_vertices(), g.num_edges(), 0.6);
+  cfg.distributed_level1 = distributed;
+  cfg.execution = policy;
+  return cfg;
+}
+
+void expect_ledgers_identical(const RoundLedger& a, const RoundLedger& b) {
+  EXPECT_EQ(a.total_rounds(), b.total_rounds());
+  EXPECT_EQ(a.rounds_by_label(), b.rounds_by_label());
+  EXPECT_EQ(a.peak_local_words(), b.peak_local_words());
+  EXPECT_EQ(a.peak_global_words(), b.peak_global_words());
+  EXPECT_EQ(a.peak_round_traffic(), b.peak_round_traffic());
+  EXPECT_EQ(a.local_violations(), b.local_violations());
+}
+
+// ------------------------------------------------------------- primitives
+
+TEST(DistributedSort, MatchesCentralStableSortIncludingTies) {
+  util::SplitRng rng(41);
+  // Heavily duplicated keys: stability is the hard part.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> items;
+  for (std::size_t i = 0; i < 20000; ++i)
+    items.emplace_back(static_cast<std::uint32_t>(rng.next_below(64)), i);
+
+  auto central = items;
+  ClusterConfig cfg{64, 4096};
+  cfg.distributed_level1 = false;
+  RoundLedger central_ledger(cfg);
+  MpcContext central_ctx(cfg, &central_ledger);
+  central_ctx.sort_items_by_key(
+      central, [](const auto& kv) { return MpcContext::word_key(kv.first); },
+      2, "sort");
+
+  for (const bool parallel : {false, true}) {
+    auto distributed = items;
+    ClusterConfig dcfg = cfg;
+    dcfg.distributed_level1 = true;
+    if (parallel) dcfg.execution = engine::ExecutionPolicy::parallel(4);
+    RoundLedger ledger(dcfg);
+    MpcContext ctx(dcfg, &ledger);
+    ctx.sort_items_by_key(
+        distributed,
+        [](const auto& kv) { return MpcContext::word_key(kv.first); }, 2,
+        "sort");
+    EXPECT_EQ(distributed, central) << "parallel=" << parallel;
+    expect_ledgers_identical(ledger, central_ledger);
+  }
+}
+
+TEST(DistributedSort, SignedKeysOrderPreserved) {
+  std::vector<int> items{5, -3, 0, -3, 17, -100, 5};
+  ClusterConfig cfg{8, 1024};
+  cfg.distributed_level1 = true;
+  RoundLedger ledger(cfg);
+  MpcContext ctx(cfg, &ledger);
+  ctx.sort_items_by_key(
+      items, [](int v) { return MpcContext::word_key(v); }, 1, "sort");
+  EXPECT_EQ(items, (std::vector<int>{-100, -3, -3, 0, 5, 5, 17}));
+}
+
+TEST(DistributedSort, SingleItemAndEmpty) {
+  ClusterConfig cfg{4, 512};
+  cfg.distributed_level1 = true;
+  RoundLedger ledger(cfg);
+  MpcContext ctx(cfg, &ledger);
+  std::vector<std::uint64_t> empty;
+  ctx.sort_items_by_key(
+      empty, [](std::uint64_t v) { return v; }, 1, "sort");
+  EXPECT_TRUE(empty.empty());
+  std::vector<std::uint64_t> one{7};
+  ctx.sort_items_by_key(one, [](std::uint64_t v) { return v; }, 1, "sort");
+  EXPECT_EQ(one, (std::vector<std::uint64_t>{7}));
+}
+
+TEST(DistributedAggregate, MatchesCentral) {
+  util::SplitRng rng(7);
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> items;
+  for (std::size_t i = 0; i < 5000; ++i)
+    items.emplace_back(static_cast<std::uint32_t>(rng.next_below(100)),
+                       rng.next_below(1000));
+  const auto combine = [](std::uint64_t a, std::uint64_t b) { return a + b; };
+
+  ClusterConfig cfg{64, 4096};
+  cfg.distributed_level1 = false;
+  RoundLedger central_ledger(cfg);
+  MpcContext central_ctx(cfg, &central_ledger);
+  const auto central = central_ctx.aggregate_by_key<std::uint32_t,
+                                                    std::uint64_t>(
+      items, combine, 2, "agg");
+
+  ClusterConfig dcfg = cfg;
+  dcfg.distributed_level1 = true;
+  RoundLedger ledger(dcfg);
+  MpcContext ctx(dcfg, &ledger);
+  const auto distributed =
+      ctx.aggregate_by_key<std::uint32_t, std::uint64_t>(items, combine, 2,
+                                                         "agg");
+  EXPECT_EQ(distributed, central);
+  expect_ledgers_identical(ledger, central_ledger);
+}
+
+TEST(DistributedCount, MatchesCentral) {
+  util::SplitRng rng(13);
+  std::vector<std::uint32_t> keys;
+  for (std::size_t i = 0; i < 3000; ++i)
+    keys.push_back(static_cast<std::uint32_t>(rng.next_below(40)));
+
+  ClusterConfig cfg{32, 2048};
+  cfg.distributed_level1 = false;
+  RoundLedger central_ledger(cfg);
+  MpcContext central_ctx(cfg, &central_ledger);
+  const auto central = central_ctx.count_by_key<std::uint32_t>(keys, "count");
+
+  ClusterConfig dcfg = cfg;
+  dcfg.distributed_level1 = true;
+  RoundLedger ledger(dcfg);
+  MpcContext ctx(dcfg, &ledger);
+  const auto distributed = ctx.count_by_key<std::uint32_t>(keys, "count");
+  EXPECT_EQ(distributed, central);
+  expect_ledgers_identical(ledger, central_ledger);
+}
+
+TEST(MpcContext, DivCeilRejectsZeroDivisor) {
+  EXPECT_THROW(MpcContext::div_ceil(5, 0), arbor::InvariantError);
+  EXPECT_EQ(MpcContext::div_ceil(0, 3), 0u);
+  EXPECT_EQ(MpcContext::div_ceil(7, 3), 3u);
+}
+
+TEST(MpcContext, EnsureEngineIsSharedAndLazy) {
+  ClusterConfig cfg{8, 1024};
+  MpcContext ctx(cfg, nullptr);
+  EXPECT_EQ(ctx.engine(), nullptr);  // lazy: nothing built yet
+  engine::Engine* built = ctx.ensure_engine();
+  ASSERT_NE(built, nullptr);
+  EXPECT_EQ(ctx.ensure_engine(), built);  // same engine on every call
+  EXPECT_EQ(ctx.engine(), built);
+
+  engine::Engine external(engine::ExecutionPolicy::serial());
+  MpcContext injected(cfg, nullptr, &external);
+  EXPECT_EQ(injected.ensure_engine(), &external);  // injected wins
+}
+
+// -------------------------------------------------- full-pipeline equivalence
+
+// The layering and coloring pipelines must produce identical outputs and
+// ledger totals with distributed_level1 on (serial and parallel(4)) vs.
+// off, across several generator seeds.
+
+struct PolicyCase {
+  bool distributed;
+  engine::ExecutionPolicy policy;
+  const char* name;
+};
+
+const PolicyCase kDistributedCases[] = {
+    {true, engine::ExecutionPolicy::serial(), "distributed/serial"},
+    {true, engine::ExecutionPolicy::parallel(4), "distributed/parallel(4)"},
+};
+
+TEST(PipelineEquivalence, CompleteLayeringIdenticalAcrossSeeds) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    util::SplitRng rng(seed);
+    const graph::Graph g = graph::gnm(400, 1600, rng);
+    const core::PipelineParams params = core::PipelineParams::practical(4);
+
+    RoundLedger central_ledger(config_for(g, false));
+    MpcContext central_ctx(config_for(g, false), &central_ledger);
+    const core::CompleteLayeringResult central =
+        core::complete_layering(g, params, central_ctx);
+
+    for (const PolicyCase& c : kDistributedCases) {
+      RoundLedger ledger(config_for(g, c.distributed, c.policy));
+      MpcContext ctx(config_for(g, c.distributed, c.policy), &ledger);
+      const core::CompleteLayeringResult result =
+          core::complete_layering(g, params, ctx);
+      EXPECT_EQ(result.assignment.layer, central.assignment.layer)
+          << c.name << " seed " << seed;
+      EXPECT_EQ(result.assignment.num_layers, central.assignment.num_layers);
+      EXPECT_EQ(result.outdegree_bound, central.outdegree_bound);
+      expect_ledgers_identical(ledger, central_ledger);
+    }
+  }
+}
+
+TEST(PipelineEquivalence, MpcColoringIdenticalAcrossSeeds) {
+  for (const std::uint64_t seed : {11u, 12u, 13u}) {
+    util::SplitRng rng(seed);
+    const graph::Graph g = graph::gnm(300, 1200, rng);
+    core::ColoringParams params;
+    params.pipeline = core::PipelineParams::practical(4);
+
+    RoundLedger central_ledger(config_for(g, false));
+    MpcContext central_ctx(config_for(g, false), &central_ledger);
+    const core::MpcColoringResult central =
+        core::mpc_color(g, params, central_ctx);
+
+    for (const PolicyCase& c : kDistributedCases) {
+      RoundLedger ledger(config_for(g, c.distributed, c.policy));
+      MpcContext ctx(config_for(g, c.distributed, c.policy), &ledger);
+      const core::MpcColoringResult result = core::mpc_color(g, params, ctx);
+      EXPECT_EQ(result.colors, central.colors) << c.name << " seed " << seed;
+      EXPECT_EQ(result.palette_size, central.palette_size);
+      EXPECT_EQ(result.layering_outdegree, central.layering_outdegree);
+      EXPECT_EQ(result.blocks, central.blocks);
+      expect_ledgers_identical(ledger, central_ledger);
+    }
+  }
+}
+
+TEST(PipelineEquivalence, MpcOrientationIdenticalAcrossSeeds) {
+  for (const std::uint64_t seed : {21u, 22u, 23u}) {
+    util::SplitRng rng(seed);
+    const graph::Graph g = graph::gnm(350, 1400, rng);
+    core::OrientationParams params;
+    params.pipeline = core::PipelineParams::practical(4);
+
+    RoundLedger central_ledger(config_for(g, false));
+    MpcContext central_ctx(config_for(g, false), &central_ledger);
+    const core::MpcOrientationResult central =
+        core::mpc_orient(g, params, central_ctx);
+
+    for (const PolicyCase& c : kDistributedCases) {
+      RoundLedger ledger(config_for(g, c.distributed, c.policy));
+      MpcContext ctx(config_for(g, c.distributed, c.policy), &ledger);
+      const core::MpcOrientationResult result =
+          core::mpc_orient(g, params, ctx);
+      for (std::size_t e = 0; e < g.num_edges(); ++e)
+        ASSERT_EQ(result.orientation.oriented_towards_v(e),
+                  central.orientation.oriented_towards_v(e))
+            << c.name << " seed " << seed << " edge " << e;
+      EXPECT_EQ(result.layering.layer, central.layering.layer);
+      EXPECT_EQ(result.outdegree_bound, central.outdegree_bound);
+      expect_ledgers_identical(ledger, central_ledger);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace arbor
