@@ -1,13 +1,24 @@
-// E-engine: round throughput of the execution engine vs. thread count.
+// E-engine: round throughput of the execution engine vs. thread count,
+// and of the async RoundProgram scheduler vs. strict three-phase rounds.
 //
 // Workload: the shared routing storm (bench/engine_storm.hpp) over a
-// paper-shaped cluster built for a generator graph with >= 1M edges. Every
-// configuration must produce bit-identical inbox fingerprints and identical
-// ledger round/word totals; the bench aborts if any executor disagrees.
+// paper-shaped cluster built for a generator graph with >= 1M edges, run
+// two ways per executor: imperatively (one run_round call per round — the
+// pre-program dataflow, never overlapped) and as one RoundProgram of
+// machine-independent steps (the scheduler may fuse every delivery with
+// the next round's compute; async on/off is A/B'd at each thread count).
+// Every configuration must produce bit-identical inbox fingerprints and
+// identical ledger round/word totals; the bench aborts if any executor
+// disagrees.
 //
-//   ./bench_engine_scaling [n] [m] [rounds]
+// Results are also written as machine-readable JSON (default
+// BENCH_engine_scaling.json, override with --json PATH) to seed the perf
+// trajectory.
+//
+//   ./bench_engine_scaling [n] [m] [rounds] [--json out.json]
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <thread>
 
 #include "bench_util.hpp"
@@ -20,6 +31,8 @@ int main(int argc, char** argv) {
   using arbor::mpc::ClusterConfig;
   using arbor::mpc::ExecutionPolicy;
 
+  const std::string json_path =
+      arbor::bench::take_json_flag(argc, argv, "BENCH_engine_scaling.json");
   const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
                                  : (1u << 18);
   const std::size_t m = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
@@ -28,10 +41,12 @@ int main(int argc, char** argv) {
       argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 6;
 
   arbor::bench::banner(
-      "E-engine: round throughput vs. thread count",
+      "E-engine: round throughput vs. thread count and scheduler mode",
       "Claim: the flat-buffer parallel engine sustains >= 2x the round "
-      "throughput of the serial reference executor at 8 threads, with "
-      "bit-identical inboxes and identical ledger totals.");
+      "throughput of the serial reference executor at 8 threads, and the "
+      "async RoundProgram scheduler adds further throughput over strict "
+      "three-phase rounds — with bit-identical inboxes and identical "
+      "ledger totals in every mode.");
 
   arbor::util::SplitRng rng(7);
   const arbor::graph::Graph g = arbor::graph::gnm(n, m, rng);
@@ -48,24 +63,49 @@ int main(int argc, char** argv) {
   struct Config {
     const char* name;
     ExecutionPolicy policy;
+    bool program;  ///< run as one RoundProgram instead of run_round calls
   };
   const Config configs[] = {
-      {"serial", ExecutionPolicy::serial()},
-      {"parallel(1)", ExecutionPolicy::parallel(1)},
-      {"parallel(2)", ExecutionPolicy::parallel(2)},
-      {"parallel(4)", ExecutionPolicy::parallel(4)},
-      {"parallel(8)", ExecutionPolicy::parallel(8)},
+      {"serial", ExecutionPolicy::serial(), false},
+      {"serial/program", ExecutionPolicy::serial(), true},
+      {"parallel(1)", ExecutionPolicy::parallel(1), false},
+      {"parallel(2)", ExecutionPolicy::parallel(2), false},
+      {"parallel(4)", ExecutionPolicy::parallel(4), false},
+      {"parallel(8)", ExecutionPolicy::parallel(8), false},
+      {"parallel(4)/strict", ExecutionPolicy::parallel(4).with_async(false),
+       true},
+      {"parallel(4)/async", ExecutionPolicy::parallel(4).with_async(true),
+       true},
+      {"parallel(8)/strict", ExecutionPolicy::parallel(8).with_async(false),
+       true},
+      {"parallel(8)/async", ExecutionPolicy::parallel(8).with_async(true),
+       true},
   };
 
+  arbor::bench::JsonReport report("engine_scaling");
+  report.meta("n", g.num_vertices())
+      .meta("m", g.num_edges())
+      .meta("machines", base.num_machines)
+      .meta("words_per_machine", base.words_per_machine)
+      .meta("rounds", rounds)
+      .meta("hardware_threads",
+            static_cast<std::size_t>(std::thread::hardware_concurrency()));
+
   arbor::bench::Table table({"executor", "ms", "rounds/s", "Mwords/s",
-                             "speedup", "peak_traffic", "fingerprint"});
+                             "speedup", "overlapped", "fingerprint"});
   StormOutcome serial_out;
   double speedup_at_8 = 0;
+  double async_vs_strict_at_8 = 0;
+  double strict8_secs = 0;
   for (const Config& config : configs) {
     ClusterConfig cfg = base;
     cfg.execution = config.policy;
-    const StormOutcome out = arbor::bench::run_storm(slabs, cfg, rounds);
-    if (config.policy.mode == ExecutionPolicy::Mode::kSerial) {
+    const StormOutcome out =
+        config.program ? arbor::bench::run_storm_program(slabs, cfg, rounds)
+                       : arbor::bench::run_storm(slabs, cfg, rounds);
+    const bool is_reference =
+        !config.program && config.policy.mode == ExecutionPolicy::Mode::kSerial;
+    if (is_reference) {
       serial_out = out;
     } else {
       if (out.fingerprint != serial_out.fingerprint ||
@@ -77,22 +117,46 @@ int main(int argc, char** argv) {
                      config.name);
         return 1;
       }
-      if (config.policy.threads == 8)
+      if (!config.program && config.policy.threads == 8)
         speedup_at_8 = serial_out.secs / out.secs;
+      if (config.program && config.policy.threads == 8) {
+        if (config.policy.async_rounds)
+          async_vs_strict_at_8 = strict8_secs / out.secs;
+        else
+          strict8_secs = out.secs;
+      }
     }
     char fp[32];
     std::snprintf(fp, sizeof(fp), "%016llx",
                   static_cast<unsigned long long>(out.fingerprint));
+    const double speedup = serial_out.secs / out.secs;
     table.add_row({config.name, arbor::bench::fmt(out.secs * 1e3, 1),
                    arbor::bench::fmt(out.rounds / out.secs, 1),
                    arbor::bench::fmt(out.words_moved / out.secs / 1e6, 2),
-                   arbor::bench::fmt(serial_out.secs / out.secs, 2),
-                   arbor::bench::fmt(out.peak_traffic), fp});
+                   arbor::bench::fmt(speedup, 2),
+                   arbor::bench::fmt(out.overlapped), fp});
+    report.row()
+        .set("executor", config.name)
+        .set("mode", config.program ? "program" : "imperative")
+        .set("threads", config.policy.effective_threads())
+        .set("async", config.policy.async_rounds && config.program)
+        .set("ms", out.secs * 1e3)
+        .set("rounds_per_sec", out.rounds / out.secs)
+        .set("mwords_per_sec", out.words_moved / out.secs / 1e6)
+        .set("speedup_vs_serial", speedup)
+        .set("overlapped_rounds", out.overlapped)
+        .set("peak_traffic", out.peak_traffic)
+        .set("fingerprint", std::string(fp));
   }
   table.print();
 
   std::printf("\nspeedup at 8 threads vs serial: %.2fx (target >= 2x on "
               "multicore hardware)\n",
               speedup_at_8);
+  std::printf("async vs strict scheduler at parallel(8): %.2fx\n",
+              async_vs_strict_at_8);
+  report.meta("speedup_at_8", speedup_at_8);
+  report.meta("async_vs_strict_at_8", async_vs_strict_at_8);
+  if (!json_path.empty()) report.write_file(json_path);
   return 0;
 }

@@ -1,11 +1,15 @@
 // Shared helpers for the experiment benches (E1..E10): fixed-width table
-// printing and cluster-context construction, so every bench binary prints
-// rows in the same format EXPERIMENTS.md quotes.
+// printing, machine-readable JSON reports (--json out.json), and
+// cluster-context construction, so every bench binary prints rows in the
+// same format EXPERIMENTS.md quotes and emits results the perf trajectory
+// can diff.
 #pragma once
 
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "engine/engine.hpp"
@@ -62,6 +66,138 @@ inline std::string fmt(double v, int precision = 2) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
   return buf;
+}
+
+// ------------------------------------------------- machine-readable output
+
+/// Flat JSON report: top-level metadata plus an array of row objects, all
+/// insertion-ordered. Values are stored pre-rendered, so the emitter stays
+/// a dumb string concatenator.
+///
+///   JsonReport report("engine_scaling");
+///   report.meta("machines", machines);
+///   auto& row = report.row();
+///   row.set("executor", "parallel(8)").set("ms", secs * 1e3);
+///   report.write_file("BENCH_engine_scaling.json");
+class JsonReport {
+ public:
+  class Object {
+   public:
+    Object& set(const std::string& key, const std::string& value) {
+      fields_.emplace_back(key, quote(value));
+      return *this;
+    }
+    Object& set(const std::string& key, const char* value) {
+      return set(key, std::string(value));
+    }
+    Object& set(const std::string& key, double value) {
+      fields_.emplace_back(key, fmt(value, 6));
+      return *this;
+    }
+    Object& set(const std::string& key, std::size_t value) {
+      fields_.emplace_back(key, std::to_string(value));
+      return *this;
+    }
+    Object& set(const std::string& key, int value) {
+      fields_.emplace_back(key, std::to_string(value));
+      return *this;
+    }
+    Object& set(const std::string& key, bool value) {
+      fields_.emplace_back(key, value ? "true" : "false");
+      return *this;
+    }
+
+    std::string render() const {
+      std::string out = "{";
+      for (std::size_t i = 0; i < fields_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += quote(fields_[i].first) + ": " + fields_[i].second;
+      }
+      return out + "}";
+    }
+
+   private:
+    static std::string quote(const std::string& s) {
+      std::string out = "\"";
+      for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default: out += c;
+        }
+      }
+      return out + "\"";
+    }
+
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  explicit JsonReport(std::string bench) : bench_(std::move(bench)) {}
+
+  template <typename T>
+  JsonReport& meta(const std::string& key, T value) {
+    meta_.set(key, value);
+    return *this;
+  }
+
+  /// Append a row; the reference stays valid until the next row() call
+  /// returns (rows are stored by value in a vector).
+  Object& row() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  std::string render() const {
+    std::string out = "{\n  \"bench\": \"" + bench_ + "\",\n  \"meta\": " +
+                      meta_.render() + ",\n  \"rows\": [\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i)
+      out += "    " + rows_[i].render() + (i + 1 < rows_.size() ? ",\n" : "\n");
+    return out + "  ]\n}\n";
+  }
+
+  /// Write the report; prints where it went (or why it could not).
+  bool write_file(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return false;
+    }
+    const std::string body = render();
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+    std::printf("json report: %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string bench_;
+  Object meta_;
+  std::vector<Object> rows_;
+};
+
+/// Extract `--json PATH` (or `--json=PATH`) from argv, compacting argv so
+/// the benches' positional parsing is unaffected. Returns `fallback` when
+/// the flag is absent; an empty fallback means "no JSON output".
+inline std::string take_json_flag(int& argc, char** argv,
+                                  std::string fallback = {}) {
+  std::string path = std::move(fallback);
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 < argc)
+        path = argv[++i];
+      else  // consume the bare flag instead of leaking it as a positional
+        std::fprintf(stderr, "warning: --json needs a path, ignoring\n");
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      path = argv[i] + 7;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return path;
 }
 
 /// Owning (config, ledger, engine, context) bundle for one algorithm run.

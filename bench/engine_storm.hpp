@@ -57,6 +57,7 @@ struct StormOutcome {
   std::size_t ledger_rounds = 0;
   std::size_t peak_traffic = 0;
   std::size_t engine_width = 1;  ///< actual worker width (after hw clamp)
+  std::size_t overlapped = 0;    ///< rounds fused by the async scheduler
   std::uint64_t fingerprint = 0;
 };
 
@@ -93,6 +94,55 @@ inline StormOutcome run_storm(const std::vector<std::vector<mpc::Word>>& slabs,
   out.rounds = cluster.rounds_executed();
   out.ledger_rounds = ledger.total_rounds();
   out.peak_traffic = ledger.peak_round_traffic();
+  out.fingerprint = inbox_fingerprint(cluster);
+  return out;
+}
+
+/// The same storm declared as ONE RoundProgram of `rounds` machine-
+/// independent steps instead of `rounds` imperative run_round calls. The
+/// messages are identical (each step depends only on the immutable slabs
+/// and its round index), so fingerprints and ledger totals must match
+/// run_storm exactly — but here the scheduler may fuse every delivery with
+/// the next round's compute, which is what bench_engine_scaling A/Bs via
+/// ExecutionPolicy::async_rounds.
+inline StormOutcome run_storm_program(
+    const std::vector<std::vector<mpc::Word>>& slabs, mpc::ClusterConfig cfg,
+    std::size_t rounds) {
+  const std::size_t machines = cfg.num_machines;
+  const std::size_t batch = cfg.words_per_machine / 8;
+  mpc::RoundLedger ledger(cfg);
+  mpc::Cluster cluster(cfg, &ledger);
+  StormOutcome out;
+  std::size_t active_machines = 0;
+  for (const auto& slab : slabs)
+    if (!slab.empty()) ++active_machines;
+
+  mpc::RoundProgram program;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    program.independent(
+        [&slabs, round, batch, machines](std::size_t m, const auto&,
+                                         mpc::Sender& send) {
+          const auto& slab = slabs[m];
+          if (slab.empty()) return;
+          for (std::size_t i = 0; i < batch; ++i) {
+            const mpc::Word w = slab[(round * batch + i) % slab.size()];
+            const std::size_t dst = util::hash_words(13, w, round) % machines;
+            send.send(dst, std::span<const mpc::Word>(&w, 1));
+          }
+        });
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto stats = cluster.run_program(program);
+  out.secs = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           start)
+                 .count();
+  out.words_moved = rounds * batch * active_machines;
+  out.engine_width = cluster.engine().worker_threads();
+  out.rounds = cluster.rounds_executed();
+  out.ledger_rounds = ledger.total_rounds();
+  out.peak_traffic = ledger.peak_round_traffic();
+  out.overlapped = stats.overlapped;
   out.fingerprint = inbox_fingerprint(cluster);
   return out;
 }

@@ -2,12 +2,30 @@
 # Tier-1 verify: configure, build, test. Standard pre-merge gate — run from
 # anywhere; exits non-zero on the first failure.
 #
-#   scripts/check.sh                 # Release build into ./build
+#   scripts/check.sh                     # Release build into ./build
 #   scripts/check.sh -DARBOR_WERROR=ON   # extra cmake args pass through
+#   scripts/check.sh --tsan              # ThreadSanitizer smoke stage only:
+#                                        # builds the 'tsan' preset and runs
+#                                        # engine_test + level0_programs_test
+#                                        # (the async scheduler's overlapped
+#                                        # deliver+compute must be provably
+#                                        # race-free)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
+
+if [[ "${1:-}" == "--tsan" ]]; then
+  shift
+  cmake --preset tsan "$@"
+  cmake --build build-tsan -j"${JOBS}" --target engine_test level0_programs_test
+  echo "== tsan: engine_test =="
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/engine_test
+  echo "== tsan: level0_programs_test =="
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/level0_programs_test
+  echo "== tsan: clean =="
+  exit 0
+fi
 
 cmake -B build -S . "$@"
 cmake --build build -j"${JOBS}"

@@ -1,7 +1,8 @@
 #include "engine/engine.hpp"
 
 #include <algorithm>
-#include <string>
+#include <thread>
+#include <utility>
 
 #include "util/assert.hpp"
 
@@ -15,126 +16,26 @@ Engine::Engine(ExecutionPolicy policy) : policy_(policy) {
   const unsigned hw = std::thread::hardware_concurrency();
   if (hw > 0) workers = std::min<std::size_t>(workers, hw);
   if (workers > 1) pool_ = std::make_unique<ThreadPool>(workers);
+  scheduler_ = std::make_unique<Scheduler>(policy_, pool_.get());
 }
 
 Engine::~Engine() = default;
 
+ProgramStats Engine::run_program(RoundState& state, std::size_t capacity,
+                                 std::size_t first_round_index,
+                                 const RoundProgram& program,
+                                 const RoundHook& on_round) {
+  return scheduler_->run(state, capacity, first_round_index, program,
+                         on_round);
+}
+
 RoundStats Engine::run_round(RoundState& state, std::size_t capacity,
                              std::size_t round_index, const StepFn& step) {
-  ARBOR_CHECK(state.num_machines() > 0);
-  ARBOR_CHECK(capacity > 0);
-  // Shared engines must serialize rounds: the pool and the scratch routing
-  // tables hold one round at a time. Fail loudly instead of corrupting.
-  ARBOR_CHECK_MSG(!in_round_,
-                  "Engine::run_round re-entered: a shared Engine executes "
-                  "one cluster round at a time (do not call run_round from "
-                  "inside a step function or from a second thread)");
-  in_round_ = true;
-  struct Reset {
-    bool& flag;
-    ~Reset() { flag = false; }
-  } reset{in_round_};
-  compute(state, capacity, step);
-  return route_and_deliver(state, capacity, round_index);
-}
-
-void Engine::compute(RoundState& state, std::size_t capacity,
-                     const StepFn& step) {
-  const std::size_t machines = state.num_machines();
-  const auto run_block = [&](std::size_t begin, std::size_t end) {
-    for (std::size_t m = begin; m < end; ++m) {
-      Outbox& out = state.outboxes[m];
-      out.clear();  // keeps arena capacity from previous rounds
-      Sender sender(m, capacity, machines, out);
-      step(m, state.inbox(m), sender);
-    }
-  };
-  if (pool_)
-    pool_->run_blocks(machines, run_block);
-  else
-    run_block(0, machines);
-}
-
-RoundStats Engine::route_and_deliver(RoundState& state, std::size_t capacity,
-                                     std::size_t round_index) {
-  const std::size_t machines = state.num_machines();
+  RoundProgram program;
+  program.barrier(step);
   RoundStats stats;
-
-  // Route: count per-destination volume and group the outbox records by
-  // destination with a stable counting sort (source asc, send order) — the
-  // delivery order of the serial reference executor.
-  recv_words_.assign(machines, 0);
-  recv_msgs_.assign(machines, 0);
-  std::size_t total_msgs = 0;
-  for (std::size_t src = 0; src < machines; ++src) {
-    const Outbox& out = state.outboxes[src];
-    stats.max_sent = std::max(stats.max_sent, out.word_count());
-    total_msgs += out.msgs.size();
-    for (const Outbox::Msg& msg : out.msgs) {
-      recv_words_[msg.dst] += msg.length;
-      recv_msgs_[msg.dst] += 1;
-    }
-  }
-
-  // Receiver-side cap: validated once per machine, naming the offender.
-  for (std::size_t dst = 0; dst < machines; ++dst) {
-    ARBOR_CHECK_MSG(recv_words_[dst] <= capacity,
-                    "machine " + std::to_string(dst) +
-                        " exceeded receive capacity: " +
-                        std::to_string(recv_words_[dst]) + " > " +
-                        std::to_string(capacity) + " words in round " +
-                        std::to_string(round_index));
-    stats.max_received = std::max(stats.max_received, recv_words_[dst]);
-  }
-
-  route_begin_.resize(machines + 1);
-  route_begin_[0] = 0;
-  for (std::size_t dst = 0; dst < machines; ++dst)
-    route_begin_[dst + 1] = route_begin_[dst] + recv_msgs_[dst];
-  route_cursor_.assign(route_begin_.begin(), route_begin_.end() - 1);
-  routes_.resize(total_msgs);
-  for (std::size_t src = 0; src < machines; ++src)
-    for (const Outbox::Msg& msg : state.outboxes[src].msgs)
-      routes_[route_cursor_[msg.dst]++] = {static_cast<std::uint32_t>(src),
-                                           msg.offset, msg.length};
-
-  // Deliver: copy payloads out of the source arenas into each destination's
-  // inbox. Flat inboxes are filled in parallel (destinations are disjoint);
-  // the nested reference representation materializes one vector per message
-  // on the calling thread.
-  if (state.is_flat) {
-    const auto deliver_block = [&](std::size_t begin, std::size_t end) {
-      for (std::size_t dst = begin; dst < end; ++dst) {
-        Inbox& in = state.flat_inboxes[dst];
-        in.clear();
-        in.words.reserve(recv_words_[dst]);
-        in.msgs.reserve(recv_msgs_[dst]);
-        for (std::size_t r = route_begin_[dst]; r < route_begin_[dst + 1];
-             ++r) {
-          const Route& route = routes_[r];
-          const Outbox& out = state.outboxes[route.src];
-          in.append({out.words.data() + route.offset, route.length});
-        }
-      }
-    };
-    if (pool_)
-      pool_->run_blocks(machines, deliver_block);
-    else
-      deliver_block(0, machines);
-  } else {
-    for (std::size_t dst = 0; dst < machines; ++dst) {
-      auto& in = state.nested_inboxes[dst];
-      in.clear();
-      in.reserve(recv_msgs_[dst]);
-      for (std::size_t r = route_begin_[dst]; r < route_begin_[dst + 1]; ++r) {
-        const Route& route = routes_[r];
-        const Outbox& out = state.outboxes[route.src];
-        const Word* data = out.words.data() + route.offset;
-        in.emplace_back(data, data + route.length);
-      }
-    }
-  }
-
+  scheduler_->run(state, capacity, round_index, program,
+                  [&stats](const RoundStats& s) { stats = s; });
   return stats;
 }
 

@@ -1,96 +1,28 @@
 // Parallel round executor for Cluster-style synchronous MPC rounds.
 //
-// One round runs in three phases:
+// The Engine bundles the worker pool and a Scheduler (scheduler.hpp — the
+// actual three-phase / overlapped executor) but holds no per-cluster state;
+// RoundState (round_state.hpp, owned by each Cluster) carries the inboxes
+// and outbox banks. One Engine may therefore be shared by several clusters,
+// as long as calls into it are serialized — the scheduler's reentrancy
+// guard enforces this loudly.
 //
-//   compute — machines are partitioned into contiguous blocks, one per
-//             worker thread; each machine's step function writes into its
-//             own flat Outbox (no sharing, no locks).
-//   route   — a single pass over the outbox records builds a routing table
-//             grouped by destination (a stable counting sort by dst), counts
-//             per-destination words, and validates the receiver-side traffic
-//             cap once per machine.
-//   deliver — destinations are partitioned across the workers; each worker
-//             copies the payloads for its destinations out of the source
-//             arenas into the destination Inbox arenas.
-//
-// Delivery order is (source machine asc, send order) for every destination —
-// exactly the order the serial reference executor produces — so inboxes are
-// bit-identical to serial execution no matter how blocks are scheduled.
-// Traffic accounting is computed from per-machine totals after the barrier,
-// so it is exact under concurrency without atomics.
-//
-// The Engine holds the worker pool and scratch routing tables but no
-// per-cluster state; RoundState (owned by each Cluster) carries the inboxes
-// and outboxes. One Engine may therefore be shared by several clusters, as
-// long as calls into it are serialized.
+// Protocols are expressed as RoundPrograms (program.hpp) and executed with
+// run_program; run_round survives as the one-step-program special case the
+// framework tests drive directly.
 #pragma once
 
 #include <cstddef>
-#include <functional>
 #include <memory>
-#include <span>
-#include <vector>
 
 #include "engine/execution_policy.hpp"
-#include "engine/inbox.hpp"
-#include "engine/outbox.hpp"
+#include "engine/program.hpp"
+#include "engine/round_state.hpp"
+#include "engine/scheduler.hpp"
 #include "engine/thread_pool.hpp"
 #include "engine/types.hpp"
 
 namespace arbor::engine {
-
-/// Per-cluster message state: one inbox and one outbox slot per machine.
-/// The serial reference executor keeps inboxes as nested per-message
-/// vectors; the engine keeps them as flat arenas. Both reuse storage across
-/// rounds.
-struct RoundState {
-  RoundState(std::size_t machines, bool flat)
-      : flat_inboxes(flat ? machines : 0),
-        nested_inboxes(flat ? 0 : machines),
-        outboxes(machines),
-        is_flat(flat) {}
-
-  std::size_t num_machines() const noexcept { return outboxes.size(); }
-
-  InboxView inbox(std::size_t m) const {
-    return is_flat ? InboxView(flat_inboxes[m]) : InboxView(nested_inboxes[m]);
-  }
-
-  /// Deliver `payload` into machine `dst`'s inbox outside of any round
-  /// (input loading).
-  void preload(std::size_t dst, std::span<const Word> payload) {
-    if (is_flat)
-      flat_inboxes[dst].append(payload);
-    else
-      nested_inboxes[dst].emplace_back(payload.begin(), payload.end());
-  }
-
-  std::vector<Inbox> flat_inboxes;
-  std::vector<std::vector<std::vector<Word>>> nested_inboxes;
-  std::vector<Outbox> outboxes;
-  bool is_flat;
-};
-
-/// What one executed round looked like, for ledger charging.
-struct RoundStats {
-  std::size_t max_sent = 0;      ///< largest per-machine send volume
-  std::size_t max_received = 0;  ///< largest per-machine receive volume
-
-  std::size_t max_traffic() const noexcept {
-    return max_sent > max_received ? max_sent : max_received;
-  }
-};
-
-/// Step function: (machine id, messages received last round, sender).
-///
-/// CONCURRENCY CONTRACT: under a parallel policy the step function is
-/// invoked concurrently for different machines. It may freely read shared
-/// immutable state (the graph, last round's snapshots) but must only write
-/// state owned by its machine id (disjoint slots of per-machine arrays,
-/// its Sender). Mutating shared accumulators from inside a step is a data
-/// race; aggregate per-machine results after run_round returns instead.
-using StepFn =
-    std::function<void(std::size_t, const InboxView&, Sender&)>;
 
 class Engine {
  public:
@@ -112,33 +44,27 @@ class Engine {
     return RoundState(machines, policy_.is_parallel());
   }
 
-  /// Execute one synchronous round: every machine sees its inbox and emits
-  /// messages (sender cap enforced as they are queued); the receiver-side
-  /// cap is validated once per machine; inboxes swap. `round_index` only
-  /// feeds error messages. Not thread-safe: serialize calls per Engine.
+  /// Execute a RoundProgram: every step is one synchronous round (capacity
+  /// caps enforced on both sides), with delivery of round r overlapped into
+  /// the compute of round r+1 where the program and policy allow (see
+  /// scheduler.hpp). `first_round_index` only feeds error messages;
+  /// `on_round` fires once per completed round for ledger charging. Not
+  /// thread-safe: serialize calls per Engine.
+  ProgramStats run_program(RoundState& state, std::size_t capacity,
+                           std::size_t first_round_index,
+                           const RoundProgram& program,
+                           const RoundHook& on_round = {});
+
+  /// One synchronous round — a one-step barrier program: every machine sees
+  /// its inbox and emits messages; the receiver-side cap is validated once
+  /// per machine; inboxes swap.
   RoundStats run_round(RoundState& state, std::size_t capacity,
                        std::size_t round_index, const StepFn& step);
 
  private:
-  void compute(RoundState& state, std::size_t capacity, const StepFn& step);
-  RoundStats route_and_deliver(RoundState& state, std::size_t capacity,
-                               std::size_t round_index);
-
   ExecutionPolicy policy_;
   std::unique_ptr<ThreadPool> pool_;  // null => phases run inline
-  bool in_round_ = false;             // reentrancy/concurrency guard
-
-  // Scratch routing tables, reused across rounds.
-  struct Route {
-    std::uint32_t src = 0;
-    std::size_t offset = 0;
-    std::size_t length = 0;
-  };
-  std::vector<std::size_t> recv_words_;
-  std::vector<std::size_t> recv_msgs_;
-  std::vector<std::size_t> route_begin_;  // per dst: first index into routes_
-  std::vector<std::size_t> route_cursor_;
-  std::vector<Route> routes_;
+  std::unique_ptr<Scheduler> scheduler_;
 };
 
 }  // namespace arbor::engine

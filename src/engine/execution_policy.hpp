@@ -20,6 +20,14 @@ struct ExecutionPolicy {
   Mode mode = Mode::kSerial;
   std::size_t threads = 1;
 
+  /// Overlap delivery of round r with compute of round r+1 inside
+  /// RoundPrograms whose next step is machine-independent (see
+  /// engine/program.hpp). Bit-identical to strict three-phase execution —
+  /// inboxes, fingerprints, and ledger totals all agree — so it defaults
+  /// on; flip it off to A/B the overlap (bench_engine_scaling does). The
+  /// serial reference executor ignores it and always runs strict.
+  bool async_rounds = true;
+
   static ExecutionPolicy serial() { return {}; }
 
   /// `threads == 0` means "use the hardware concurrency".
@@ -32,6 +40,13 @@ struct ExecutionPolicy {
   }
 
   bool is_parallel() const noexcept { return mode == Mode::kParallel; }
+
+  /// Same policy with asynchronous round overlap forced on or off.
+  ExecutionPolicy with_async(bool on) const noexcept {
+    ExecutionPolicy p = *this;
+    p.async_rounds = on;
+    return p;
+  }
 
   /// Worker threads the engine will actually run with (≥ 1).
   std::size_t effective_threads() const noexcept {

@@ -1,0 +1,134 @@
+// Declarative multi-round protocols: a RoundProgram is the unit the
+// Scheduler executes.
+//
+// A protocol used to drive Cluster::run_round imperatively, one lambda per
+// round, with a hard barrier between every compute, route, and deliver
+// phase. A RoundProgram instead declares the whole protocol up front as a
+// sequence of step descriptors, which lets the scheduler pipeline phases:
+// when the NEXT step is tagged machine-independent, the delivery of round r
+// and the compute of round r+1 run fused in one parallel phase (see
+// scheduler.hpp). Programs are also the single choke point a future
+// multi-process backend needs — a program is data, an ad-hoc lambda chain
+// is not.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "engine/inbox.hpp"
+#include "engine/outbox.hpp"
+
+namespace arbor::engine {
+
+/// Step function: (machine id, messages received last round, sender).
+///
+/// CONCURRENCY CONTRACT: under a parallel policy the step function is
+/// invoked concurrently for different machines. It may freely read shared
+/// immutable state (the graph, slabs loaded before the program) but must
+/// only write state owned by its machine id (disjoint slots of per-machine
+/// arrays, its Sender). Mutating shared accumulators from inside a step is
+/// a data race; aggregate per-machine results in a RoundProgram continue
+/// callback or after the program returns.
+using StepFn =
+    std::function<void(std::size_t, const InboxView&, Sender&)>;
+
+/// How a step may be scheduled relative to the previous round's delivery.
+enum class StepKind : std::uint8_t {
+  /// MACHINE-INDEPENDENT CONTRACT (strictly stronger than the StepFn
+  /// concurrency contract above): machine m's invocation depends only on
+  ///   (a) machine m's own inbox for this round,
+  ///   (b) state owned by machine m (including values machine m's earlier
+  ///       steps wrote), and
+  ///   (c) shared state that is immutable for the whole program.
+  /// In particular it must NOT read per-machine state written by OTHER
+  /// machines' step invocations, nor global aggregates updated between
+  /// rounds. Under this contract the scheduler may start machine m's
+  /// compute as soon as m's inbox is delivered, while other machines'
+  /// deliveries of the previous round are still in flight.
+  kMachineIndependent,
+  /// The step needs the previous round fully delivered on every machine
+  /// before any compute starts (e.g. it reads state a continue callback or
+  /// another machine's step maintains). Executed with the strict
+  /// three-phase compute/route/deliver sequence.
+  kBarrier,
+};
+
+struct ProgramStep {
+  StepFn fn;
+  StepKind kind = StepKind::kBarrier;
+};
+
+/// A declarative multi-round protocol: an ordered list of steps, optionally
+/// repeated. Build with the fluent helpers:
+///
+///   engine::RoundProgram program;
+///   program.independent(sample_step)
+///          .independent(splitter_step)
+///          .independent(route_step);
+///   cluster.run_program(program);
+///
+/// Loops whose trip count is data-dependent (e.g. peeling until no vertex
+/// moves) use repeat_while: after every full pass over `steps` — a full
+/// barrier, all deliveries complete — the continue callback runs on the
+/// calling thread, may inspect and update driver state, and decides whether
+/// to run another pass.
+struct RoundProgram {
+  /// Post-pass decision hook: `passes` is the number of completed passes
+  /// (1 after the first). Runs at a barrier on the calling thread.
+  using ContinueFn = std::function<bool(std::size_t passes)>;
+
+  std::vector<ProgramStep> steps;
+  ContinueFn continue_fn;     ///< null: run the steps exactly once
+  /// Safety cap on the pass count, consulted after continue_fn. The steps
+  /// always execute at least one pass (the first pass runs before either
+  /// is consulted) — a loop whose bound may be zero must guard the whole
+  /// run_program call (see embedded_threshold_peeling's max_rounds == 0).
+  std::size_t max_passes = 1;
+
+  RoundProgram& independent(StepFn fn) {
+    steps.push_back({std::move(fn), StepKind::kMachineIndependent});
+    return *this;
+  }
+
+  RoundProgram& barrier(StepFn fn) {
+    steps.push_back({std::move(fn), StepKind::kBarrier});
+    return *this;
+  }
+
+  RoundProgram& repeat_while(
+      ContinueFn fn,
+      std::size_t passes = std::numeric_limits<std::size_t>::max()) {
+    continue_fn = std::move(fn);
+    max_passes = passes;
+    return *this;
+  }
+
+  /// Rounds one pass over the steps executes.
+  std::size_t steps_per_pass() const noexcept { return steps.size(); }
+};
+
+/// What one executed round looked like, for ledger charging.
+struct RoundStats {
+  std::size_t max_sent = 0;      ///< largest per-machine send volume
+  std::size_t max_received = 0;  ///< largest per-machine receive volume
+
+  std::size_t max_traffic() const noexcept {
+    return max_sent > max_received ? max_sent : max_received;
+  }
+};
+
+/// What one executed program looked like.
+struct ProgramStats {
+  std::size_t rounds = 0;      ///< rounds fully executed (delivered)
+  std::size_t passes = 0;      ///< passes over the step list
+  /// Rounds whose compute ran fused with the previous round's delivery
+  /// (asynchronous overlap). 0 under the serial policy, for barrier steps,
+  /// and when ExecutionPolicy::async_rounds is off.
+  std::size_t overlapped = 0;
+};
+
+}  // namespace arbor::engine

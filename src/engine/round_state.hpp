@@ -1,0 +1,93 @@
+// Per-cluster message state: inboxes, and double-buffered outboxes.
+//
+// The serial reference executor keeps inboxes as nested per-message vectors;
+// the engine keeps them as flat arenas. Both reuse storage across rounds.
+// Outboxes come in two banks: strict execution only ever touches the front
+// bank, while the scheduler's overlapped phase computes round r+1 into the
+// back bank while round r's delivery is still reading the front one (the
+// back bank is allocated lazily, so serial/strict states pay nothing).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "engine/inbox.hpp"
+#include "engine/outbox.hpp"
+#include "engine/types.hpp"
+#include "util/assert.hpp"
+
+namespace arbor::engine {
+
+struct RoundState {
+  RoundState(std::size_t machines, bool flat)
+      : flat_inboxes(flat ? machines : 0),
+        nested_inboxes(flat ? 0 : machines),
+        is_flat(flat) {
+    outbox_banks[0].resize(machines);
+  }
+
+  std::size_t num_machines() const noexcept { return outbox_banks[0].size(); }
+
+  InboxView inbox(std::size_t m) const {
+    return is_flat ? InboxView(flat_inboxes[m]) : InboxView(nested_inboxes[m]);
+  }
+
+  /// Words currently queued in machine `m`'s inbox.
+  std::size_t inbox_words(std::size_t m) const noexcept {
+    if (is_flat) return flat_inboxes[m].word_count();
+    std::size_t total = 0;
+    for (const auto& msg : nested_inboxes[m]) total += msg.size();
+    return total;
+  }
+
+  /// Deliver `payload` into machine `dst`'s inbox outside of any round
+  /// (input loading). Preloads count against the same receiver-side word
+  /// cap a round's delivery is validated with: the model's machines hold at
+  /// most `capacity` words, however those words arrived.
+  void preload(std::size_t dst, std::span<const Word> payload,
+               std::size_t capacity) {
+    const std::size_t queued = inbox_words(dst) + payload.size();
+    ARBOR_CHECK_MSG(queued <= capacity,
+                    "machine " + std::to_string(dst) +
+                        " exceeded receive capacity: " +
+                        std::to_string(queued) + " > " +
+                        std::to_string(capacity) + " words in preload");
+    if (is_flat)
+      flat_inboxes[dst].append(payload);
+    else
+      nested_inboxes[dst].emplace_back(payload.begin(), payload.end());
+  }
+
+  /// Outbox bank the current round's compute writes and the current round's
+  /// route/deliver phases read.
+  std::vector<Outbox>& front_outboxes() noexcept {
+    return outbox_banks[front];
+  }
+  const std::vector<Outbox>& front_outboxes() const noexcept {
+    return outbox_banks[front];
+  }
+
+  /// The spare bank for the scheduler's overlapped deliver+compute phase.
+  /// Allocated on first use; call from the scheduling thread before any
+  /// parallel region writes into it.
+  std::vector<Outbox>& back_outboxes() {
+    std::vector<Outbox>& bank = outbox_banks[1 - front];
+    if (bank.size() != num_machines()) bank.resize(num_machines());
+    return bank;
+  }
+
+  /// Swap banks after an overlapped phase: the just-computed back bank
+  /// becomes the front bank the next round routes from.
+  void flip() noexcept { front = 1 - front; }
+
+  std::vector<Inbox> flat_inboxes;
+  std::vector<std::vector<std::vector<Word>>> nested_inboxes;
+  std::array<std::vector<Outbox>, 2> outbox_banks;
+  std::size_t front = 0;
+  bool is_flat;
+};
+
+}  // namespace arbor::engine

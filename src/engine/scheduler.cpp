@@ -1,0 +1,206 @@
+#include "engine/scheduler.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "util/assert.hpp"
+
+namespace arbor::engine {
+
+ProgramStats Scheduler::run(RoundState& state, std::size_t capacity,
+                            std::size_t first_round_index,
+                            const RoundProgram& program,
+                            const RoundHook& on_round) {
+  ARBOR_CHECK(state.num_machines() > 0);
+  ARBOR_CHECK(capacity > 0);
+  ARBOR_CHECK_MSG(!program.steps.empty(), "RoundProgram has no steps");
+  // Shared schedulers must serialize programs: the pool and the scratch
+  // routing tables hold one round at a time. Fail loudly instead of
+  // corrupting. (exchange: if the flag was already set we throw without
+  // constructing the reset guard, leaving the owner's flag intact.)
+  ARBOR_CHECK_MSG(
+      !in_program_.exchange(true, std::memory_order_acq_rel),
+      "Scheduler re-entered: a shared Engine executes one program at a "
+      "time (do not run a program or round from inside a step function, a "
+      "continue callback, or a second thread)");
+  struct Reset {
+    std::atomic<bool>& flag;
+    ~Reset() { flag.store(false, std::memory_order_release); }
+  } reset{in_program_};
+
+  // Overlap needs flat inboxes (the serial reference representation
+  // materializes per-message vectors on the calling thread) and the policy
+  // opt-in; barrier steps drop back to strict per step below.
+  const bool overlap = state.is_flat && policy_.async_rounds;
+
+  ProgramStats stats;
+  for (;;) {
+    bool computed_ahead = false;
+    for (std::size_t i = 0; i < program.steps.size(); ++i) {
+      if (!computed_ahead) compute(state, capacity, program.steps[i].fn);
+      computed_ahead = false;
+      const RoundStats round_stats =
+          route(state, capacity, first_round_index + stats.rounds);
+      const ProgramStep* next =
+          i + 1 < program.steps.size() ? &program.steps[i + 1] : nullptr;
+      if (overlap && next && next->kind == StepKind::kMachineIndependent) {
+        // Commit round i before the fused phase: its caps are validated and
+        // its stats exact, and the strict executor would have charged it
+        // before the next step's compute could throw — charging afterwards
+        // would make ledger totals diverge between async and strict on
+        // exactly the error paths the caps exist for.
+        ++stats.rounds;
+        if (on_round) on_round(round_stats);
+        deliver_and_compute(state, capacity, next->fn);
+        state.flip();  // the fused compute's bank becomes next round's front
+        computed_ahead = true;
+        ++stats.overlapped;
+      } else {
+        deliver(state);
+        ++stats.rounds;
+        if (on_round) on_round(round_stats);
+      }
+    }
+    ++stats.passes;
+    if (!program.continue_fn) break;
+    if (!program.continue_fn(stats.passes)) break;
+    if (stats.passes >= program.max_passes) break;
+  }
+  return stats;
+}
+
+void Scheduler::run_parallel(std::size_t n, const ThreadPool::BlockFn& fn) {
+  if (pool_)
+    pool_->run_blocks(n, fn);
+  else
+    fn(0, n);
+}
+
+void Scheduler::compute(RoundState& state, std::size_t capacity,
+                        const StepFn& step) {
+  const std::size_t machines = state.num_machines();
+  std::vector<Outbox>& out = state.front_outboxes();
+  run_parallel(machines, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t m = begin; m < end; ++m) {
+      out[m].clear();  // keeps arena capacity from previous rounds
+      Sender sender(m, capacity, machines, out[m]);
+      step(m, state.inbox(m), sender);
+    }
+  });
+}
+
+RoundStats Scheduler::route(RoundState& state, std::size_t capacity,
+                            std::size_t round_index) {
+  const std::size_t machines = state.num_machines();
+  const std::vector<Outbox>& outboxes = state.front_outboxes();
+  RoundStats stats;
+
+  // Count per-destination volume and group the outbox records by
+  // destination with a stable counting sort (source asc, send order) — the
+  // delivery order of the serial reference executor.
+  recv_words_.assign(machines, 0);
+  recv_msgs_.assign(machines, 0);
+  std::size_t total_msgs = 0;
+  for (std::size_t src = 0; src < machines; ++src) {
+    const Outbox& out = outboxes[src];
+    stats.max_sent = std::max(stats.max_sent, out.word_count());
+    total_msgs += out.msgs.size();
+    for (const Outbox::Msg& msg : out.msgs) {
+      recv_words_[msg.dst] += msg.length;
+      recv_msgs_[msg.dst] += 1;
+    }
+  }
+
+  // Receiver-side cap: validated once per machine, naming the offender.
+  for (std::size_t dst = 0; dst < machines; ++dst) {
+    ARBOR_CHECK_MSG(recv_words_[dst] <= capacity,
+                    "machine " + std::to_string(dst) +
+                        " exceeded receive capacity: " +
+                        std::to_string(recv_words_[dst]) + " > " +
+                        std::to_string(capacity) + " words in round " +
+                        std::to_string(round_index));
+    stats.max_received = std::max(stats.max_received, recv_words_[dst]);
+  }
+
+  route_begin_.resize(machines + 1);
+  route_begin_[0] = 0;
+  for (std::size_t dst = 0; dst < machines; ++dst)
+    route_begin_[dst + 1] = route_begin_[dst] + recv_msgs_[dst];
+  route_cursor_.assign(route_begin_.begin(), route_begin_.end() - 1);
+  routes_.resize(total_msgs);
+  for (std::size_t src = 0; src < machines; ++src)
+    for (const Outbox::Msg& msg : outboxes[src].msgs)
+      routes_[route_cursor_[msg.dst]++] = {static_cast<std::uint32_t>(src),
+                                           msg.offset, msg.length};
+
+  return stats;
+}
+
+void Scheduler::deliver(RoundState& state) {
+  const std::size_t machines = state.num_machines();
+  const std::vector<Outbox>& outboxes = state.front_outboxes();
+  // Copy payloads out of the source arenas into each destination's inbox.
+  // Flat inboxes are filled in parallel (destinations are disjoint); the
+  // nested reference representation materializes one vector per message on
+  // the calling thread.
+  if (state.is_flat) {
+    run_parallel(machines, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t dst = begin; dst < end; ++dst) {
+        Inbox& in = state.flat_inboxes[dst];
+        in.clear();
+        in.words.reserve(recv_words_[dst]);
+        in.msgs.reserve(recv_msgs_[dst]);
+        for (std::size_t r = route_begin_[dst]; r < route_begin_[dst + 1];
+             ++r) {
+          const Route& route = routes_[r];
+          const Outbox& out = outboxes[route.src];
+          in.append({out.words.data() + route.offset, route.length});
+        }
+      }
+    });
+  } else {
+    for (std::size_t dst = 0; dst < machines; ++dst) {
+      auto& in = state.nested_inboxes[dst];
+      in.clear();
+      in.reserve(recv_msgs_[dst]);
+      for (std::size_t r = route_begin_[dst]; r < route_begin_[dst + 1]; ++r) {
+        const Route& route = routes_[r];
+        const Outbox& out = outboxes[route.src];
+        const Word* data = out.words.data() + route.offset;
+        in.emplace_back(data, data + route.length);
+      }
+    }
+  }
+}
+
+void Scheduler::deliver_and_compute(RoundState& state, std::size_t capacity,
+                                    const StepFn& next_step) {
+  const std::size_t machines = state.num_machines();
+  // The front bank is frozen (round r's routed outboxes); the fused compute
+  // writes the back bank. Materialize the back bank on this thread before
+  // entering the parallel region.
+  const std::vector<Outbox>& cur = state.front_outboxes();
+  std::vector<Outbox>& nxt = state.back_outboxes();
+  run_parallel(machines, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t m = begin; m < end; ++m) {
+      // Deliver round r's messages for machine m...
+      Inbox& in = state.flat_inboxes[m];
+      in.clear();
+      in.words.reserve(recv_words_[m]);
+      in.msgs.reserve(recv_msgs_[m]);
+      for (std::size_t r = route_begin_[m]; r < route_begin_[m + 1]; ++r) {
+        const Route& route = routes_[r];
+        const Outbox& out = cur[route.src];
+        in.append({out.words.data() + route.offset, route.length});
+      }
+      // ...and immediately start round r+1's compute for it: m's inbox is
+      // complete even though other machines' deliveries may still be in
+      // flight (the machine-independent contract makes this sufficient).
+      nxt[m].clear();
+      Sender sender(m, capacity, machines, nxt[m]);
+      next_step(m, InboxView(in), sender);
+    }
+  });
+}
+
+}  // namespace arbor::engine

@@ -33,54 +33,48 @@ EmbeddedPeelingResult embedded_threshold_peeling(const graph::Graph& g,
   std::uint32_t round = 0;
   bool progressed = true;
 
-  while (remaining > 0 && progressed && round < max_rounds) {
-    progressed = false;
-    ++round;
-    const std::uint32_t this_round = round;
+  if (max_rounds == 0) {
+    result.num_layers = 0;
+    result.complete = false;
+    return result;
+  }
 
-    // One LOCAL round == one cluster round. Each machine scans ITS
-    // vertices, peels the sub-threshold ones, and sends each removal to
-    // the machines hosting neighbors (one word per remote neighbor;
-    // local neighbors are handled without messages, as a machine computes
-    // freely on its own memory).
-    std::vector<std::vector<graph::VertexId>> peeled_by_machine(machines);
-    cluster.run_round([&](std::size_t m, const auto&, mpc::Sender& send) {
-      std::vector<std::vector<mpc::Word>> outgoing(machines);
-      const auto lo = static_cast<graph::VertexId>(
-          std::min(m * per_machine, n));
-      const auto hi = static_cast<graph::VertexId>(
-          std::min((m + 1) * per_machine, n));
-      for (graph::VertexId v = lo; v < hi; ++v) {
-        if (result.layer[v] != 0 || degree[v] > threshold) continue;
-        peeled_by_machine[m].push_back(v);
-        for (graph::VertexId w : g.neighbors(v)) {
-          const std::size_t mw = machine_of(w);
-          if (mw != m) outgoing[mw].push_back(w);
+  // One LOCAL round == one cluster round, expressed as a single-step
+  // RoundProgram repeated until peeling stalls. Each pass, machine m:
+  //   1. applies the decrements implied by the PREVIOUS pass — its own
+  //      peels' local neighbors, then the remote notifications in its
+  //      inbox (both touch only degree/layer slots of m's vertex range);
+  //   2. scans its range, peels the sub-threshold vertices (marking their
+  //      layer at peel time — a vertex peeled this pass is thereby
+  //      excluded from decrements next pass, exactly as the imperative
+  //      post-round update excluded same-round peels), and notifies the
+  //      machines hosting remote neighbors.
+  // The step is tagged barrier — the canonical case: it reads `round`, a
+  // global the continue callback advances at the pass boundary, so it must
+  // not be scheduled while a previous round is still delivering. (A
+  // single-step repeated program never fuses anyway — the continue hook is
+  // itself a barrier — but the tag records the contract, not the accident.)
+  std::vector<std::vector<graph::VertexId>> peeled_prev(machines);
+  std::vector<std::size_t> peeled_now(machines, 0);
+
+  mpc::RoundProgram program;
+  program.barrier([&](std::size_t m, const auto& inbox,
+                          mpc::Sender& send) {
+    // Decrements from the previous pass: local neighbors of my peels...
+    for (graph::VertexId v : peeled_prev[m]) {
+      for (graph::VertexId w : g.neighbors(v)) {
+        if (machine_of(w) == m && result.layer[w] == 0) {
+          ARBOR_CHECK(degree[w] > 0);
+          --degree[w];
         }
-      }
-      for (std::size_t dst = 0; dst < machines; ++dst)
-        if (!outgoing[dst].empty()) send.send(dst, outgoing[dst]);
-    });
-
-    // Post-round state update (the receiving side of the same round):
-    // mark removals, apply local decrements, then remote notifications.
-    for (std::size_t m = 0; m < machines; ++m) {
-      for (graph::VertexId v : peeled_by_machine[m]) {
-        result.layer[v] = this_round;
-        --remaining;
-        progressed = true;
       }
     }
-    for (std::size_t m = 0; m < machines; ++m) {
-      for (graph::VertexId v : peeled_by_machine[m]) {
-        for (graph::VertexId w : g.neighbors(v)) {
-          if (machine_of(w) == m && result.layer[w] == 0) {
-            ARBOR_CHECK(degree[w] > 0);
-            --degree[w];
-          }
-        }
-      }
-      for (const auto& msg : cluster.inbox(m)) {
+    // ...then the remote notifications addressed to my vertices. Pass 1
+    // must not touch the inbox: it may still hold traffic from whatever
+    // the cluster ran before this program, and a stale word would index
+    // layer/degree arbitrarily.
+    if (round > 1) {
+      for (const auto& msg : inbox) {
         for (mpc::Word word : msg) {
           const auto w = static_cast<graph::VertexId>(word);
           if (result.layer[w] == 0) {
@@ -90,7 +84,44 @@ EmbeddedPeelingResult embedded_threshold_peeling(const graph::Graph& g,
         }
       }
     }
-  }
+    // Peel this pass: scan my vertex range with the settled degrees.
+    peeled_prev[m].clear();
+    std::vector<std::vector<mpc::Word>> outgoing(machines);
+    const auto lo = static_cast<graph::VertexId>(
+        std::min(m * per_machine, n));
+    const auto hi = static_cast<graph::VertexId>(
+        std::min((m + 1) * per_machine, n));
+    for (graph::VertexId v = lo; v < hi; ++v) {
+      if (result.layer[v] != 0 || degree[v] > threshold) continue;
+      result.layer[v] = round;
+      peeled_prev[m].push_back(v);
+      for (graph::VertexId w : g.neighbors(v)) {
+        const std::size_t mw = machine_of(w);
+        if (mw != m) outgoing[mw].push_back(w);
+      }
+    }
+    peeled_now[m] = peeled_prev[m].size();
+    for (std::size_t dst = 0; dst < machines; ++dst)
+      if (!outgoing[dst].empty()) send.send(dst, outgoing[dst]);
+  });
+  // `passes` counts completed passes, i.e. the 1-based index of the pass
+  // that just ran — the same value the imperative loop compared against
+  // max_rounds. `round` (read by the step as the layer to stamp) advances
+  // only when another pass is actually coming.
+  program.repeat_while(
+      [&](std::size_t passes) {
+        std::size_t peeled = 0;
+        for (std::size_t m = 0; m < machines; ++m) peeled += peeled_now[m];
+        remaining -= peeled;
+        progressed = peeled > 0;
+        const bool again = remaining > 0 && progressed && passes < max_rounds;
+        if (again) ++round;
+        return again;
+      },
+      max_rounds);
+
+  round = 1;  // the first pass stamps layer 1
+  cluster.run_program(program);
 
   result.num_layers = round - (progressed ? 0 : 1);
   result.cluster_rounds = cluster.rounds_executed() - start_rounds;

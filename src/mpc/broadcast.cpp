@@ -19,6 +19,24 @@ std::size_t unlabel(std::size_t node, std::size_t root,
   return (node + root) % machines;
 }
 
+/// Depth of the deepest node the tree needs to cover `machines` nodes —
+/// the number of rounds both trees run for.
+std::size_t tree_height(std::size_t machines, std::size_t fanout) {
+  std::size_t height = 0;
+  for (std::size_t reach = 1; reach < machines; reach = reach * fanout + 1)
+    ++height;
+  return height;
+}
+
+std::size_t depth_of(std::size_t node, std::size_t fanout) {
+  std::size_t d = 0;
+  while (node != 0) {
+    node = (node - 1) / fanout;
+    ++d;
+  }
+  return d;
+}
+
 }  // namespace
 
 BroadcastResult broadcast_tree(Cluster& cluster, std::size_t root,
@@ -31,11 +49,39 @@ BroadcastResult broadcast_tree(Cluster& cluster, std::size_t root,
 
   std::vector<std::vector<Word>> holds(machines);
   holds[root] = std::move(payload);
-  std::vector<bool> has(machines, false);
-  has[root] = true;
+  // Per-machine flags written from inside the (concurrent) step — one
+  // byte per machine, NOT vector<bool>: its packed bits are not disjoint
+  // objects, so concurrent writes to neighbouring machines' flags would be
+  // a data race under a parallel policy.
+  std::vector<char> has(machines, 0);
+  has[root] = 1;
 
-  while (!std::all_of(has.begin(), has.end(), [](bool b) { return b; })) {
-    cluster.run_round([&](std::size_t m, const auto&, Sender& send) {
+  // All nodes within depth d hold the payload after round d, so the tree
+  // height is the exact round count — the program is declared up front as
+  // height identical machine-independent steps. Each step touches only
+  // machine-owned slots (has[m], holds[m]) and its own inbox: a machine
+  // adopts the payload the moment its copy arrives, then fans it out to
+  // its children, so the scheduler can overlap every delivery with the
+  // next level's compute.
+  const std::size_t height = tree_height(machines, fanout);
+  if (height == 0) {  // single machine: the root already holds the payload
+    BroadcastResult result;
+    result.copies = std::move(holds);
+    result.rounds = 0;
+    return result;
+  }
+
+  RoundProgram program;
+  for (std::size_t round = 0; round < height; ++round) {
+    program.independent([&, round](std::size_t m, const InboxView& inbox,
+                                   Sender& send) {
+      // Adopt the payload delivered by the previous level. Round 0 must
+      // not look at the inbox: it may still hold traffic from whatever the
+      // cluster ran before this program.
+      if (round > 0 && !has[m] && !inbox.empty()) {
+        holds[m] = inbox.front();
+        has[m] = 1;
+      }
       if (!has[m]) return;
       const std::size_t node = relabel(m, root, machines);
       for (std::size_t c = 1; c <= fanout; ++c) {
@@ -44,13 +90,18 @@ BroadcastResult broadcast_tree(Cluster& cluster, std::size_t root,
         send.send(unlabel(child, root, machines), holds[m]);
       }
     });
-    for (std::size_t m = 0; m < machines; ++m) {
-      if (has[m]) continue;
-      const auto& inbox = cluster.inbox(m);
-      if (!inbox.empty()) {
-        holds[m] = inbox.front();
-        has[m] = true;
-      }
+  }
+  cluster.run_program(program);
+
+  // The deepest level receives in the final round; its copies sit in the
+  // inboxes when the program returns (there is no later step to adopt
+  // them), exactly like the imperative loop's post-round processing.
+  for (std::size_t m = 0; m < machines; ++m) {
+    if (has[m]) continue;
+    const auto inbox = cluster.inbox(m);
+    if (!inbox.empty()) {
+      holds[m] = inbox.front();
+      has[m] = 1;
     }
   }
 
@@ -68,42 +119,40 @@ ConvergeResult converge_sum(Cluster& cluster, std::size_t root,
   ARBOR_CHECK(fanout >= 2);
   const std::size_t start = cluster.rounds_executed();
 
-  // Height of the fanout-ary tree.
-  std::size_t height = 0;
-  for (std::size_t reach = 1; reach < machines; reach = reach * fanout + 1)
-    ++height;
-
+  const std::size_t height = tree_height(machines, fanout);
   std::vector<Word> partial = per_machine_value;
-  std::vector<bool> sent(machines, false);
 
   // Leaves first: a node at depth d sends its partial sum to its parent in
-  // round (height - d). A node sends once all its children have reported.
-  const auto depth_of = [&](std::size_t node) {
-    std::size_t d = 0;
-    while (node != 0) {
-      node = (node - 1) / fanout;
-      ++d;
-    }
-    return d;
-  };
-
+  // round (height - d), by which time all of its children — depth d+1,
+  // sending one round earlier — have reported. Each step folds the inbox
+  // into the machine's own partial sum and forwards it if this is the
+  // machine's send round; partial[m] is machine-owned, so every step is
+  // machine-independent and the levels pipeline under the async scheduler.
+  RoundProgram program;
   for (std::size_t round = 0; round < height; ++round) {
-    cluster.run_round([&](std::size_t m, const auto&, Sender& send) {
+    program.independent([&, round](std::size_t m, const InboxView& inbox,
+                                   Sender& send) {
+      // Children of this machine report in round (height - depth - 1);
+      // fold their sums in one round later. Round 0 has no converge
+      // traffic yet — only possibly stale messages from an earlier
+      // program — so it must not touch the inbox.
+      if (round > 0)
+        for (const auto& msg : inbox)
+          for (Word w : msg) partial[m] += w;
       const std::size_t node = relabel(m, root, machines);
-      if (node == 0 || sent[m]) return;
-      // Send in the round matching the node's height from the deepest
-      // level: all children (deeper nodes) have already reported.
-      if (depth_of(node) == height - round) {
+      if (node == 0) return;
+      if (depth_of(node, fanout) == height - round) {
         const std::size_t parent = (node - 1) / fanout;
         send.send(unlabel(parent, root, machines), {partial[m]});
       }
     });
-    for (std::size_t m = 0; m < machines; ++m) {
-      const std::size_t node = relabel(m, root, machines);
-      if (node != 0 && depth_of(node) == height - round) sent[m] = true;
-      for (const auto& msg : cluster.inbox(m))
-        for (Word w : msg) partial[m] += w;
-    }
+  }
+  if (height > 0) {
+    cluster.run_program(program);
+    // The depth-1 children report in the final round; their messages sit
+    // in the root's inbox when the program returns.
+    for (const auto& msg : cluster.inbox(root))
+      for (Word w : msg) partial[root] += w;
   }
 
   ConvergeResult result;

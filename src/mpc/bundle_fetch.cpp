@@ -1,6 +1,7 @@
 #include "mpc/bundle_fetch.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/assert.hpp"
 
@@ -61,6 +62,102 @@ BundleFetchResult fetch_bundles(
   ctx.charge(result.stats.rounds_charged, label);
   ctx.note_global_words(result.stats.total_delivered_words);
   ctx.note_local_words(result.stats.max_requester_words);
+  return result;
+}
+
+Level0BundleFetchResult fetch_bundles_program(
+    Cluster& cluster, const std::vector<std::vector<Word>>& bundles,
+    const std::vector<std::vector<graph::VertexId>>& requests) {
+  const std::size_t machines = cluster.num_machines();
+  const std::size_t start_rounds = cluster.rounds_executed();
+  const auto owner_of = [machines](std::size_t id, std::size_t count) {
+    const std::size_t block =
+        (count + machines - 1) / std::max<std::size_t>(machines, 1);
+    return block == 0 ? std::size_t{0} : std::min(id / block, machines - 1);
+  };
+
+  Level0BundleFetchResult result;
+  result.delivered.resize(requests.size());
+  for (std::size_t u = 0; u < requests.size(); ++u) {
+    result.delivered[u].resize(requests[u].size());
+    for (graph::VertexId v : requests[u])
+      ARBOR_CHECK_MSG(v < bundles.size(), "request for unknown vertex");
+  }
+
+  // Three machine-independent steps; every step touches only its machine's
+  // inbox and the delivered/bundle slots its block owns, so the scheduler
+  // overlaps each delivery with the next step's compute.
+  RoundProgram program;
+
+  // Machine m's contiguous id block under owner_of (the last machine also
+  // absorbs the clamp remainder).
+  const auto block_of = [machines](std::size_t m, std::size_t count) {
+    const std::size_t block =
+        (count + machines - 1) / std::max<std::size_t>(machines, 1);
+    const std::size_t lo = std::min(m * block, count);
+    const std::size_t hi =
+        m + 1 == machines ? count : std::min(lo + block, count);
+    return std::pair<std::size_t, std::size_t>(lo, hi);
+  };
+
+  // Step 1: each requester machine routes (u, slot, v) triples to the
+  // machine hosting v's bundle — scanning only its own requester block.
+  program.independent([&](std::size_t m, const auto&, Sender& send) {
+    std::vector<std::vector<Word>> outgoing(machines);
+    const auto [u_lo, u_hi] = block_of(m, requests.size());
+    for (std::size_t u = u_lo; u < u_hi; ++u) {
+      for (std::size_t slot = 0; slot < requests[u].size(); ++slot) {
+        const graph::VertexId v = requests[u][slot];
+        auto& out = outgoing[owner_of(v, bundles.size())];
+        out.push_back(u);
+        out.push_back(slot);
+        out.push_back(v);
+      }
+    }
+    for (std::size_t dst = 0; dst < machines; ++dst)
+      if (!outgoing[dst].empty()) send.send(dst, outgoing[dst]);
+  });
+
+  // Step 2: each owner machine serves every request in its inbox with a
+  // (u, slot, length, payload...) record addressed to u's host machine.
+  program.independent([&](std::size_t, const auto& inbox, Sender& send) {
+    std::vector<std::vector<Word>> outgoing(machines);
+    for (const auto& msg : inbox) {
+      for (std::size_t i = 0; i + 2 < msg.size(); i += 3) {
+        const auto u = static_cast<std::size_t>(msg[i]);
+        const Word slot = msg[i + 1];
+        const auto v = static_cast<std::size_t>(msg[i + 2]);
+        auto& out = outgoing[owner_of(u, requests.size())];
+        out.push_back(u);
+        out.push_back(slot);
+        out.push_back(bundles[v].size());
+        out.insert(out.end(), bundles[v].begin(), bundles[v].end());
+      }
+    }
+    for (std::size_t dst = 0; dst < machines; ++dst)
+      if (!outgoing[dst].empty()) send.send(dst, outgoing[dst]);
+  });
+
+  // Step 3 (compute-only): each requester machine unpacks the served
+  // copies into request order — delivered[u][slot] slots are owned by u's
+  // host machine, so the assembly parallelizes across the cluster.
+  program.independent([&](std::size_t, const auto& inbox, Sender&) {
+    for (const auto& msg : inbox) {
+      std::size_t i = 0;
+      while (i + 2 < msg.size()) {
+        const auto u = static_cast<std::size_t>(msg[i]);
+        const auto slot = static_cast<std::size_t>(msg[i + 1]);
+        const auto len = static_cast<std::size_t>(msg[i + 2]);
+        i += 3;
+        auto& dst = result.delivered[u][slot];
+        dst.assign(msg.begin() + i, msg.begin() + i + len);
+        i += len;
+      }
+    }
+  });
+
+  cluster.run_program(program);
+  result.rounds = cluster.rounds_executed() - start_rounds;
   return result;
 }
 

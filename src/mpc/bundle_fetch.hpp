@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "mpc/cluster.hpp"
 #include "mpc/primitives.hpp"
 
 namespace arbor::mpc {
@@ -42,5 +43,24 @@ BundleFetchResult fetch_bundles(
     MpcContext& ctx, const std::vector<std::vector<Word>>& bundles,
     const std::vector<std::vector<graph::VertexId>>& requests,
     const std::string& label);
+
+/// The executable Level-0 counterpart of fetch_bundles: the same
+/// request/serve dataflow run as a real RoundProgram on `cluster`, under
+/// its per-machine traffic caps. Bundle owners and requesters are
+/// block-assigned to machines (vertex v lives on machine v / ceil(n/M));
+/// three rounds: route requests to owners, serve the bundle copies back,
+/// and a compute-only assembly round in which every requester machine
+/// slots the copies into request order. `delivered` is bit-identical to
+/// fetch_bundles' — tests/level0_programs_test.cpp locks the equivalence —
+/// so the analytic charge is grounded by a program the scheduler can
+/// pipeline.
+struct Level0BundleFetchResult {
+  std::vector<std::vector<std::vector<Word>>> delivered;
+  std::size_t rounds = 0;
+};
+
+Level0BundleFetchResult fetch_bundles_program(
+    Cluster& cluster, const std::vector<std::vector<Word>>& bundles,
+    const std::vector<std::vector<graph::VertexId>>& requests);
 
 }  // namespace arbor::mpc

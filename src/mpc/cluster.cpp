@@ -34,17 +34,29 @@ Cluster::Cluster(ClusterConfig config, RoundLedger* ledger,
 
 void Cluster::preload(std::size_t dst, std::span<const Word> payload) {
   ARBOR_CHECK(dst < state_.num_machines());
-  state_.preload(dst, payload);
+  state_.preload(dst, payload, config_.words_per_machine);
+}
+
+engine::ProgramStats Cluster::run_program(const RoundProgram& program) {
+  // Rounds are charged as they commit (caps validated, stats final; under
+  // async overlap the delivery may still be in flight), so a program that
+  // throws mid-way leaves the ledger reflecting exactly the rounds the
+  // imperative run_round loop would have charged — in every mode.
+  return engine_->run_program(
+      state_, config_.words_per_machine, rounds_, program,
+      [this](const engine::RoundStats& stats) {
+        ++rounds_;
+        if (ledger_) {
+          ledger_->charge(1, "cluster.round");
+          ledger_->note_round_traffic(stats.max_traffic());
+        }
+      });
 }
 
 void Cluster::run_round(const StepFn& step) {
-  const engine::RoundStats stats =
-      engine_->run_round(state_, config_.words_per_machine, rounds_, step);
-  ++rounds_;
-  if (ledger_) {
-    ledger_->charge(1, "cluster.round");
-    ledger_->note_round_traffic(stats.max_traffic());
-  }
+  RoundProgram program;
+  program.barrier(step);
+  run_program(program);
 }
 
 InboxView Cluster::inbox(std::size_t m) const {

@@ -10,13 +10,19 @@
 //
 // Round execution is delegated to engine::Engine (src/engine/): the
 // ExecutionPolicy knob on ClusterConfig selects the serial reference
-// executor or the thread-pool-backed parallel engine. Both produce
-// bit-identical inboxes and ledger totals (tests/engine_test.cpp), so any
-// program written against this API can be flipped to parallel execution
+// executor or the thread-pool-backed parallel engine. Protocols declare
+// their rounds as engine::RoundPrograms (run_program) — a sequence of step
+// descriptors, each tagged machine-independent or barrier — which lets the
+// scheduler overlap round r's delivery with round r+1's compute;
+// run_round survives as the one-step program. Every mode — serial or
+// parallel, overlap on or off — produces bit-identical inboxes and ledger
+// totals (tests/engine_test.cpp, tests/level0_programs_test.cpp), so any
+// program written against this API can be flipped between executors
 // without behavioural change — PROVIDED its step functions honour the
-// engine::StepFn concurrency contract: under a parallel policy steps run
-// concurrently for different machines and must only write machine-owned
-// state (see src/engine/engine.hpp).
+// engine::StepFn concurrency contract (and, for steps tagged
+// machine-independent, the stricter contract in src/engine/program.hpp):
+// under a parallel policy steps run concurrently for different machines
+// and must only write machine-owned state.
 #pragma once
 
 #include <cstdint>
@@ -40,6 +46,9 @@ using Sender = engine::Sender;
 /// Read-only views over a machine's received messages.
 using InboxView = engine::InboxView;
 using MessageView = engine::MessageView;
+
+/// Declarative multi-round protocol descriptor (see engine/program.hpp).
+using RoundProgram = engine::RoundProgram;
 
 class Cluster {
  public:
@@ -66,9 +75,15 @@ class Cluster {
     preload(dst, std::span<const Word>(payload.begin(), payload.size()));
   }
 
-  /// Execute one synchronous round: every machine sees its inbox, emits
-  /// messages; receiver-side volume is validated once per machine; inboxes
-  /// swap.
+  /// Execute a RoundProgram: every step is one synchronous round charged
+  /// to the ledger individually, with delivery/compute overlap where the
+  /// program's step tags and the execution policy allow. Returns the
+  /// program's execution stats (rounds, passes, overlapped rounds).
+  engine::ProgramStats run_program(const RoundProgram& program);
+
+  /// Execute one synchronous round — a one-step barrier program: every
+  /// machine sees its inbox, emits messages; receiver-side volume is
+  /// validated once per machine; inboxes swap.
   void run_round(const StepFn& step);
 
   /// Messages currently waiting at machine `m` (for inspection/tests).

@@ -27,6 +27,7 @@
 #include <cmath>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <string>
 #include <type_traits>
@@ -78,11 +79,20 @@ class MpcContext {
   }
 
   /// Rounds to sort N words with S-word machines: ⌈log_S N⌉, at least 1.
+  /// Computed by integer powering — the float log ratio drifts at exact
+  /// powers of S (N = S² must charge exactly 2, never 3) and ceil() then
+  /// amplifies an ulp of error into a whole extra round.
   std::size_t sort_rounds(std::size_t total_words) const {
     if (total_words <= 1) return 1;
-    const double s = static_cast<double>(config_.words_per_machine);
-    const double r = std::log(static_cast<double>(total_words)) / std::log(s);
-    return std::max<std::size_t>(1, static_cast<std::size_t>(std::ceil(r)));
+    const std::size_t s = std::max<std::size_t>(config_.words_per_machine, 2);
+    std::size_t rounds = 1;
+    std::size_t reach = s;  // s^rounds, saturating
+    while (reach < total_words) {
+      ++rounds;
+      if (reach > std::numeric_limits<std::size_t>::max() / s) break;
+      reach *= s;
+    }
+    return rounds;
   }
 
   /// Rounds for a fan-out-√S broadcast tree producing `copies` replicas.

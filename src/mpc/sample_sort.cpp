@@ -18,12 +18,19 @@ SampleSortResult sample_sort(Cluster& cluster,
   // Machine-local state lives here (the cluster only moves messages).
   std::vector<std::vector<Word>> slabs = input;
 
-  // Round 1: every machine sends an evenly-spaced sample of its slab to
+  // The whole sort is one RoundProgram of three machine-independent steps:
+  // each step reads only its machine's inbox and machine-owned slab state,
+  // so the scheduler may overlap a round's delivery with the next round's
+  // compute (splitter selection on machine 0 starts while the sample
+  // messages for other machines are still being delivered, and so on).
+  engine::RoundProgram program;
+
+  // Step 1: every machine sends an evenly-spaced sample of its slab to
   // machine 0 (the splitter coordinator). The sample count is clamped to
   // the slab size so indices never repeat — a slab smaller than
   // samples_per_machine contributes each key once instead of skewing the
   // pool toward its low keys.
-  cluster.run_round([&](std::size_t m, const auto&, Sender& send) {
+  program.independent([&](std::size_t m, const auto&, Sender& send) {
     std::vector<Word> sample;
     const auto& slab = slabs[m];
     if (!slab.empty()) {
@@ -39,14 +46,14 @@ SampleSortResult sample_sort(Cluster& cluster,
     send.send(0, sample);
   });
 
-  // Round 2: coordinator picks machines-1 splitters from the pooled sample
+  // Step 2: coordinator picks machines-1 splitters from the pooled sample
   // and broadcasts them. The broadcast happens even when the splitter set
   // is empty — a single-machine cluster needs no splitters, and an
   // all-empty pool has none to offer — so the routing round can rely on
   // the message being present rather than on an accident of the protocol.
   // (For machines ≤ √S the broadcast fits directly; a bigger cluster would
   // relay through a fan-out-√S tree at the same asymptotic cost.)
-  cluster.run_round([&](std::size_t m, const auto& inbox, Sender& send) {
+  program.independent([&](std::size_t m, const auto& inbox, Sender& send) {
     if (m != 0) return;
     std::vector<Word> chosen;
     if (machines > 1) {
@@ -63,11 +70,11 @@ SampleSortResult sample_sort(Cluster& cluster,
       send.send(dst, chosen);
   });
 
-  // Round 3: route every key to its bucket machine (binary search over the
+  // Step 3: route every key to its bucket machine (binary search over the
   // received splitters); buckets sort locally after delivery. The splitter
-  // message is always present (round 2 broadcasts explicitly, empty or
+  // message is always present (step 2 broadcasts explicitly, empty or
   // not); an empty splitter set routes everything to machine 0.
-  cluster.run_round([&](std::size_t m, const auto& inbox, Sender& send) {
+  program.independent([&](std::size_t m, const auto& inbox, Sender& send) {
     ARBOR_CHECK_MSG(!inbox.empty(), "splitter broadcast missing");
     const auto split = inbox.front();  // zero-copy view of the message
     std::vector<std::vector<Word>> outgoing(machines);
@@ -80,6 +87,8 @@ SampleSortResult sample_sort(Cluster& cluster,
     for (std::size_t dst = 0; dst < machines; ++dst)
       if (!outgoing[dst].empty()) send.send(dst, outgoing[dst]);
   });
+
+  cluster.run_program(program);
 
   SampleSortResult result;
   result.slabs.resize(machines);
@@ -108,21 +117,27 @@ RecordSortResult sample_sort_records(
   for (const auto& slab : slabs)
     engine::record_count(slab.size(), record_width);  // validates widths
 
-  // Round 1: each machine key-sorts its slab and sends an evenly-spaced,
+  // One RoundProgram of four machine-independent steps (3 communication +
+  // 1 compute-only): every step touches only its machine's inbox and
+  // machine-owned slabs, so the scheduler can overlap each delivery with
+  // the next step's compute.
+  engine::RoundProgram program;
+
+  // Step 1: each machine key-sorts its slab and sends an evenly-spaced,
   // clamped sample of key prefixes to the coordinator. Sorting mutates
   // only slabs[m] — machine-owned state, safe under the engine's
   // concurrency contract — and the sorted slab is reused by the routing
   // round.
-  cluster.run_round([&](std::size_t m, const auto&, Sender& send) {
+  program.independent([&](std::size_t m, const auto&, Sender& send) {
     engine::stable_sort_records(slabs[m], record_width, key_words);
     send.send(0, engine::sample_record_keys(slabs[m], record_width,
                                             key_words, samples_per_machine));
   });
 
-  // Round 2: coordinator pools the sampled keys, picks machines-1 splitter
+  // Step 2: coordinator pools the sampled keys, picks machines-1 splitter
   // keys at the sample quantiles, and broadcasts them — explicitly empty
   // for a single-machine cluster or an all-empty pool (see sample_sort).
-  cluster.run_round([&](std::size_t m, const auto& inbox, Sender& send) {
+  program.independent([&](std::size_t m, const auto& inbox, Sender& send) {
     if (m != 0) return;
     std::vector<Word> chosen;
     if (machines > 1) {
@@ -140,11 +155,11 @@ RecordSortResult sample_sort_records(
       send.send(dst, chosen);
   });
 
-  // Round 3: route every record to its bucket machine. bucket(r) = number
+  // Step 3: route every record to its bucket machine. bucket(r) = number
   // of splitter keys ≤ key(r) — the record-key analogue of the word
   // version's upper_bound — so an empty splitter set routes everything to
   // machine 0.
-  cluster.run_round([&](std::size_t m, const auto& inbox, Sender& send) {
+  program.independent([&](std::size_t m, const auto& inbox, Sender& send) {
     ARBOR_CHECK_MSG(!inbox.empty(), "splitter broadcast missing");
     const auto split = inbox.front().span();
     const std::size_t num_split = split.size() / key_words;
@@ -169,23 +184,27 @@ RecordSortResult sample_sort_records(
       if (!outgoing[dst].empty()) send.send(dst, outgoing[dst]);
   });
 
-  // Round 4 (compute-only, no messages): each bucket machine concatenates
+  // Step 4 (compute-only, no messages): each bucket machine concatenates
   // its routed records and key-sorts them. Running this inside a round —
   // instead of on the calling thread after the fact — lets the engine
   // spread the final sorts across its workers; each step writes only its
   // own preallocated result slab, honouring the concurrency contract.
-  // Delivery order is (source machine asc, send order) on both executors,
-  // so the stable sort makes the result deterministic and, with a
+  // Under the async scheduler this compute even overlaps the routing
+  // round's delivery: bucket m starts sorting as soon as its own records
+  // arrive. Delivery order is (source machine asc, send order) in every
+  // mode, so the stable sort makes the result deterministic and, with a
   // full-record key, the unique total order.
   RecordSortResult result;
   result.slabs.resize(machines);
-  cluster.run_round([&](std::size_t m, const auto& inbox, Sender&) {
+  program.independent([&](std::size_t m, const auto& inbox, Sender&) {
     auto& slab = result.slabs[m];
     slab.reserve(inbox.total_words());
     for (const auto& msg : inbox)
       slab.insert(slab.end(), msg.begin(), msg.end());
     engine::stable_sort_records(slab, record_width, key_words);
   });
+
+  cluster.run_program(program);
   result.rounds = cluster.rounds_executed() - start_rounds;
   return result;
 }

@@ -380,6 +380,282 @@ TEST(Engine, RunRoundIsNotReentrant) {
   EXPECT_EQ(b.inbox(0).front()[0], 1u);
 }
 
+// ----------------------------------------- RoundPrograms & the scheduler
+
+// A three-step machine-independent ring program: step k sends (inbox sum +
+// m) to the right neighbor. Cross-step data dependence through the inboxes
+// makes any delivery/compute reordering visible in the final state.
+engine::RoundProgram ring_program(std::size_t machines, std::size_t steps) {
+  engine::RoundProgram program;
+  for (std::size_t s = 0; s < steps; ++s) {
+    program.independent([machines](std::size_t m, const auto& inbox,
+                                   Sender& send) {
+      Word acc = m;
+      for (const auto& msg : inbox)
+        for (Word w : msg) acc += w;
+      send.send((m + 1) % machines, {acc});
+    });
+  }
+  return program;
+}
+
+TEST(Scheduler, AsyncOverlapBitIdenticalToStrict) {
+  std::vector<std::uint64_t> fingerprints;
+  std::vector<std::size_t> peaks;
+  for (const auto& policy :
+       {ExecutionPolicy::serial(), ExecutionPolicy::parallel(4).with_async(false),
+        ExecutionPolicy::parallel(4).with_async(true),
+        ExecutionPolicy::parallel(1).with_async(true)}) {
+    ClusterConfig cfg{16, 256};
+    cfg.execution = policy;
+    RoundLedger ledger(cfg);
+    Cluster cluster(cfg, &ledger);
+    const auto stats = cluster.run_program(ring_program(16, 6));
+    EXPECT_EQ(stats.rounds, 6u);
+    EXPECT_EQ(ledger.total_rounds(), 6u);
+    fingerprints.push_back(inbox_fingerprint(cluster));
+    peaks.push_back(ledger.peak_round_traffic());
+  }
+  for (std::size_t i = 1; i < fingerprints.size(); ++i) {
+    EXPECT_EQ(fingerprints[i], fingerprints[0]) << "policy " << i;
+    EXPECT_EQ(peaks[i], peaks[0]) << "policy " << i;
+  }
+}
+
+TEST(Scheduler, OverlapAccounting) {
+  // All-independent program: every round but the last fuses with the next
+  // step's compute.
+  {
+    ClusterConfig cfg{8, 256};
+    cfg.execution = ExecutionPolicy::parallel(2);  // async defaults on
+    Cluster cluster(cfg, nullptr);
+    const auto stats = cluster.run_program(ring_program(8, 4));
+    EXPECT_EQ(stats.rounds, 4u);
+    EXPECT_EQ(stats.overlapped, 3u);
+  }
+  // A barrier step in the middle breaks exactly one fusion opportunity.
+  {
+    ClusterConfig cfg{8, 256};
+    cfg.execution = ExecutionPolicy::parallel(2);
+    Cluster cluster(cfg, nullptr);
+    engine::RoundProgram program;
+    const auto noop = [](std::size_t, const auto&, Sender&) {};
+    program.independent(noop).barrier(noop).independent(noop);
+    EXPECT_EQ(cluster.run_program(program).overlapped, 1u);
+  }
+  // Async off or serial: never overlapped.
+  for (const auto& policy :
+       {ExecutionPolicy::parallel(2).with_async(false),
+        ExecutionPolicy::serial()}) {
+    ClusterConfig cfg{8, 256};
+    cfg.execution = policy;
+    Cluster cluster(cfg, nullptr);
+    EXPECT_EQ(cluster.run_program(ring_program(8, 4)).overlapped, 0u);
+  }
+}
+
+TEST(Scheduler, RepeatWhileRunsContinueHookAtBarrier) {
+  ClusterConfig cfg{4, 64};
+  cfg.execution = ExecutionPolicy::parallel(2);
+  Cluster cluster(cfg, nullptr);
+  std::vector<std::size_t> sent(4, 0);  // per-machine slots (contract)
+  engine::RoundProgram program;
+  program.independent([&](std::size_t m, const auto&, Sender& send) {
+    ++sent[m];
+    send.send((m + 1) % 4, {m});
+  });
+  std::size_t hook_calls = 0;
+  program.repeat_while(
+      [&](std::size_t passes) {
+        ++hook_calls;
+        EXPECT_EQ(passes, hook_calls);
+        return passes < 3;
+      },
+      10);
+  const auto stats = cluster.run_program(program);
+  EXPECT_EQ(stats.rounds, 3u);
+  EXPECT_EQ(stats.passes, 3u);
+  EXPECT_EQ(hook_calls, 3u);
+  for (std::size_t m = 0; m < 4; ++m) EXPECT_EQ(sent[m], 3u);
+}
+
+TEST(Scheduler, MaxPassesCapsRepeat) {
+  Cluster cluster(ClusterConfig{2, 64}, nullptr);
+  engine::RoundProgram program;
+  program.independent([](std::size_t, const auto&, Sender&) {});
+  program.repeat_while([](std::size_t) { return true; }, 5);
+  EXPECT_EQ(cluster.run_program(program).passes, 5u);
+}
+
+// A shared Engine executes one program at a time; launching a program from
+// inside a step function must fail loudly, not corrupt scratch state.
+TEST(Scheduler, RunProgramIsNotReentrant) {
+  ClusterConfig cfg{2, 64};
+  cfg.execution = ExecutionPolicy::parallel(1);
+  engine::Engine shared(cfg.execution);
+  Cluster a(cfg, nullptr, &shared);
+  Cluster b(cfg, nullptr, &shared);
+  engine::RoundProgram inner;
+  inner.independent([](std::size_t, const auto&, Sender&) {});
+  engine::RoundProgram outer;
+  outer.independent([&](std::size_t, const auto&, Sender&) {
+    b.run_program(inner);
+  });
+  EXPECT_THROW(a.run_program(outer), arbor::InvariantError);
+  // The guard resets: the engine is usable again afterwards.
+  b.run_program(inner);
+  EXPECT_EQ(b.rounds_executed(), 1u);
+}
+
+// Re-entering from a continue callback is the same programming error.
+TEST(Scheduler, ContinueCallbackCannotReenter) {
+  ClusterConfig cfg{2, 64};
+  engine::Engine shared(ExecutionPolicy::parallel(1));
+  Cluster a({2, 64, ExecutionPolicy::parallel(1)}, nullptr, &shared);
+  Cluster b({2, 64, ExecutionPolicy::parallel(1)}, nullptr, &shared);
+  engine::RoundProgram inner;
+  inner.independent([](std::size_t, const auto&, Sender&) {});
+  engine::RoundProgram outer;
+  outer.independent([](std::size_t, const auto&, Sender&) {});
+  outer.repeat_while(
+      [&](std::size_t) {
+        b.run_program(inner);
+        return false;
+      },
+      2);
+  EXPECT_THROW(a.run_program(outer), arbor::InvariantError);
+}
+
+// A throw in step k+1's compute must leave round k charged in EVERY mode:
+// the strict executor charges a round before the next compute runs, and
+// the fused path commits the round (caps validated, stats exact) before
+// launching the overlapped compute — otherwise ledger totals would diverge
+// between async and strict exactly on the error paths the caps exist for.
+TEST(Scheduler, MidProgramThrowChargesCompletedRoundsIdentically) {
+  for (const auto& policy :
+       {ExecutionPolicy::serial(), ExecutionPolicy::parallel(2).with_async(false),
+        ExecutionPolicy::parallel(2).with_async(true)}) {
+    ClusterConfig cfg{4, 4};
+    cfg.execution = policy;
+    RoundLedger ledger(cfg);
+    Cluster cluster(cfg, &ledger);
+    engine::RoundProgram program;
+    program.independent([](std::size_t m, const auto&, Sender& send) {
+      send.send((m + 1) % 4, {m});
+    });
+    program.independent([](std::size_t m, const auto&, Sender& send) {
+      if (m == 1) send.send(0, {1, 2, 3, 4, 5});  // 5 > 4 send cap
+    });
+    EXPECT_THROW(cluster.run_program(program), arbor::InvariantError);
+    EXPECT_EQ(ledger.total_rounds(), 1u) << "policy async="
+                                         << policy.async_rounds;
+    EXPECT_EQ(cluster.rounds_executed(), 1u);
+  }
+}
+
+TEST(Scheduler, EmptyProgramRejected) {
+  Cluster cluster(ClusterConfig{2, 64}, nullptr);
+  EXPECT_THROW(cluster.run_program(engine::RoundProgram{}),
+               arbor::InvariantError);
+}
+
+// The Engine clamps its pool to the hardware concurrency, so on a
+// single-core CI box the fused deliver+compute phase runs inline. Driving
+// the Scheduler directly with an unclamped ThreadPool forces the phase to
+// run genuinely multi-threaded — this is the test ThreadSanitizer must
+// hold race-free (scripts/check.sh --tsan).
+TEST(Scheduler, FusedPhaseRaceFreeWithRealThreads) {
+  const std::size_t machines = 64;
+  const std::size_t capacity = 1024;
+  const std::size_t steps = 8;
+
+  // Reference: strict execution, no pool.
+  engine::Scheduler strict(ExecutionPolicy::parallel(1).with_async(false),
+                           nullptr);
+  engine::RoundState strict_state(machines, /*flat=*/true);
+  strict.run(strict_state, capacity, 0, ring_program(machines, steps), {});
+
+  // Async execution on a real 4-way pool: every delivery of rounds
+  // 0..steps-2 runs fused with the next round's compute across workers.
+  engine::ThreadPool pool(4);
+  engine::Scheduler async(ExecutionPolicy::parallel(4).with_async(true),
+                          &pool);
+  engine::RoundState async_state(machines, /*flat=*/true);
+  const auto stats =
+      async.run(async_state, capacity, 0, ring_program(machines, steps), {});
+  EXPECT_EQ(stats.rounds, steps);
+  EXPECT_EQ(stats.overlapped, steps - 1);
+
+  for (std::size_t m = 0; m < machines; ++m) {
+    const auto a = strict_state.inbox(m);
+    const auto b = async_state.inbox(m);
+    ASSERT_EQ(a.size(), b.size()) << "machine " << m;
+    for (std::size_t i = 0; i < a.size(); ++i)
+      EXPECT_TRUE(a[i] == static_cast<std::vector<Word>>(b[i]))
+          << "machine " << m << " message " << i;
+  }
+}
+
+// Same multi-threaded fused phase, but on a machine-owned-state workload
+// (each machine mutates its own slab slot every step) — the pattern every
+// converted protocol uses.
+TEST(Scheduler, FusedPhaseMachineOwnedStateWithRealThreads) {
+  const std::size_t machines = 48;
+  std::vector<std::vector<Word>> slabs(machines);
+  for (std::size_t m = 0; m < machines; ++m) slabs[m] = {m, m + 1};
+
+  const auto build = [&](std::vector<std::vector<Word>>& owned) {
+    engine::RoundProgram program;
+    for (std::size_t s = 0; s < 6; ++s) {
+      program.independent([&owned, machines](std::size_t m, const auto& inbox,
+                                             Sender& send) {
+        for (const auto& msg : inbox)
+          for (Word w : msg) owned[m].push_back(w);
+        send.send((m * 7 + 1) % machines, {owned[m].back(), m});
+      });
+    }
+    return program;
+  };
+
+  std::vector<std::vector<Word>> serial_slabs = slabs;
+  engine::Scheduler strict(ExecutionPolicy::parallel(1).with_async(false),
+                           nullptr);
+  engine::RoundState strict_state(machines, true);
+  strict.run(strict_state, 256, 0, build(serial_slabs), {});
+
+  std::vector<std::vector<Word>> async_slabs = slabs;
+  engine::ThreadPool pool(4);
+  engine::Scheduler async(ExecutionPolicy::parallel(4).with_async(true),
+                          &pool);
+  engine::RoundState async_state(machines, true);
+  async.run(async_state, 256, 0, build(async_slabs), {});
+
+  EXPECT_EQ(async_slabs, serial_slabs);
+}
+
+// ------------------------------------------------------ preload word cap
+
+TEST(RoundState, PreloadValidatesReceiverCapNamingMachine) {
+  for (const auto& policy :
+       {ExecutionPolicy::serial(), ExecutionPolicy::parallel(2)}) {
+    ClusterConfig cfg{3, 4};
+    cfg.execution = policy;
+    Cluster cluster(cfg, nullptr);
+    cluster.preload(1, {1, 2, 3});  // 3 of 4 words: fine
+    try {
+      cluster.preload(1, {4, 5});  // cumulative 5 > 4
+      FAIL() << "expected preload capacity violation";
+    } catch (const arbor::InvariantError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("machine 1"), std::string::npos) << what;
+      EXPECT_NE(what.find("5 > 4"), std::string::npos) << what;
+      EXPECT_NE(what.find("preload"), std::string::npos) << what;
+    }
+    // Other machines keep their full budget.
+    cluster.preload(2, {1, 2, 3, 4});
+  }
+}
+
 // MpcContext carries the engine so every cluster in a pipeline shares it.
 TEST(Engine, SharedEngineThroughContext) {
   ClusterConfig cfg{8, 512};

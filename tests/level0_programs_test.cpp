@@ -6,12 +6,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 
+#include "graph/generators.hpp"
+#include "local/mpc_embedding.hpp"
 #include "util/assert.hpp"
 #include "mpc/broadcast.hpp"
+#include "mpc/bundle_fetch.hpp"
 #include "mpc/cluster.hpp"
 #include "mpc/primitives.hpp"
 #include "mpc/sample_sort.hpp"
+#include "util/hashing.hpp"
 #include "util/rng.hpp"
 
 namespace arbor::mpc {
@@ -300,6 +305,212 @@ TEST(ConvergeSum, MatchesBroadcastDepth) {
   const ConvergeResult result = converge_sum(cluster, 0, ones, 3);
   EXPECT_EQ(result.sum, 40u);
   EXPECT_LE(result.rounds, 5u);  // ⌈log_3 40⌉ + 1
+}
+
+// ----------------------------- Level-0 bundle fetch as a RoundProgram
+
+TEST(BundleFetchProgram, MatchesAnalyticDelivery) {
+  std::vector<std::vector<Word>> bundles{{10}, {20, 21}, {30}, {}, {40, 41,
+                                                                    42}};
+  std::vector<std::vector<graph::VertexId>> requests{
+      {1, 2}, {}, {0, 0, 4}, {3}};
+
+  const ClusterConfig cfg{4, 1024};
+  RoundLedger ledger(cfg);
+  MpcContext ctx(cfg, &ledger);
+  const BundleFetchResult analytic =
+      fetch_bundles(ctx, bundles, requests, "fetch");
+
+  Cluster cluster(cfg, nullptr);
+  const Level0BundleFetchResult executed =
+      fetch_bundles_program(cluster, bundles, requests);
+  EXPECT_EQ(executed.rounds, 3u);
+  EXPECT_EQ(executed.delivered, analytic.delivered);
+}
+
+TEST(BundleFetchProgram, RejectsUnknownVertex) {
+  Cluster cluster(ClusterConfig{2, 64}, nullptr);
+  std::vector<std::vector<Word>> bundles{{1}};
+  std::vector<std::vector<graph::VertexId>> requests{{5}};
+  EXPECT_THROW(fetch_bundles_program(cluster, bundles, requests),
+               arbor::InvariantError);
+}
+
+// -------------------------- determinism matrix: policy × async overlap
+//
+// Every RoundProgram in the tree must produce identical outputs, inbox
+// fingerprints, and ledger totals across {serial, parallel(4)} × {async
+// on, off} — the async scheduler is an execution detail, never a
+// semantics knob.
+
+std::uint64_t matrix_fingerprint(const Cluster& cluster) {
+  std::uint64_t h = util::mix64(0x12345);
+  for (std::size_t m = 0; m < cluster.num_machines(); ++m) {
+    for (const auto& msg : cluster.inbox(m)) {
+      h = util::hash_combine(h, msg.size());
+      for (Word w : msg) h = util::hash_combine(h, w);
+    }
+    h = util::hash_combine(h, m);
+  }
+  return h;
+}
+
+std::vector<ExecutionPolicy> determinism_matrix() {
+  return {ExecutionPolicy::serial().with_async(false),
+          ExecutionPolicy::serial().with_async(true),
+          ExecutionPolicy::parallel(4).with_async(false),
+          ExecutionPolicy::parallel(4).with_async(true)};
+}
+
+/// Ledger + inbox signature of one mode's run.
+struct MatrixOutcome {
+  std::uint64_t fingerprint = 0;
+  std::size_t total_rounds = 0;
+  std::size_t peak_traffic = 0;
+  std::map<std::string, std::size_t> by_label;
+};
+
+template <typename RunFn>
+void expect_matrix_identical(const char* what, const RunFn& run) {
+  std::vector<MatrixOutcome> outcomes;
+  for (const ExecutionPolicy& policy : determinism_matrix()) {
+    ClusterConfig cfg{8, 4096};
+    cfg.execution = policy;
+    RoundLedger ledger(cfg);
+    Cluster cluster(cfg, &ledger);
+    run(cluster, outcomes.empty());
+    MatrixOutcome outcome;
+    outcome.fingerprint = matrix_fingerprint(cluster);
+    outcome.total_rounds = ledger.total_rounds();
+    outcome.peak_traffic = ledger.peak_round_traffic();
+    outcome.by_label = ledger.rounds_by_label();
+    outcomes.push_back(outcome);
+  }
+  for (std::size_t i = 1; i < outcomes.size(); ++i) {
+    EXPECT_EQ(outcomes[i].fingerprint, outcomes[0].fingerprint)
+        << what << " mode " << i;
+    EXPECT_EQ(outcomes[i].total_rounds, outcomes[0].total_rounds)
+        << what << " mode " << i;
+    EXPECT_EQ(outcomes[i].peak_traffic, outcomes[0].peak_traffic)
+        << what << " mode " << i;
+    EXPECT_EQ(outcomes[i].by_label, outcomes[0].by_label)
+        << what << " mode " << i;
+  }
+}
+
+TEST(DeterminismMatrix, SampleSort) {
+  const auto input = random_slabs(8, 48, 21);
+  std::vector<std::vector<Word>> reference;
+  expect_matrix_identical("sample_sort", [&](Cluster& cluster, bool first) {
+    const SampleSortResult result = sample_sort(cluster, input);
+    if (first)
+      reference = result.slabs;
+    else
+      EXPECT_EQ(result.slabs, reference);
+  });
+}
+
+TEST(DeterminismMatrix, RecordSampleSort) {
+  util::SplitRng rng(22);
+  std::vector<std::vector<Word>> input(8);
+  std::size_t payload = 0;
+  for (auto& slab : input)
+    for (int r = 0; r < 24; ++r) {
+      slab.push_back(rng.next_below(8));  // heavily duplicated key
+      slab.push_back(payload++);
+    }
+  std::vector<std::vector<Word>> reference;
+  expect_matrix_identical(
+      "sample_sort_records", [&](Cluster& cluster, bool first) {
+        const RecordSortResult result =
+            sample_sort_records(cluster, input, 2, 1);
+        if (first)
+          reference = result.slabs;
+        else
+          EXPECT_EQ(result.slabs, reference);
+      });
+}
+
+TEST(DeterminismMatrix, BroadcastAndConverge) {
+  std::vector<std::vector<Word>> reference_copies;
+  expect_matrix_identical("broadcast", [&](Cluster& cluster, bool first) {
+    const BroadcastResult result =
+        broadcast_tree(cluster, 3, {7, 8, 9}, 2);
+    if (first)
+      reference_copies = result.copies;
+    else
+      EXPECT_EQ(result.copies, reference_copies);
+  });
+  expect_matrix_identical("converge", [&](Cluster& cluster, bool) {
+    std::vector<Word> values(cluster.num_machines());
+    for (std::size_t m = 0; m < values.size(); ++m) values[m] = m * 3 + 1;
+    const ConvergeResult result = converge_sum(cluster, 2, values, 2);
+    EXPECT_EQ(result.sum, 92u);  // Σ (3m+1) for m < 8
+  });
+}
+
+TEST(DeterminismMatrix, BundleFetch) {
+  std::vector<std::vector<Word>> bundles(12);
+  std::vector<std::vector<graph::VertexId>> requests(12);
+  util::SplitRng rng(23);
+  for (std::size_t v = 0; v < bundles.size(); ++v)
+    for (std::size_t i = 0; i <= rng.next_below(3); ++i)
+      bundles[v].push_back(v * 100 + i);
+  for (std::size_t u = 0; u < requests.size(); ++u)
+    for (std::size_t i = 0; i < rng.next_below(4); ++i)
+      requests[u].push_back(rng.next_below(bundles.size()));
+  std::vector<std::vector<std::vector<Word>>> reference;
+  expect_matrix_identical("bundle_fetch", [&](Cluster& cluster, bool first) {
+    const Level0BundleFetchResult result =
+        fetch_bundles_program(cluster, bundles, requests);
+    if (first)
+      reference = result.delivered;
+    else
+      EXPECT_EQ(result.delivered, reference);
+  });
+}
+
+// Regression: programs folded the old "driver reads inboxes after the
+// round" logic into their first step, which must therefore ignore whatever
+// stale traffic the cluster's previous program left undelivered. Peeling
+// after a broadcast (whose deepest level's copies remain in the inboxes)
+// must behave exactly like peeling on a fresh cluster.
+TEST(RoundProgramReuse, StaleInboxesDoNotLeakIntoNextProgram) {
+  util::SplitRng rng(31);
+  const graph::Graph g = graph::gnm(120, 360, rng);
+  const ClusterConfig cfg{8, 4096};
+
+  Cluster fresh(cfg, nullptr);
+  const auto expected = local::embedded_threshold_peeling(g, 5, fresh, 50);
+
+  Cluster reused(cfg, nullptr);
+  broadcast_tree(reused, 0, {1000, 2000, 3000}, 2);  // leaves inbox traffic
+  const auto after = local::embedded_threshold_peeling(g, 5, reused, 50);
+  EXPECT_EQ(after.layer, expected.layer);
+  EXPECT_EQ(after.num_layers, expected.num_layers);
+  EXPECT_EQ(after.complete, expected.complete);
+
+  // Back-to-back trees on one cluster: the second broadcast must also
+  // ignore the first one's leftovers.
+  Cluster chained(cfg, nullptr);
+  broadcast_tree(chained, 0, {11, 22}, 2);
+  const auto second = broadcast_tree(chained, 5, {77}, 2);
+  for (std::size_t m = 0; m < cfg.num_machines; ++m)
+    EXPECT_EQ(second.copies[m], (std::vector<Word>{77})) << "machine " << m;
+}
+
+TEST(DeterminismMatrix, EmbeddedPeeling) {
+  util::SplitRng rng(24);
+  const graph::Graph g = graph::gnm(300, 900, rng);
+  std::vector<std::uint32_t> reference_layers;
+  expect_matrix_identical("peeling", [&](Cluster& cluster, bool first) {
+    const local::EmbeddedPeelingResult result =
+        local::embedded_threshold_peeling(g, 6, cluster, 100);
+    if (first)
+      reference_layers = result.layer;
+    else
+      EXPECT_EQ(result.layer, reference_layers);
+  });
 }
 
 }  // namespace

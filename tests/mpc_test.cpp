@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
 
 #include "util/assert.hpp"
@@ -172,6 +173,33 @@ TEST(MpcContext, SortRoundsMatchLogFormula) {
   EXPECT_EQ(ctx.sort_rounds(1024), 1u);
   EXPECT_EQ(ctx.sort_rounds(1 << 20), 2u);   // log_1024(2^20) = 2
   EXPECT_EQ(ctx.sort_rounds(1u << 31), 4u);  // ⌈31/10⌉ = 4
+}
+
+// Regression: sort_rounds used to compute ⌈log_S N⌉ through a floating-
+// point log ratio, which an ulp of error can push over the ceiling at
+// exact powers of S. The integer powering must be exact at N = S^k and at
+// N = S^k ± 1, for any S.
+TEST(MpcContext, SortRoundsExactAtPowersOfS) {
+  MpcContext ctx(ClusterConfig{16, 1024}, nullptr);
+  const std::size_t s = 1024;
+  EXPECT_EQ(ctx.sort_rounds(s), 1u);
+  EXPECT_EQ(ctx.sort_rounds(s + 1), 2u);
+  EXPECT_EQ(ctx.sort_rounds(s * s - 1), 2u);
+  EXPECT_EQ(ctx.sort_rounds(s * s), 2u);          // N = S² is exactly 2
+  EXPECT_EQ(ctx.sort_rounds(s * s + 1), 3u);
+  EXPECT_EQ(ctx.sort_rounds(s * s * s), 3u);      // N = S³ is exactly 3
+  EXPECT_EQ(ctx.sort_rounds(s * s * s + 1), 4u);
+
+  // Non-power-of-two S hits the float drift hardest.
+  MpcContext odd(ClusterConfig{16, 1000}, nullptr);
+  EXPECT_EQ(odd.sort_rounds(1000u * 1000u), 2u);
+  EXPECT_EQ(odd.sort_rounds(1000u * 1000u * 1000u), 3u);
+
+  // Degenerate one-word machines clamp the base to 2 instead of dividing
+  // by log(1) = 0; huge N terminates via the saturating power.
+  MpcContext tiny(ClusterConfig{2, 1}, nullptr);
+  EXPECT_EQ(tiny.sort_rounds(8), 3u);
+  EXPECT_LE(ctx.sort_rounds(std::numeric_limits<std::size_t>::max()), 7u);
 }
 
 TEST(MpcContext, SortItemsSortsAndCharges) {
