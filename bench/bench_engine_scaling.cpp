@@ -64,6 +64,7 @@ int main(int argc, char** argv) {
     const char* name;
     ExecutionPolicy policy;
     bool program;  ///< run as one RoundProgram instead of run_round calls
+    arbor::mpc::TransportConfig transport{};  ///< multiprocess backend rows
   };
   const Config configs[] = {
       {"serial", ExecutionPolicy::serial(), false},
@@ -80,16 +81,22 @@ int main(int argc, char** argv) {
        true},
       {"parallel(8)/async", ExecutionPolicy::parallel(8).with_async(true),
        true},
+      // The storm as a distributed program across worker runtimes behind
+      // the src/net/ transport — same fingerprints and ledger totals, real
+      // address-space isolation (tcp = separate OS processes + sockets).
+      {"multiprocess(loopback:2)", ExecutionPolicy::serial(), true,
+       arbor::mpc::TransportConfig::loopback(2)},
+      {"multiprocess(tcp:2)", ExecutionPolicy::serial(), true,
+       arbor::mpc::TransportConfig::tcp(2)},
   };
 
   arbor::bench::JsonReport report("engine_scaling");
+  // hardware_threads is stamped by the JsonReport constructor.
   report.meta("n", g.num_vertices())
       .meta("m", g.num_edges())
       .meta("machines", base.num_machines)
       .meta("words_per_machine", base.words_per_machine)
-      .meta("rounds", rounds)
-      .meta("hardware_threads",
-            static_cast<std::size_t>(std::thread::hardware_concurrency()));
+      .meta("rounds", rounds);
 
   arbor::bench::Table table({"executor", "ms", "rounds/s", "Mwords/s",
                              "speedup", "overlapped", "fingerprint"});
@@ -100,9 +107,17 @@ int main(int argc, char** argv) {
   for (const Config& config : configs) {
     ClusterConfig cfg = base;
     cfg.execution = config.policy;
-    const StormOutcome out =
-        config.program ? arbor::bench::run_storm_program(slabs, cfg, rounds)
-                       : arbor::bench::run_storm(slabs, cfg, rounds);
+    cfg.transport = config.transport;
+    StormOutcome out;
+    try {
+      out = config.program ? arbor::bench::run_storm_program(slabs, cfg, rounds)
+                           : arbor::bench::run_storm(slabs, cfg, rounds);
+    } catch (const std::exception& e) {
+      // A multiprocess row needs the arbor-worker binary next to this one;
+      // skip (loudly) rather than fail the whole sweep without it.
+      std::fprintf(stderr, "skipping %s: %s\n", config.name, e.what());
+      continue;
+    }
     const bool is_reference =
         !config.program && config.policy.mode == ExecutionPolicy::Mode::kSerial;
     if (is_reference) {
@@ -137,6 +152,10 @@ int main(int argc, char** argv) {
                    arbor::bench::fmt(out.overlapped), fp});
     report.row()
         .set("executor", config.name)
+        .set("backend", arbor::bench::backend_name(cfg))
+        .set("workers", cfg.transport.in_process()
+                            ? std::size_t{0}
+                            : cfg.transport.workers)
         .set("mode", config.program ? "program" : "imperative")
         .set("threads", config.policy.effective_threads())
         .set("async", config.policy.async_rounds && config.program)

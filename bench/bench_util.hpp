@@ -9,6 +9,7 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -134,7 +135,14 @@ class JsonReport {
     std::vector<std::pair<std::string, std::string>> fields_;
   };
 
-  explicit JsonReport(std::string bench) : bench_(std::move(bench)) {}
+  /// Every report records the hardware thread count up front: the same
+  /// bench row means something different on a 1-core CI box than on a
+  /// 32-core workstation, and the perf trajectory diffs across machines
+  /// and backends.
+  explicit JsonReport(std::string bench) : bench_(std::move(bench)) {
+    meta_.set("hardware_threads",
+              static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  }
 
   template <typename T>
   JsonReport& meta(const std::string& key, T value) {
@@ -176,6 +184,15 @@ class JsonReport {
   Object meta_;
   std::vector<Object> rows_;
 };
+
+/// Canonical `backend` tag for JSON rows: which executor a cluster config
+/// actually runs its programs on — "serial"/"parallel" in-process, or
+/// "multiprocess" behind the src/net/ transport — so BENCH_*.json
+/// trajectories stay comparable across backends.
+inline const char* backend_name(const mpc::ClusterConfig& cfg) {
+  if (!cfg.transport.in_process()) return "multiprocess";
+  return cfg.execution.is_parallel() ? "parallel" : "serial";
+}
 
 /// Extract `--json PATH` (or `--json=PATH`) from argv, compacting argv so
 /// the benches' positional parsing is unaffected. Returns `fallback` when

@@ -14,12 +14,14 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
 #include "mpc/cluster.hpp"
 #include "mpc/ledger.hpp"
+#include "net/storm.hpp"
 #include "util/hashing.hpp"
 
 namespace arbor::bench {
@@ -104,7 +106,10 @@ inline StormOutcome run_storm(const std::vector<std::vector<mpc::Word>>& slabs,
 /// and its round index), so fingerprints and ledger totals must match
 /// run_storm exactly — but here the scheduler may fuse every delivery with
 /// the next round's compute, which is what bench_engine_scaling A/Bs via
-/// ExecutionPolicy::async_rounds.
+/// ExecutionPolicy::async_rounds. The program is the shared
+/// net::make_storm_program build; on a cluster whose config selects the
+/// loopback/tcp transport it ships with its RemoteSpec and executes
+/// across the worker group instead (the "multiprocess" bench rows).
 inline StormOutcome run_storm_program(
     const std::vector<std::vector<mpc::Word>>& slabs, mpc::ClusterConfig cfg,
     std::size_t rounds) {
@@ -117,20 +122,14 @@ inline StormOutcome run_storm_program(
   for (const auto& slab : slabs)
     if (!slab.empty()) ++active_machines;
 
-  mpc::RoundProgram program;
-  for (std::size_t round = 0; round < rounds; ++round) {
-    program.independent(
-        [&slabs, round, batch, machines](std::size_t m, const auto&,
-                                         mpc::Sender& send) {
-          const auto& slab = slabs[m];
-          if (slab.empty()) return;
-          for (std::size_t i = 0; i < batch; ++i) {
-            const mpc::Word w = slab[(round * batch + i) % slab.size()];
-            const std::size_t dst = util::hash_words(13, w, round) % machines;
-            send.send(dst, std::span<const mpc::Word>(&w, 1));
-          }
-        });
-  }
+  auto st = std::make_shared<net::StormState>();
+  st->slabs = slabs;
+  st->machines = machines;
+  st->batch = batch;
+  st->rounds = rounds;
+  const mpc::RoundProgram program =
+      cluster.distributed() ? net::make_distributable_storm_program(st)
+                            : net::make_storm_program(st);
 
   const auto start = std::chrono::steady_clock::now();
   const auto stats = cluster.run_program(program);

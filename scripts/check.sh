@@ -10,19 +10,45 @@
 #                                        # (the async scheduler's overlapped
 #                                        # deliver+compute must be provably
 #                                        # race-free)
+#   scripts/check.sh --mp                # multi-process smoke stage only:
+#                                        # driver + 2 local arbor-worker
+#                                        # processes over loopback TCP run
+#                                        # the DeterminismMatrix programs +
+#                                        # the full net_test suite
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
+if [[ "${1:-}" == "--mp" ]]; then
+  shift
+  cmake -B build -S . "$@"
+  cmake --build build -j"${JOBS}" --target arbor-worker engine_multiprocess \
+    net_test level0_programs_test
+  echo "== mp: storm launcher, driver + 2 workers over loopback TCP =="
+  ./build/engine_multiprocess --transport tcp:2
+  echo "== mp: DeterminismMatrix programs over tcp:2 (env override) =="
+  ARBOR_TRANSPORT=tcp:2 ctest --test-dir build \
+    -R 'DeterminismMatrix|RoundProgramReuse' --output-on-failure -j"${JOBS}"
+  echo "== mp: net_test (wire fuzz, transport matrix, failure handling) =="
+  ctest --test-dir build \
+    -R 'WireFormat|EnvOverrides|TransportDeterminismMatrix|MultiProcessBackend|FailureHandling' \
+    --output-on-failure -j"${JOBS}"
+  echo "== mp: clean =="
+  exit 0
+fi
+
 if [[ "${1:-}" == "--tsan" ]]; then
   shift
   cmake --preset tsan "$@"
-  cmake --build build-tsan -j"${JOBS}" --target engine_test level0_programs_test
+  cmake --build build-tsan -j"${JOBS}" \
+    --target engine_test level0_programs_test net_test arbor-worker
   echo "== tsan: engine_test =="
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/engine_test
   echo "== tsan: level0_programs_test =="
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/level0_programs_test
+  echo "== tsan: net_test (loopback transport threads + tcp groups) =="
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/net_test
   echo "== tsan: clean =="
   exit 0
 fi

@@ -25,6 +25,9 @@ ProgramStats Engine::run_program(RoundState& state, std::size_t capacity,
                                  std::size_t first_round_index,
                                  const RoundProgram& program,
                                  const RoundHook& on_round) {
+  if (backend_ && program.remote)
+    return backend_->run_program(state, capacity, first_round_index, program,
+                                 on_round);
   return scheduler_->run(state, capacity, first_round_index, program,
                          on_round);
 }

@@ -24,6 +24,23 @@
 
 namespace arbor::engine {
 
+/// Alternative executor for RoundPrograms that carry a RemoteSpec — the
+/// seam the multi-process transport backend (src/net/) plugs into. A
+/// backend observes the same contract as the in-process scheduler: every
+/// step is one synchronous round with both traffic caps enforced,
+/// `on_round` fires once per committed round with exact stats, and the
+/// RoundState's inboxes hold the final round's delivery when run_program
+/// returns (so post-program inbox reads behave identically).
+class ProgramBackend {
+ public:
+  virtual ~ProgramBackend() = default;
+
+  virtual ProgramStats run_program(RoundState& state, std::size_t capacity,
+                                   std::size_t first_round_index,
+                                   const RoundProgram& program,
+                                   const RoundHook& on_round) = 0;
+};
+
 class Engine {
  public:
   explicit Engine(ExecutionPolicy policy);
@@ -33,6 +50,14 @@ class Engine {
   Engine& operator=(const Engine&) = delete;
 
   const ExecutionPolicy& policy() const noexcept { return policy_; }
+
+  /// Route programs that carry a RemoteSpec through `backend` (borrowed;
+  /// must outlive the engine or be reset first). Programs without a spec —
+  /// ad-hoc run_round lambdas, framework test programs — keep executing on
+  /// the in-process scheduler, so installing a backend never breaks a
+  /// protocol that has not opted in to distribution.
+  void set_backend(ProgramBackend* backend) noexcept { backend_ = backend; }
+  ProgramBackend* backend() const noexcept { return backend_; }
 
   /// Worker threads backing the compute/deliver phases (1 when inline).
   std::size_t worker_threads() const noexcept {
@@ -65,6 +90,7 @@ class Engine {
   ExecutionPolicy policy_;
   std::unique_ptr<ThreadPool> pool_;  // null => phases run inline
   std::unique_ptr<Scheduler> scheduler_;
+  ProgramBackend* backend_ = nullptr;  // not owned; null => in-process only
 };
 
 }  // namespace arbor::engine

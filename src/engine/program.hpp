@@ -16,6 +16,9 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <memory>
+#include <span>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -62,6 +65,38 @@ struct ProgramStep {
   StepKind kind = StepKind::kBarrier;
 };
 
+/// Serializable description of a RoundProgram, for execution backends that
+/// cannot ship the step closures across an address-space boundary (the
+/// multi-process transport in src/net/). A step function is code; its
+/// *inputs* are data. A program that wants to run distributed therefore
+/// names a registered worker-side factory (src/net/registry.hpp) and
+/// carries everything that factory needs to rebuild the exact same program
+/// over worker-local state:
+///
+///   * `scalars` — protocol parameters (fanout, record width, ...);
+///   * `inputs`  — one word slab per machine, scattered so each worker
+///     process receives only its machine block's share;
+///   * `output_sink` — driver-side receiver for per-machine output slabs
+///     the workers extract after the final round (protocols whose results
+///     are written by compute-only steps rather than read from inboxes);
+///   * `continue_with_votes` — driver-side replacement for
+///     RoundProgram::continue_fn: at each pass barrier every worker
+///     reduces a per-machine vote word over its block, the driver sums the
+///     votes and this callback decides whether another pass runs (the
+///     worker-side factory supplies the matching vote function).
+///
+/// Programs without a spec still execute on the in-process scheduler under
+/// every backend — the spec is an opt-in contract, not a requirement.
+struct RemoteSpec {
+  std::string name;                       ///< registry key (net/registry.hpp)
+  std::vector<Word> scalars;              ///< protocol parameters
+  std::vector<std::vector<Word>> inputs;  ///< per-machine input slabs
+  bool has_output = false;                ///< workers ship output slabs back
+  bool has_vote = false;                  ///< pass continuation is voted
+  std::function<void(std::size_t machine, std::span<const Word>)> output_sink;
+  std::function<bool(std::size_t passes, Word vote_total)> continue_with_votes;
+};
+
 /// A declarative multi-round protocol: an ordered list of steps, optionally
 /// repeated. Build with the fluent helpers:
 ///
@@ -88,6 +123,10 @@ struct RoundProgram {
   /// is consulted) — a loop whose bound may be zero must guard the whole
   /// run_program call (see embedded_threshold_peeling's max_rounds == 0).
   std::size_t max_passes = 1;
+  /// Serializable counterpart of the steps, set by distributable(). Null:
+  /// the program can only execute in-process. Shared, not owned, so that
+  /// copying a program (run_round wraps steps by value) stays cheap.
+  std::shared_ptr<RemoteSpec> remote;
 
   RoundProgram& independent(StepFn fn) {
     steps.push_back({std::move(fn), StepKind::kMachineIndependent});
@@ -104,6 +143,13 @@ struct RoundProgram {
       std::size_t passes = std::numeric_limits<std::size_t>::max()) {
     continue_fn = std::move(fn);
     max_passes = passes;
+    return *this;
+  }
+
+  /// Attach the serializable description that lets a multi-process backend
+  /// execute this program across address spaces (see RemoteSpec).
+  RoundProgram& distributable(RemoteSpec spec) {
+    remote = std::make_shared<RemoteSpec>(std::move(spec));
     return *this;
   }
 

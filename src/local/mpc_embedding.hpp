@@ -17,6 +17,10 @@
 #include "graph/graph.hpp"
 #include "mpc/cluster.hpp"
 
+namespace arbor::net {
+class Registry;
+}
+
 namespace arbor::local {
 
 struct EmbeddedPeelingResult {
@@ -35,5 +39,9 @@ EmbeddedPeelingResult embedded_threshold_peeling(const graph::Graph& g,
                                                  std::size_t threshold,
                                                  mpc::Cluster& cluster,
                                                  std::size_t max_rounds);
+
+/// Worker-side factory ("local.embedded_peeling") for the multi-process
+/// backend (net::Registry::builtin() calls this).
+void register_embedded_peeling_program(net::Registry& registry);
 
 }  // namespace arbor::local

@@ -1,7 +1,10 @@
 #include "mpc/broadcast.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <utility>
 
+#include "net/registry.hpp"
 #include "util/assert.hpp"
 
 namespace arbor::mpc {
@@ -37,6 +40,90 @@ std::size_t depth_of(std::size_t node, std::size_t fanout) {
   return d;
 }
 
+// Machine-local state of a broadcast; the same builder serves the
+// driver's full-cluster run and a worker's block share. Per-machine flags
+// are one byte per machine, NOT vector<bool>: its packed bits are not
+// disjoint objects, so concurrent writes to neighbouring machines' flags
+// would be a data race under a parallel policy.
+struct BroadcastState {
+  std::vector<std::vector<Word>> holds;
+  std::vector<char> has;
+  std::size_t machines = 0;
+  std::size_t root = 0;
+  std::size_t fanout = 0;
+};
+
+// All nodes within depth d hold the payload after round d, so the tree
+// height is the exact round count — the program is declared up front as
+// height identical machine-independent steps. Each step touches only
+// machine-owned slots (has[m], holds[m]) and its own inbox: a machine
+// adopts the payload the moment its copy arrives, then fans it out to
+// its children, so the scheduler can overlap every delivery with the
+// next level's compute.
+engine::RoundProgram make_broadcast_program(
+    std::shared_ptr<BroadcastState> st) {
+  const std::size_t height = tree_height(st->machines, st->fanout);
+  engine::RoundProgram program;
+  for (std::size_t round = 0; round < height; ++round) {
+    program.independent([st, round](std::size_t m, const InboxView& inbox,
+                                    Sender& send) {
+      // Adopt the payload delivered by the previous level. Round 0 must
+      // not look at the inbox: it may still hold traffic from whatever the
+      // cluster ran before this program.
+      if (round > 0 && !st->has[m] && !inbox.empty()) {
+        st->holds[m] = inbox.front();
+        st->has[m] = 1;
+      }
+      if (!st->has[m]) return;
+      const std::size_t node = relabel(m, st->root, st->machines);
+      for (std::size_t c = 1; c <= st->fanout; ++c) {
+        const std::size_t child = node * st->fanout + c;
+        if (child >= st->machines) break;
+        send.send(unlabel(child, st->root, st->machines), st->holds[m]);
+      }
+    });
+  }
+  return program;
+}
+
+struct ConvergeState {
+  std::vector<Word> partial;
+  std::size_t machines = 0;
+  std::size_t root = 0;
+  std::size_t fanout = 0;
+};
+
+// Leaves first: a node at depth d sends its partial sum to its parent in
+// round (height - d), by which time all of its children — depth d+1,
+// sending one round earlier — have reported. Each step folds the inbox
+// into the machine's own partial sum and forwards it if this is the
+// machine's send round; partial[m] is machine-owned, so every step is
+// machine-independent and the levels pipeline under the async scheduler.
+engine::RoundProgram make_converge_program(std::shared_ptr<ConvergeState> st) {
+  const std::size_t height = tree_height(st->machines, st->fanout);
+  engine::RoundProgram program;
+  for (std::size_t round = 0; round < height; ++round) {
+    program.independent([st, round, height](std::size_t m,
+                                            const InboxView& inbox,
+                                            Sender& send) {
+      // Children of this machine report in round (height - depth - 1);
+      // fold their sums in one round later. Round 0 has no converge
+      // traffic yet — only possibly stale messages from an earlier
+      // program — so it must not touch the inbox.
+      if (round > 0)
+        for (const auto& msg : inbox)
+          for (Word w : msg) st->partial[m] += w;
+      const std::size_t node = relabel(m, st->root, st->machines);
+      if (node == 0) return;
+      if (depth_of(node, st->fanout) == height - round) {
+        const std::size_t parent = (node - 1) / st->fanout;
+        send.send(unlabel(parent, st->root, st->machines), {st->partial[m]});
+      }
+    });
+  }
+  return program;
+}
+
 }  // namespace
 
 BroadcastResult broadcast_tree(Cluster& cluster, std::size_t root,
@@ -47,49 +134,39 @@ BroadcastResult broadcast_tree(Cluster& cluster, std::size_t root,
   ARBOR_CHECK(fanout >= 2);
   const std::size_t start = cluster.rounds_executed();
 
-  std::vector<std::vector<Word>> holds(machines);
-  holds[root] = std::move(payload);
-  // Per-machine flags written from inside the (concurrent) step — one
-  // byte per machine, NOT vector<bool>: its packed bits are not disjoint
-  // objects, so concurrent writes to neighbouring machines' flags would be
-  // a data race under a parallel policy.
-  std::vector<char> has(machines, 0);
-  has[root] = 1;
+  auto st = std::make_shared<BroadcastState>();
+  st->machines = machines;
+  st->root = root;
+  st->fanout = fanout;
+  st->holds.resize(machines);
+  st->holds[root] = std::move(payload);
+  st->has.assign(machines, 0);
+  st->has[root] = 1;
 
-  // All nodes within depth d hold the payload after round d, so the tree
-  // height is the exact round count — the program is declared up front as
-  // height identical machine-independent steps. Each step touches only
-  // machine-owned slots (has[m], holds[m]) and its own inbox: a machine
-  // adopts the payload the moment its copy arrives, then fans it out to
-  // its children, so the scheduler can overlap every delivery with the
-  // next level's compute.
   const std::size_t height = tree_height(machines, fanout);
   if (height == 0) {  // single machine: the root already holds the payload
     BroadcastResult result;
-    result.copies = std::move(holds);
+    result.copies = std::move(st->holds);
     result.rounds = 0;
     return result;
   }
 
-  RoundProgram program;
-  for (std::size_t round = 0; round < height; ++round) {
-    program.independent([&, round](std::size_t m, const InboxView& inbox,
-                                   Sender& send) {
-      // Adopt the payload delivered by the previous level. Round 0 must
-      // not look at the inbox: it may still hold traffic from whatever the
-      // cluster ran before this program.
-      if (round > 0 && !has[m] && !inbox.empty()) {
-        holds[m] = inbox.front();
-        has[m] = 1;
-      }
-      if (!has[m]) return;
-      const std::size_t node = relabel(m, root, machines);
-      for (std::size_t c = 1; c <= fanout; ++c) {
-        const std::size_t child = node * fanout + c;
-        if (child >= machines) break;
-        send.send(unlabel(child, root, machines), holds[m]);
-      }
-    });
+  engine::RoundProgram program = make_broadcast_program(st);
+  if (cluster.distributed()) {
+    engine::RemoteSpec spec;
+    spec.name = "mpc.broadcast_tree";
+    spec.scalars = {static_cast<Word>(root), static_cast<Word>(fanout)};
+    spec.inputs.resize(machines);
+    spec.inputs[root] = st->holds[root];
+    spec.has_output = true;
+    // Output slab per machine: [has, payload words...]; the sink restores
+    // the worker-side adoptions the in-process steps would have written.
+    spec.output_sink = [st](std::size_t m, std::span<const Word> slab) {
+      ARBOR_CHECK(!slab.empty());
+      st->has[m] = slab[0] != 0 ? 1 : 0;
+      st->holds[m].assign(slab.begin() + 1, slab.end());
+    };
+    program.distributable(std::move(spec));
   }
   cluster.run_program(program);
 
@@ -97,16 +174,16 @@ BroadcastResult broadcast_tree(Cluster& cluster, std::size_t root,
   // inboxes when the program returns (there is no later step to adopt
   // them), exactly like the imperative loop's post-round processing.
   for (std::size_t m = 0; m < machines; ++m) {
-    if (has[m]) continue;
+    if (st->has[m]) continue;
     const auto inbox = cluster.inbox(m);
     if (!inbox.empty()) {
-      holds[m] = inbox.front();
-      has[m] = 1;
+      st->holds[m] = inbox.front();
+      st->has[m] = 1;
     }
   }
 
   BroadcastResult result;
-  result.copies = std::move(holds);
+  result.copies = std::move(st->holds);
   result.rounds = cluster.rounds_executed() - start;
   return result;
 }
@@ -120,45 +197,90 @@ ConvergeResult converge_sum(Cluster& cluster, std::size_t root,
   const std::size_t start = cluster.rounds_executed();
 
   const std::size_t height = tree_height(machines, fanout);
-  std::vector<Word> partial = per_machine_value;
+  auto st = std::make_shared<ConvergeState>();
+  st->machines = machines;
+  st->root = root;
+  st->fanout = fanout;
+  st->partial = per_machine_value;
 
-  // Leaves first: a node at depth d sends its partial sum to its parent in
-  // round (height - d), by which time all of its children — depth d+1,
-  // sending one round earlier — have reported. Each step folds the inbox
-  // into the machine's own partial sum and forwards it if this is the
-  // machine's send round; partial[m] is machine-owned, so every step is
-  // machine-independent and the levels pipeline under the async scheduler.
-  RoundProgram program;
-  for (std::size_t round = 0; round < height; ++round) {
-    program.independent([&, round](std::size_t m, const InboxView& inbox,
-                                   Sender& send) {
-      // Children of this machine report in round (height - depth - 1);
-      // fold their sums in one round later. Round 0 has no converge
-      // traffic yet — only possibly stale messages from an earlier
-      // program — so it must not touch the inbox.
-      if (round > 0)
-        for (const auto& msg : inbox)
-          for (Word w : msg) partial[m] += w;
-      const std::size_t node = relabel(m, root, machines);
-      if (node == 0) return;
-      if (depth_of(node, fanout) == height - round) {
-        const std::size_t parent = (node - 1) / fanout;
-        send.send(unlabel(parent, root, machines), {partial[m]});
-      }
-    });
-  }
   if (height > 0) {
+    engine::RoundProgram program = make_converge_program(st);
+    if (cluster.distributed()) {
+      engine::RemoteSpec spec;
+      spec.name = "mpc.converge_sum";
+      spec.scalars = {static_cast<Word>(root), static_cast<Word>(fanout)};
+      spec.inputs.resize(machines);
+      for (std::size_t m = 0; m < machines; ++m)
+        spec.inputs[m] = {per_machine_value[m]};
+      spec.has_output = true;
+      spec.output_sink = [st](std::size_t m, std::span<const Word> slab) {
+        ARBOR_CHECK(slab.size() == 1);
+        st->partial[m] = slab[0];
+      };
+      program.distributable(std::move(spec));
+    }
     cluster.run_program(program);
     // The depth-1 children report in the final round; their messages sit
     // in the root's inbox when the program returns.
     for (const auto& msg : cluster.inbox(root))
-      for (Word w : msg) partial[root] += w;
+      for (Word w : msg) st->partial[root] += w;
   }
 
   ConvergeResult result;
-  result.sum = partial[root];
+  result.sum = st->partial[root];
   result.rounds = cluster.rounds_executed() - start;
   return result;
+}
+
+void register_broadcast_programs(net::Registry& registry) {
+  registry.add("mpc.broadcast_tree", [](const net::ProgramInputs& in) {
+    ARBOR_CHECK_MSG(in.scalars.size() == 2,
+                    "mpc.broadcast_tree expects 2 scalars");
+    auto st = std::make_shared<BroadcastState>();
+    st->machines = in.machines;
+    st->root = static_cast<std::size_t>(in.scalars[0]);
+    st->fanout = static_cast<std::size_t>(in.scalars[1]);
+    ARBOR_CHECK(st->root < st->machines && st->fanout >= 2);
+    st->holds.resize(in.machines);
+    st->has.assign(in.machines, 0);
+    if (st->root >= in.block_begin && st->root < in.block_end) {
+      st->holds[st->root] = in.inputs[st->root - in.block_begin];
+      st->has[st->root] = 1;
+    }
+    net::WorkerProgram out;
+    out.program = make_broadcast_program(st);
+    out.state = st;
+    out.output = [st](std::size_t m) {
+      std::vector<Word> slab{st->has[m] ? Word{1} : Word{0}};
+      slab.insert(slab.end(), st->holds[m].begin(), st->holds[m].end());
+      return slab;
+    };
+    return out;
+  });
+
+  registry.add("mpc.converge_sum", [](const net::ProgramInputs& in) {
+    ARBOR_CHECK_MSG(in.scalars.size() == 2,
+                    "mpc.converge_sum expects 2 scalars");
+    auto st = std::make_shared<ConvergeState>();
+    st->machines = in.machines;
+    st->root = static_cast<std::size_t>(in.scalars[0]);
+    st->fanout = static_cast<std::size_t>(in.scalars[1]);
+    ARBOR_CHECK(st->root < st->machines && st->fanout >= 2);
+    st->partial.assign(in.machines, 0);
+    for (std::size_t m = in.block_begin; m < in.block_end; ++m) {
+      const std::vector<Word>& input = in.inputs[m - in.block_begin];
+      ARBOR_CHECK_MSG(input.size() == 1,
+                      "mpc.converge_sum expects one word per machine");
+      st->partial[m] = input[0];
+    }
+    net::WorkerProgram out;
+    out.program = make_converge_program(st);
+    out.state = st;
+    out.output = [st](std::size_t m) {
+      return std::vector<Word>{st->partial[m]};
+    };
+    return out;
+  });
 }
 
 }  // namespace arbor::mpc

@@ -13,6 +13,10 @@
 
 #include "mpc/cluster.hpp"
 
+namespace arbor::net {
+class Registry;
+}
+
 namespace arbor::mpc {
 
 struct BroadcastResult {
@@ -32,5 +36,9 @@ struct ConvergeResult {
 ConvergeResult converge_sum(Cluster& cluster, std::size_t root,
                             const std::vector<Word>& per_machine_value,
                             std::size_t fanout);
+
+/// Worker-side factories ("mpc.broadcast_tree", "mpc.converge_sum") for
+/// the multi-process backend (net::Registry::builtin() calls this).
+void register_broadcast_programs(net::Registry& registry);
 
 }  // namespace arbor::mpc

@@ -1,8 +1,11 @@
 #include "mpc/bundle_fetch.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 
+#include "net/registry.hpp"
+#include "net/wire.hpp"
 #include "util/assert.hpp"
 
 namespace arbor::mpc {
@@ -65,50 +68,60 @@ BundleFetchResult fetch_bundles(
   return result;
 }
 
-Level0BundleFetchResult fetch_bundles_program(
-    Cluster& cluster, const std::vector<std::vector<Word>>& bundles,
-    const std::vector<std::vector<graph::VertexId>>& requests) {
-  const std::size_t machines = cluster.num_machines();
-  const std::size_t start_rounds = cluster.rounds_executed();
-  const auto owner_of = [machines](std::size_t id, std::size_t count) {
-    const std::size_t block =
-        (count + machines - 1) / std::max<std::size_t>(machines, 1);
-    return block == 0 ? std::size_t{0} : std::min(id / block, machines - 1);
-  };
+namespace {
 
-  Level0BundleFetchResult result;
-  result.delivered.resize(requests.size());
-  for (std::size_t u = 0; u < requests.size(); ++u) {
-    result.delivered[u].resize(requests[u].size());
-    for (graph::VertexId v : requests[u])
-      ARBOR_CHECK_MSG(v < bundles.size(), "request for unknown vertex");
-  }
+/// Owner machine of vertex/requester id under block assignment (the last
+/// machine also absorbs the clamp remainder).
+std::size_t owner_of(std::size_t id, std::size_t count,
+                     std::size_t machines) {
+  const std::size_t block =
+      (count + machines - 1) / std::max<std::size_t>(machines, 1);
+  return block == 0 ? std::size_t{0} : std::min(id / block, machines - 1);
+}
 
-  // Three machine-independent steps; every step touches only its machine's
-  // inbox and the delivered/bundle slots its block owns, so the scheduler
-  // overlaps each delivery with the next step's compute.
-  RoundProgram program;
+/// Machine m's contiguous id block under owner_of.
+std::pair<std::size_t, std::size_t> id_block_of(std::size_t m,
+                                                std::size_t count,
+                                                std::size_t machines) {
+  const std::size_t block =
+      (count + machines - 1) / std::max<std::size_t>(machines, 1);
+  const std::size_t lo = std::min(m * block, count);
+  const std::size_t hi =
+      m + 1 == machines ? count : std::min(lo + block, count);
+  return {lo, hi};
+}
 
-  // Machine m's contiguous id block under owner_of (the last machine also
-  // absorbs the clamp remainder).
-  const auto block_of = [machines](std::size_t m, std::size_t count) {
-    const std::size_t block =
-        (count + machines - 1) / std::max<std::size_t>(machines, 1);
-    const std::size_t lo = std::min(m * block, count);
-    const std::size_t hi =
-        m + 1 == machines ? count : std::min(lo + block, count);
-    return std::pair<std::size_t, std::size_t>(lo, hi);
-  };
+/// Machine-local state of a Level-0 bundle fetch. Built by the driver as
+/// non-owning views over the caller's vectors; rebuilt by a worker as
+/// owning storage filled for its machine block only.
+struct FetchState {
+  std::vector<std::vector<Word>> owned_bundles;
+  std::vector<std::vector<graph::VertexId>> owned_requests;
+  std::vector<std::vector<std::vector<Word>>> owned_delivered;
+  const std::vector<std::vector<Word>>* bundles = nullptr;
+  const std::vector<std::vector<graph::VertexId>>* requests = nullptr;
+  std::vector<std::vector<std::vector<Word>>>* delivered = nullptr;
+  std::size_t machines = 0;
+};
+
+// Three machine-independent steps; every step touches only its machine's
+// inbox and the delivered/bundle slots its block owns, so the scheduler
+// overlaps each delivery with the next step's compute.
+engine::RoundProgram make_fetch_program(std::shared_ptr<FetchState> st) {
+  const std::size_t machines = st->machines;
+  engine::RoundProgram program;
 
   // Step 1: each requester machine routes (u, slot, v) triples to the
   // machine hosting v's bundle — scanning only its own requester block.
-  program.independent([&](std::size_t m, const auto&, Sender& send) {
+  program.independent([st, machines](std::size_t m, const auto&,
+                                     Sender& send) {
+    const auto& requests = *st->requests;
     std::vector<std::vector<Word>> outgoing(machines);
-    const auto [u_lo, u_hi] = block_of(m, requests.size());
+    const auto [u_lo, u_hi] = id_block_of(m, requests.size(), machines);
     for (std::size_t u = u_lo; u < u_hi; ++u) {
       for (std::size_t slot = 0; slot < requests[u].size(); ++slot) {
         const graph::VertexId v = requests[u][slot];
-        auto& out = outgoing[owner_of(v, bundles.size())];
+        auto& out = outgoing[owner_of(v, st->bundles->size(), machines)];
         out.push_back(u);
         out.push_back(slot);
         out.push_back(v);
@@ -120,14 +133,16 @@ Level0BundleFetchResult fetch_bundles_program(
 
   // Step 2: each owner machine serves every request in its inbox with a
   // (u, slot, length, payload...) record addressed to u's host machine.
-  program.independent([&](std::size_t, const auto& inbox, Sender& send) {
+  program.independent([st, machines](std::size_t, const auto& inbox,
+                                     Sender& send) {
+    const auto& bundles = *st->bundles;
     std::vector<std::vector<Word>> outgoing(machines);
     for (const auto& msg : inbox) {
       for (std::size_t i = 0; i + 2 < msg.size(); i += 3) {
         const auto u = static_cast<std::size_t>(msg[i]);
         const Word slot = msg[i + 1];
         const auto v = static_cast<std::size_t>(msg[i + 2]);
-        auto& out = outgoing[owner_of(u, requests.size())];
+        auto& out = outgoing[owner_of(u, st->requests->size(), machines)];
         out.push_back(u);
         out.push_back(slot);
         out.push_back(bundles[v].size());
@@ -141,7 +156,7 @@ Level0BundleFetchResult fetch_bundles_program(
   // Step 3 (compute-only): each requester machine unpacks the served
   // copies into request order — delivered[u][slot] slots are owned by u's
   // host machine, so the assembly parallelizes across the cluster.
-  program.independent([&](std::size_t, const auto& inbox, Sender&) {
+  program.independent([st](std::size_t, const auto& inbox, Sender&) {
     for (const auto& msg : inbox) {
       std::size_t i = 0;
       while (i + 2 < msg.size()) {
@@ -149,16 +164,138 @@ Level0BundleFetchResult fetch_bundles_program(
         const auto slot = static_cast<std::size_t>(msg[i + 1]);
         const auto len = static_cast<std::size_t>(msg[i + 2]);
         i += 3;
-        auto& dst = result.delivered[u][slot];
+        auto& dst = (*st->delivered)[u][slot];
         dst.assign(msg.begin() + i, msg.begin() + i + len);
         i += len;
       }
     }
   });
 
+  return program;
+}
+
+}  // namespace
+
+Level0BundleFetchResult fetch_bundles_program(
+    Cluster& cluster, const std::vector<std::vector<Word>>& bundles,
+    const std::vector<std::vector<graph::VertexId>>& requests) {
+  const std::size_t machines = cluster.num_machines();
+  const std::size_t start_rounds = cluster.rounds_executed();
+
+  Level0BundleFetchResult result;
+  result.delivered.resize(requests.size());
+  for (std::size_t u = 0; u < requests.size(); ++u) {
+    result.delivered[u].resize(requests[u].size());
+    for (graph::VertexId v : requests[u])
+      ARBOR_CHECK_MSG(v < bundles.size(), "request for unknown vertex");
+  }
+
+  auto st = std::make_shared<FetchState>();
+  st->machines = machines;
+  st->bundles = &bundles;
+  st->requests = &requests;
+  st->delivered = &result.delivered;
+
+  engine::RoundProgram program = make_fetch_program(st);
+  if (cluster.distributed()) {
+    engine::RemoteSpec spec;
+    spec.name = "mpc.fetch_bundles";
+    spec.scalars = {static_cast<Word>(requests.size()),
+                    static_cast<Word>(bundles.size())};
+    // inputs[m]: the requester lists and bundles machine m hosts —
+    //   [u_count, {len, v...} * u_count, v_count, {len, words...} * v_count]
+    spec.inputs.resize(machines);
+    for (std::size_t m = 0; m < machines; ++m) {
+      std::vector<Word>& input = spec.inputs[m];
+      const auto [u_lo, u_hi] = id_block_of(m, requests.size(), machines);
+      input.push_back(u_hi - u_lo);
+      for (std::size_t u = u_lo; u < u_hi; ++u) {
+        input.push_back(requests[u].size());
+        for (graph::VertexId v : requests[u]) input.push_back(v);
+      }
+      const auto [v_lo, v_hi] = id_block_of(m, bundles.size(), machines);
+      input.push_back(v_hi - v_lo);
+      for (std::size_t v = v_lo; v < v_hi; ++v) {
+        input.push_back(bundles[v].size());
+        input.insert(input.end(), bundles[v].begin(), bundles[v].end());
+      }
+    }
+    spec.has_output = true;
+    // outputs[m]: delivered slots of machine m's requester block —
+    //   [{nslots, {len, words...} * nslots} * requesters]
+    spec.output_sink = [st, machines](std::size_t m,
+                                      std::span<const Word> slab) {
+      net::WireReader reader(slab, "fetch-output");
+      const auto [u_lo, u_hi] =
+          id_block_of(m, st->delivered->size(), machines);
+      for (std::size_t u = u_lo; u < u_hi; ++u) {
+        auto& slots = (*st->delivered)[u];
+        const std::size_t nslots = reader.count();
+        ARBOR_CHECK(nslots == slots.size());
+        for (std::size_t s = 0; s < nslots; ++s) {
+          const std::span<const Word> words = reader.words(reader.count());
+          slots[s].assign(words.begin(), words.end());
+        }
+      }
+      reader.expect_end();
+    };
+    program.distributable(std::move(spec));
+  }
+
   cluster.run_program(program);
   result.rounds = cluster.rounds_executed() - start_rounds;
   return result;
+}
+
+void register_bundle_fetch_program(net::Registry& registry) {
+  registry.add("mpc.fetch_bundles", [](const net::ProgramInputs& in) {
+    ARBOR_CHECK_MSG(in.scalars.size() == 2,
+                    "mpc.fetch_bundles expects 2 scalars");
+    auto st = std::make_shared<FetchState>();
+    st->machines = in.machines;
+    const auto num_requesters = static_cast<std::size_t>(in.scalars[0]);
+    const auto num_bundles = static_cast<std::size_t>(in.scalars[1]);
+    st->owned_requests.resize(num_requesters);
+    st->owned_bundles.resize(num_bundles);
+    st->owned_delivered.resize(num_requesters);
+    for (std::size_t m = in.block_begin; m < in.block_end; ++m) {
+      net::WireReader reader(in.inputs[m - in.block_begin], "fetch-input");
+      const auto [u_lo, u_hi] = id_block_of(m, num_requesters, in.machines);
+      ARBOR_CHECK(reader.count() == u_hi - u_lo);
+      for (std::size_t u = u_lo; u < u_hi; ++u) {
+        const std::span<const Word> vs = reader.words(reader.count());
+        st->owned_requests[u].assign(vs.begin(), vs.end());
+        st->owned_delivered[u].resize(vs.size());
+      }
+      const auto [v_lo, v_hi] = id_block_of(m, num_bundles, in.machines);
+      ARBOR_CHECK(reader.count() == v_hi - v_lo);
+      for (std::size_t v = v_lo; v < v_hi; ++v) {
+        const std::span<const Word> words = reader.words(reader.count());
+        st->owned_bundles[v].assign(words.begin(), words.end());
+      }
+      reader.expect_end();
+    }
+    st->bundles = &st->owned_bundles;
+    st->requests = &st->owned_requests;
+    st->delivered = &st->owned_delivered;
+    net::WorkerProgram out;
+    out.program = make_fetch_program(st);
+    out.state = st;
+    out.output = [st](std::size_t m) {
+      std::vector<Word> slab;
+      const auto [u_lo, u_hi] =
+          id_block_of(m, st->owned_delivered.size(), st->machines);
+      for (std::size_t u = u_lo; u < u_hi; ++u) {
+        slab.push_back(st->owned_delivered[u].size());
+        for (const std::vector<Word>& words : st->owned_delivered[u]) {
+          slab.push_back(words.size());
+          slab.insert(slab.end(), words.begin(), words.end());
+        }
+      }
+      return slab;
+    };
+    return out;
+  });
 }
 
 }  // namespace arbor::mpc

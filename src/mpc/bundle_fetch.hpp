@@ -19,6 +19,10 @@
 #include "mpc/cluster.hpp"
 #include "mpc/primitives.hpp"
 
+namespace arbor::net {
+class Registry;
+}
+
 namespace arbor::mpc {
 
 struct BundleFetchStats {
@@ -62,5 +66,9 @@ struct Level0BundleFetchResult {
 Level0BundleFetchResult fetch_bundles_program(
     Cluster& cluster, const std::vector<std::vector<Word>>& bundles,
     const std::vector<std::vector<graph::VertexId>>& requests);
+
+/// Worker-side factory ("mpc.fetch_bundles") for the multi-process
+/// backend (net::Registry::builtin() calls this).
+void register_bundle_fetch_program(net::Registry& registry);
 
 }  // namespace arbor::mpc

@@ -1,5 +1,6 @@
 #include "mpc/cluster.hpp"
 
+#include "net/process_group.hpp"
 #include "util/assert.hpp"
 
 namespace arbor::mpc {
@@ -20,6 +21,10 @@ Cluster::Cluster(ClusterConfig config, RoundLedger* ledger)
       state_(engine_->make_state(config.num_machines)) {
   ARBOR_CHECK(config.num_machines > 0);
   ARBOR_CHECK(config.words_per_machine > 0);
+  if (!config.transport.in_process()) {
+    backend_ = net::make_multiprocess_backend(config);
+    owned_engine_->set_backend(backend_.get());
+  }
 }
 
 Cluster::Cluster(ClusterConfig config, RoundLedger* ledger,

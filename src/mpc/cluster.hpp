@@ -55,17 +55,29 @@ class Cluster {
   /// Step function: (machine id, messages received last round, sender).
   using StepFn = engine::StepFn;
 
-  /// Executes with an engine built from `config.execution`.
+  /// Executes with an engine built from `config.execution`. When
+  /// `config.transport` selects the loopback or tcp transport, a
+  /// net::MultiProcessBackend (owning the worker group) is installed on
+  /// that engine: distributable programs then execute across the workers,
+  /// programs without a RemoteSpec keep running in-process.
   Cluster(ClusterConfig config, RoundLedger* ledger);
 
   /// Executes on `engine` (not owned; must outlive the cluster). Lets many
   /// clusters share one worker pool, e.g. via MpcContext::engine().
+  /// `config.transport` is ignored here — a shared engine's backend is the
+  /// engine owner's decision.
   Cluster(ClusterConfig config, RoundLedger* ledger, engine::Engine* engine);
 
   std::size_t num_machines() const noexcept { return config_.num_machines; }
   std::size_t capacity() const noexcept { return config_.words_per_machine; }
   std::size_t rounds_executed() const noexcept { return rounds_; }
   const engine::Engine& engine() const noexcept { return *engine_; }
+
+  /// True when a multi-process backend is installed: distributable
+  /// programs will execute across worker runtimes. Protocols use this to
+  /// skip building the (input-copying) RemoteSpec when nothing would read
+  /// it.
+  bool distributed() const noexcept { return engine_->backend() != nullptr; }
 
   /// Deliver `payload` into machine `dst`'s inbox before the first round
   /// (input loading; not charged as a round). Copies straight into the
@@ -93,6 +105,11 @@ class Cluster {
   ClusterConfig config_;
   RoundLedger* ledger_;  // not owned; may be null
   std::size_t rounds_ = 0;
+  /// Multi-process transport backend when config_.transport asks for one
+  /// (installed on the owned engine; distributable programs route through
+  /// it, everything else keeps running in-process). Declared before the
+  /// engine so the engine's pointer never outlives it.
+  std::unique_ptr<engine::ProgramBackend> backend_;
   std::unique_ptr<engine::Engine> owned_engine_;
   engine::Engine* engine_;  // owned_engine_.get() or external
   engine::RoundState state_;

@@ -8,6 +8,7 @@
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <string_view>
 
 #include "engine/execution_policy.hpp"
 #include "engine/types.hpp"
@@ -21,12 +22,65 @@ using Word = engine::Word;
 
 using engine::ExecutionPolicy;
 
+/// How a cluster's RoundPrograms physically execute: inside this process
+/// (the engine's scheduler), or partitioned across worker runtimes behind
+/// the src/net/ transport. Purely a deployment knob — the simulated model
+/// (machines, caps, rounds) and every program's inboxes, fingerprints, and
+/// ledger totals are identical across kinds (tests/net_test.cpp).
+struct TransportConfig {
+  enum class Kind : std::uint8_t {
+    kInProcess,  ///< engine scheduler in this address space (default)
+    kLoopback,   ///< worker runtimes as in-process threads over in-memory
+                 ///< channels — the transport stack without sockets
+    kTcp,        ///< arbor-worker OS processes over localhost TCP sockets
+  };
+
+  Kind kind = Kind::kInProcess;
+  /// Worker runtimes the machine set is partitioned across (≥ 1);
+  /// ignored in-process.
+  std::size_t workers = 2;
+  /// Thread-pool width for each worker's local compute phase.
+  std::size_t worker_threads = 1;
+
+  bool in_process() const noexcept { return kind == Kind::kInProcess; }
+
+  static TransportConfig in_process_default() { return {}; }
+  static TransportConfig loopback(std::size_t workers = 2) {
+    return {Kind::kLoopback, workers, 1};
+  }
+  static TransportConfig tcp(std::size_t workers = 2) {
+    return {Kind::kTcp, workers, 1};
+  }
+
+  friend bool operator==(const TransportConfig&,
+                         const TransportConfig&) = default;
+};
+
+/// Strict boolean flag parsing shared by the ARBOR_* environment
+/// overrides: exactly "1"/"on"/"true"/"yes" enable, "0"/"off"/"false"/"no"
+/// disable, anything else throws an InvariantError naming the variable and
+/// the offending value — a typo like ARBOR_DISTRIBUTED_LEVEL1=ture must
+/// fail the run, not silently pick a default.
+bool parse_bool_flag(std::string_view value, std::string_view what);
+
+/// Strict TransportConfig parsing for the ARBOR_TRANSPORT override:
+/// "inprocess" | "loopback[:W]" | "tcp[:W]" with W ≥ 1 workers (default
+/// 2). Unknown kinds or malformed worker counts throw, naming the value.
+TransportConfig parse_transport_flag(std::string_view value,
+                                     std::string_view what);
+
 /// Process-wide default for ClusterConfig::distributed_level1, read once
-/// from the ARBOR_DISTRIBUTED_LEVEL1 environment variable ("1"/"on"/
-/// "true"/"yes" enable it). Lets scripts/check.sh run the whole tier-1
-/// suite on both the central and the distributed Level-1 path without
-/// touching every test's config literal.
+/// from the ARBOR_DISTRIBUTED_LEVEL1 environment variable (strict boolean,
+/// see parse_bool_flag). Lets scripts/check.sh run the whole tier-1 suite
+/// on both the central and the distributed Level-1 path without touching
+/// every test's config literal.
 bool distributed_level1_env_default();
+
+/// Process-wide default for ClusterConfig::transport, read once from the
+/// ARBOR_TRANSPORT environment variable (strict, see parse_transport_flag).
+/// Lets scripts/check.sh --mp run program suites over the multi-process
+/// backend without touching every test's config literal.
+TransportConfig transport_env_default();
 
 struct ClusterConfig {
   std::size_t num_machines = 0;
@@ -45,6 +99,13 @@ struct ClusterConfig {
   /// distributed can be diffed directly. Default off (or the
   /// ARBOR_DISTRIBUTED_LEVEL1 environment override).
   bool distributed_level1 = distributed_level1_env_default();
+
+  /// Where this cluster's distributable RoundPrograms execute: in-process
+  /// (default), or across worker runtimes behind the src/net/ transport
+  /// (Cluster installs a net::MultiProcessBackend on its owned engine).
+  /// Programs without a RemoteSpec always run in-process regardless.
+  /// Default in-process (or the ARBOR_TRANSPORT environment override).
+  TransportConfig transport = transport_env_default();
 
   /// Derive a cluster for a graph problem of n vertices / m edges with
   /// local memory S = max(n^δ, min_words) and enough machines for

@@ -1,28 +1,36 @@
 #include "mpc/sample_sort.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <utility>
 
 #include "engine/records.hpp"
+#include "net/registry.hpp"
 #include "util/assert.hpp"
 
 namespace arbor::mpc {
 
-SampleSortResult sample_sort(Cluster& cluster,
-                             const std::vector<std::vector<Word>>& input,
-                             std::size_t samples_per_machine) {
-  const std::size_t machines = cluster.num_machines();
-  ARBOR_CHECK(input.size() == machines);
-  ARBOR_CHECK(samples_per_machine >= 1);
-  const std::size_t start_rounds = cluster.rounds_executed();
+namespace {
 
-  // Machine-local state lives here (the cluster only moves messages).
-  std::vector<std::vector<Word>> slabs = input;
+// Machine-local state of a word sample sort. One builder produces the
+// program for both deployments: the driver's in-process run (state over
+// the full input) and a worker's block share (state holds only its
+// machines' slabs) — which is what makes the transport an execution
+// detail rather than a second protocol implementation.
+struct WordSortState {
+  std::vector<std::vector<Word>> slabs;  ///< indexed by global machine id
+  std::size_t machines = 0;
+  std::size_t samples_per_machine = 0;
+};
 
-  // The whole sort is one RoundProgram of three machine-independent steps:
-  // each step reads only its machine's inbox and machine-owned slab state,
-  // so the scheduler may overlap a round's delivery with the next round's
-  // compute (splitter selection on machine 0 starts while the sample
-  // messages for other machines are still being delivered, and so on).
+// The whole sort is one RoundProgram of three machine-independent steps:
+// each step reads only its machine's inbox and machine-owned slab state,
+// so the scheduler may overlap a round's delivery with the next round's
+// compute (splitter selection on machine 0 starts while the sample
+// messages for other machines are still being delivered, and so on).
+engine::RoundProgram make_word_sort_program(
+    std::shared_ptr<WordSortState> st) {
+  const std::size_t machines = st->machines;
   engine::RoundProgram program;
 
   // Step 1: every machine sends an evenly-spaced sample of its slab to
@@ -30,14 +38,14 @@ SampleSortResult sample_sort(Cluster& cluster,
   // the slab size so indices never repeat — a slab smaller than
   // samples_per_machine contributes each key once instead of skewing the
   // pool toward its low keys.
-  program.independent([&](std::size_t m, const auto&, Sender& send) {
+  program.independent([st](std::size_t m, const auto&, Sender& send) {
     std::vector<Word> sample;
-    const auto& slab = slabs[m];
+    const auto& slab = st->slabs[m];
     if (!slab.empty()) {
       std::vector<Word> sorted = slab;
       std::sort(sorted.begin(), sorted.end());
       const std::size_t samples =
-          std::min(samples_per_machine, sorted.size());
+          std::min(st->samples_per_machine, sorted.size());
       for (std::size_t i = 0; i < samples; ++i) {
         const std::size_t idx = i * sorted.size() / samples;
         sample.push_back(sorted[idx]);
@@ -53,7 +61,8 @@ SampleSortResult sample_sort(Cluster& cluster,
   // the message being present rather than on an accident of the protocol.
   // (For machines ≤ √S the broadcast fits directly; a bigger cluster would
   // relay through a fan-out-√S tree at the same asymptotic cost.)
-  program.independent([&](std::size_t m, const auto& inbox, Sender& send) {
+  program.independent([st, machines](std::size_t m, const auto& inbox,
+                                     Sender& send) {
     if (m != 0) return;
     std::vector<Word> chosen;
     if (machines > 1) {
@@ -74,11 +83,12 @@ SampleSortResult sample_sort(Cluster& cluster,
   // received splitters); buckets sort locally after delivery. The splitter
   // message is always present (step 2 broadcasts explicitly, empty or
   // not); an empty splitter set routes everything to machine 0.
-  program.independent([&](std::size_t m, const auto& inbox, Sender& send) {
+  program.independent([st, machines](std::size_t m, const auto& inbox,
+                                     Sender& send) {
     ARBOR_CHECK_MSG(!inbox.empty(), "splitter broadcast missing");
     const auto split = inbox.front();  // zero-copy view of the message
     std::vector<std::vector<Word>> outgoing(machines);
-    for (Word key : slabs[m]) {
+    for (Word key : st->slabs[m]) {
       const std::size_t bucket = static_cast<std::size_t>(
           std::upper_bound(split.begin(), split.end(), key) -
           split.begin());
@@ -88,39 +98,29 @@ SampleSortResult sample_sort(Cluster& cluster,
       if (!outgoing[dst].empty()) send.send(dst, outgoing[dst]);
   });
 
-  cluster.run_program(program);
-
-  SampleSortResult result;
-  result.slabs.resize(machines);
-  for (std::size_t m = 0; m < machines; ++m) {
-    for (const auto& msg : cluster.inbox(m))
-      result.slabs[m].insert(result.slabs[m].end(), msg.begin(), msg.end());
-    std::sort(result.slabs[m].begin(), result.slabs[m].end());
-  }
-  result.rounds = cluster.rounds_executed() - start_rounds;
-  return result;
+  return program;
 }
 
-RecordSortResult sample_sort_records(
-    Cluster& cluster, std::vector<std::vector<Word>> input,
-    std::size_t record_width, std::size_t key_words,
-    std::size_t samples_per_machine) {
-  const std::size_t machines = cluster.num_machines();
-  ARBOR_CHECK(input.size() == machines);
-  ARBOR_CHECK(record_width > 0);
-  if (key_words == 0) key_words = record_width;
-  ARBOR_CHECK(key_words <= record_width);
-  ARBOR_CHECK(samples_per_machine >= 1);
-  const std::size_t start_rounds = cluster.rounds_executed();
+// ----------------------------------------------- record sort (multi-word)
 
-  std::vector<std::vector<Word>> slabs = std::move(input);
-  for (const auto& slab : slabs)
-    engine::record_count(slab.size(), record_width);  // validates widths
+struct RecordSortState {
+  std::vector<std::vector<Word>> slabs;   ///< inputs; key-sorted by step 1
+  std::vector<std::vector<Word>> result;  ///< step 4 writes slot m
+  std::size_t machines = 0;
+  std::size_t record_width = 0;
+  std::size_t key_words = 0;
+  std::size_t samples_per_machine = 0;
+};
 
-  // One RoundProgram of four machine-independent steps (3 communication +
-  // 1 compute-only): every step touches only its machine's inbox and
-  // machine-owned slabs, so the scheduler can overlap each delivery with
-  // the next step's compute.
+// One RoundProgram of four machine-independent steps (3 communication +
+// 1 compute-only): every step touches only its machine's inbox and
+// machine-owned slabs, so the scheduler can overlap each delivery with
+// the next step's compute.
+engine::RoundProgram make_record_sort_program(
+    std::shared_ptr<RecordSortState> st) {
+  const std::size_t machines = st->machines;
+  const std::size_t record_width = st->record_width;
+  const std::size_t key_words = st->key_words;
   engine::RoundProgram program;
 
   // Step 1: each machine key-sorts its slab and sends an evenly-spaced,
@@ -128,16 +128,21 @@ RecordSortResult sample_sort_records(
   // only slabs[m] — machine-owned state, safe under the engine's
   // concurrency contract — and the sorted slab is reused by the routing
   // round.
-  program.independent([&](std::size_t m, const auto&, Sender& send) {
-    engine::stable_sort_records(slabs[m], record_width, key_words);
-    send.send(0, engine::sample_record_keys(slabs[m], record_width,
-                                            key_words, samples_per_machine));
+  program.independent([st, record_width, key_words](std::size_t m,
+                                                    const auto&,
+                                                    Sender& send) {
+    engine::stable_sort_records(st->slabs[m], record_width, key_words);
+    send.send(0, engine::sample_record_keys(st->slabs[m], record_width,
+                                            key_words,
+                                            st->samples_per_machine));
   });
 
   // Step 2: coordinator pools the sampled keys, picks machines-1 splitter
   // keys at the sample quantiles, and broadcasts them — explicitly empty
-  // for a single-machine cluster or an all-empty pool (see sample_sort).
-  program.independent([&](std::size_t m, const auto& inbox, Sender& send) {
+  // for a single-machine cluster or an all-empty pool (see the word sort).
+  program.independent([st, machines, key_words](std::size_t m,
+                                                const auto& inbox,
+                                                Sender& send) {
     if (m != 0) return;
     std::vector<Word> chosen;
     if (machines > 1) {
@@ -159,11 +164,12 @@ RecordSortResult sample_sort_records(
   // of splitter keys ≤ key(r) — the record-key analogue of the word
   // version's upper_bound — so an empty splitter set routes everything to
   // machine 0.
-  program.independent([&](std::size_t m, const auto& inbox, Sender& send) {
+  program.independent([st, machines, record_width, key_words](
+                          std::size_t m, const auto& inbox, Sender& send) {
     ARBOR_CHECK_MSG(!inbox.empty(), "splitter broadcast missing");
     const auto split = inbox.front().span();
     const std::size_t num_split = split.size() / key_words;
-    const auto& slab = slabs[m];
+    const auto& slab = st->slabs[m];
     const std::size_t records =
         engine::record_count(slab.size(), record_width);
     std::vector<std::vector<Word>> outgoing(machines);
@@ -192,21 +198,146 @@ RecordSortResult sample_sort_records(
   // Under the async scheduler this compute even overlaps the routing
   // round's delivery: bucket m starts sorting as soon as its own records
   // arrive. Delivery order is (source machine asc, send order) in every
-  // mode, so the stable sort makes the result deterministic and, with a
-  // full-record key, the unique total order.
-  RecordSortResult result;
-  result.slabs.resize(machines);
-  program.independent([&](std::size_t m, const auto& inbox, Sender&) {
-    auto& slab = result.slabs[m];
+  // mode — the transport keeps it too — so the stable sort makes the
+  // result deterministic and, with a full-record key, the unique total
+  // order.
+  program.independent([st, record_width, key_words](std::size_t m,
+                                                    const auto& inbox,
+                                                    Sender&) {
+    auto& slab = st->result[m];
     slab.reserve(inbox.total_words());
     for (const auto& msg : inbox)
       slab.insert(slab.end(), msg.begin(), msg.end());
     engine::stable_sort_records(slab, record_width, key_words);
   });
 
+  return program;
+}
+
+}  // namespace
+
+SampleSortResult sample_sort(Cluster& cluster,
+                             const std::vector<std::vector<Word>>& input,
+                             std::size_t samples_per_machine) {
+  const std::size_t machines = cluster.num_machines();
+  ARBOR_CHECK(input.size() == machines);
+  ARBOR_CHECK(samples_per_machine >= 1);
+  const std::size_t start_rounds = cluster.rounds_executed();
+
+  // Machine-local state lives here (the cluster only moves messages).
+  auto st = std::make_shared<WordSortState>();
+  st->slabs = input;
+  st->machines = machines;
+  st->samples_per_machine = samples_per_machine;
+
+  engine::RoundProgram program = make_word_sort_program(st);
+  if (cluster.distributed()) {
+    engine::RemoteSpec spec;
+    spec.name = "mpc.sample_sort";
+    spec.scalars = {static_cast<Word>(samples_per_machine)};
+    spec.inputs = input;
+    program.distributable(std::move(spec));
+  }
+
   cluster.run_program(program);
+
+  // The buckets sit in the inboxes when the program returns — identically
+  // under every backend (the transport syncs final inboxes back).
+  SampleSortResult result;
+  result.slabs.resize(machines);
+  for (std::size_t m = 0; m < machines; ++m) {
+    for (const auto& msg : cluster.inbox(m))
+      result.slabs[m].insert(result.slabs[m].end(), msg.begin(), msg.end());
+    std::sort(result.slabs[m].begin(), result.slabs[m].end());
+  }
   result.rounds = cluster.rounds_executed() - start_rounds;
   return result;
+}
+
+RecordSortResult sample_sort_records(
+    Cluster& cluster, std::vector<std::vector<Word>> input,
+    std::size_t record_width, std::size_t key_words,
+    std::size_t samples_per_machine) {
+  const std::size_t machines = cluster.num_machines();
+  ARBOR_CHECK(input.size() == machines);
+  ARBOR_CHECK(record_width > 0);
+  if (key_words == 0) key_words = record_width;
+  ARBOR_CHECK(key_words <= record_width);
+  ARBOR_CHECK(samples_per_machine >= 1);
+  const std::size_t start_rounds = cluster.rounds_executed();
+
+  for (const auto& slab : input)
+    engine::record_count(slab.size(), record_width);  // validates widths
+
+  auto st = std::make_shared<RecordSortState>();
+  st->machines = machines;
+  st->record_width = record_width;
+  st->key_words = key_words;
+  st->samples_per_machine = samples_per_machine;
+  st->result.resize(machines);
+
+  engine::RoundProgram program = make_record_sort_program(st);
+  if (cluster.distributed()) {
+    engine::RemoteSpec spec;
+    spec.name = "mpc.sample_sort_records";
+    spec.scalars = {static_cast<Word>(record_width),
+                    static_cast<Word>(key_words),
+                    static_cast<Word>(samples_per_machine)};
+    spec.inputs = input;  // copy: the state takes the originals below
+    spec.has_output = true;
+    spec.output_sink = [st](std::size_t m, std::span<const Word> slab) {
+      st->result[m].assign(slab.begin(), slab.end());
+    };
+    program.distributable(std::move(spec));
+  }
+  st->slabs = std::move(input);
+
+  cluster.run_program(program);
+
+  RecordSortResult result;
+  result.slabs = std::move(st->result);
+  result.rounds = cluster.rounds_executed() - start_rounds;
+  return result;
+}
+
+void register_sample_sort_programs(net::Registry& registry) {
+  registry.add("mpc.sample_sort", [](const net::ProgramInputs& in) {
+    ARBOR_CHECK_MSG(in.scalars.size() == 1,
+                    "mpc.sample_sort expects 1 scalar");
+    auto st = std::make_shared<WordSortState>();
+    st->machines = in.machines;
+    st->samples_per_machine = static_cast<std::size_t>(in.scalars[0]);
+    st->slabs.resize(in.machines);
+    for (std::size_t m = in.block_begin; m < in.block_end; ++m)
+      st->slabs[m] = in.inputs[m - in.block_begin];
+    net::WorkerProgram out;
+    out.program = make_word_sort_program(st);
+    out.state = st;
+    return out;
+  });
+
+  registry.add("mpc.sample_sort_records", [](const net::ProgramInputs& in) {
+    ARBOR_CHECK_MSG(in.scalars.size() == 3,
+                    "mpc.sample_sort_records expects 3 scalars");
+    auto st = std::make_shared<RecordSortState>();
+    st->machines = in.machines;
+    st->record_width = static_cast<std::size_t>(in.scalars[0]);
+    st->key_words = static_cast<std::size_t>(in.scalars[1]);
+    st->samples_per_machine = static_cast<std::size_t>(in.scalars[2]);
+    ARBOR_CHECK(st->record_width > 0 && st->key_words > 0 &&
+                st->key_words <= st->record_width);
+    st->slabs.resize(in.machines);
+    st->result.resize(in.machines);
+    for (std::size_t m = in.block_begin; m < in.block_end; ++m) {
+      st->slabs[m] = in.inputs[m - in.block_begin];
+      engine::record_count(st->slabs[m].size(), st->record_width);
+    }
+    net::WorkerProgram out;
+    out.program = make_record_sort_program(st);
+    out.state = st;
+    out.output = [st](std::size_t m) { return st->result[m]; };
+    return out;
+  });
 }
 
 }  // namespace arbor::mpc

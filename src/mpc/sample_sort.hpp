@@ -33,6 +33,10 @@
 
 #include "mpc/cluster.hpp"
 
+namespace arbor::net {
+class Registry;
+}
+
 namespace arbor::mpc {
 
 struct SampleSortResult {
@@ -76,5 +80,9 @@ RecordSortResult sample_sort_records(
     Cluster& cluster, std::vector<std::vector<Word>> input,
     std::size_t record_width, std::size_t key_words = 0,
     std::size_t samples_per_machine = 8);
+
+/// Worker-side factories ("mpc.sample_sort", "mpc.sample_sort_records")
+/// for the multi-process backend (net::Registry::builtin() calls this).
+void register_sample_sort_programs(net::Registry& registry);
 
 }  // namespace arbor::mpc

@@ -1,0 +1,480 @@
+#include "net/process_group.hpp"
+
+#include <limits.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <utility>
+
+#include "net/worker.hpp"
+#include "util/assert.hpp"
+#include "util/hashing.hpp"
+
+namespace arbor::net {
+
+namespace {
+
+constexpr int kConnectTimeoutMs = 30000;
+
+std::string resolve_worker_binary(const std::string& configured) {
+  std::string path = configured;
+  if (path.empty()) {
+    if (const char* env = std::getenv("ARBOR_WORKER_BIN"))
+      if (*env != '\0') path = env;
+  }
+  if (path.empty()) {
+    char exe[PATH_MAX];
+    const ssize_t n = ::readlink("/proc/self/exe", exe, sizeof(exe) - 1);
+    if (n > 0) {
+      exe[n] = '\0';
+      std::string dir(exe);
+      const std::size_t slash = dir.rfind('/');
+      if (slash != std::string::npos) path = dir.substr(0, slash + 1);
+    }
+    path += "arbor-worker";
+  }
+  if (::access(path.c_str(), X_OK) != 0)
+    throw TransportError(
+        "cannot execute the arbor-worker binary at \"" + path +
+        "\" (build the arbor-worker target, or point ARBOR_WORKER_BIN at "
+        "it)");
+  return path;
+}
+
+std::string describe_worker(std::size_t rank, std::size_t machines,
+                            std::size_t workers) {
+  const auto [begin, end] = machine_block(machines, workers, rank);
+  std::string out = "worker " + std::to_string(rank) + " (machines ";
+  if (begin == end)
+    out += "none";
+  else
+    out += std::to_string(begin) + ".." + std::to_string(end - 1);
+  return out + ")";
+}
+
+}  // namespace
+
+ProcessGroup::ProcessGroup(GroupOptions options)
+    : options_(std::move(options)) {
+  ARBOR_CHECK(options_.machines > 0);
+  ARBOR_CHECK(options_.capacity > 0);
+  ARBOR_CHECK_MSG(options_.transport.workers >= 1,
+                  "a process group needs at least one worker");
+  ARBOR_CHECK_MSG(!options_.transport.in_process(),
+                  "the in-process transport has no process group");
+  for (std::size_t w = 0; w < workers(); ++w) worker_ids_.push_back(w);
+  try {
+    if (options_.transport.kind == mpc::TransportConfig::Kind::kLoopback)
+      spawn_loopback();
+    else
+      spawn_tcp();
+  } catch (...) {
+    teardown();
+    throw;
+  }
+}
+
+ProcessGroup::~ProcessGroup() {
+  if (!down_ && hub_) {
+    for (std::size_t w = 0; w < workers(); ++w) {
+      try {
+        hub_->send(w, FrameType::kShutdown, {});
+      } catch (...) {
+        // Already gone; teardown reaps it regardless.
+      }
+    }
+  }
+  teardown();
+}
+
+pid_t ProcessGroup::worker_pid(std::size_t rank) const {
+  ARBOR_CHECK(rank < pids_.size());
+  return pids_[rank];
+}
+
+void ProcessGroup::spawn_loopback() {
+  const std::size_t W = workers();
+  hub_ = std::make_unique<FrameHub>(W);
+  pids_.assign(W, 0);
+
+  std::vector<WorkerWiring> wirings(W);
+  for (std::size_t w = 0; w < W; ++w) {
+    wirings[w].rank = w;
+    wirings[w].workers = W;
+    wirings[w].machines = options_.machines;
+    wirings[w].capacity = options_.capacity;
+    wirings[w].worker_threads = options_.transport.worker_threads;
+    wirings[w].hub = std::make_unique<FrameHub>(W + 1);
+  }
+  for (std::size_t w = 0; w < W; ++w) {
+    auto [driver_end, worker_end] = loopback_pair();
+    hub_->attach(w, std::move(driver_end));
+    wirings[w].hub->attach(driver_source(W), std::move(worker_end));
+  }
+  for (std::size_t a = 0; a < W; ++a) {
+    for (std::size_t b = a + 1; b < W; ++b) {
+      auto [end_a, end_b] = loopback_pair();
+      wirings[a].hub->attach(b, std::move(end_a));
+      wirings[b].hub->attach(a, std::move(end_b));
+    }
+  }
+  for (std::size_t w = 0; w < W; ++w) {
+    threads_.emplace_back(
+        [wiring = std::move(wirings[w])]() mutable {
+          run_worker(std::move(wiring));
+        });
+  }
+}
+
+void ProcessGroup::spawn_tcp() {
+  const std::size_t W = workers();
+  const std::string binary = resolve_worker_binary(options_.worker_binary);
+  TcpListener listener;
+  const std::string port_arg = std::to_string(listener.port());
+
+  pids_.assign(W, 0);
+  for (std::size_t w = 0; w < W; ++w) {
+    const std::string rank_arg = std::to_string(w);
+    const pid_t pid = ::fork();
+    ARBOR_CHECK_MSG(pid >= 0, "fork failed");
+    if (pid == 0) {
+      // Child: nothing but exec (the parent may hold locks fork does not
+      // replicate safely — exec resets the world).
+      ::execl(binary.c_str(), binary.c_str(), "--connect", port_arg.c_str(),
+              "--rank", rank_arg.c_str(), static_cast<char*>(nullptr));
+      ::_exit(127);
+    }
+    pids_[w] = pid;
+  }
+
+  std::vector<std::unique_ptr<Conn>> conns(W);
+  std::vector<std::uint16_t> ports(W, 0);
+  for (std::size_t n = 0; n < W; ++n) {
+    std::unique_ptr<Conn> conn = listener.accept(kConnectTimeoutMs);
+    if (!conn)
+      throw TransportError("a worker did not dial in within " +
+                           std::to_string(kConnectTimeoutMs / 1000) +
+                           "s (" + std::to_string(n) + " of " +
+                           std::to_string(W) + " connected)");
+    Frame hello;
+    if (!conn->recv(hello))
+      throw TransportError("worker connection closed before its hello");
+    ARBOR_CHECK_MSG(hello.type == FrameType::kHello,
+                    std::string("expected hello frame, got ") +
+                        frame_type_name(hello.type));
+    WireReader reader(hello.payload, "hello");
+    ARBOR_CHECK_MSG(reader.word() == kProtocolVersion,
+                    "protocol version mismatch between driver and worker");
+    const auto rank = static_cast<std::size_t>(reader.word());
+    const auto port = static_cast<std::uint16_t>(reader.word());
+    reader.expect_end();
+    ARBOR_CHECK_MSG(rank < W && !conns[rank],
+                    "worker hello from unexpected rank " +
+                        std::to_string(rank));
+    conns[rank] = std::move(conn);
+    ports[rank] = port;
+  }
+
+  for (std::size_t w = 0; w < W; ++w) {
+    std::vector<Word> config{kProtocolVersion,
+                             static_cast<Word>(options_.machines),
+                             static_cast<Word>(options_.capacity),
+                             static_cast<Word>(W), static_cast<Word>(w),
+                             static_cast<Word>(
+                                 options_.transport.worker_threads)};
+    for (std::uint16_t p : ports) config.push_back(p);
+    conns[w]->send(FrameType::kConfig, config);
+  }
+
+  hub_ = std::make_unique<FrameHub>(W);
+  for (std::size_t w = 0; w < W; ++w) hub_->attach(w, std::move(conns[w]));
+  hub_->collect(worker_ids_, FrameType::kReady, [&](const Event& event) {
+    teardown();
+    throw TransportError(describe_worker(event.source, options_.machines, W) +
+                         " failed during mesh setup: " +
+                         (event.closed ? event.error : "unexpected frame"));
+  });
+}
+
+void ProcessGroup::teardown() noexcept {
+  if (down_) return;
+  down_ = true;
+  if (hub_) hub_->shutdown_all();
+  for (std::thread& thread : threads_)
+    if (thread.joinable()) thread.join();
+  threads_.clear();
+  for (pid_t pid : pids_) {
+    if (pid <= 0) continue;
+    int status = 0;
+    bool reaped = false;
+    // Grace period for an orderly exit, then SIGKILL — a test must never
+    // leave zombies or stragglers behind.
+    for (int spins = 0; spins < 400; ++spins) {
+      const pid_t got = ::waitpid(pid, &status, WNOHANG);
+      if (got == pid || (got < 0 && errno == ECHILD)) {
+        reaped = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    if (!reaped) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, &status, 0);
+    }
+  }
+  pids_.clear();
+}
+
+void ProcessGroup::handle_oob(const Event& event, std::size_t round) {
+  if (event.source == kNoSource) {
+    // A fabric-wide stall, attributable to no specific worker.
+    teardown();
+    throw TransportError("no worker produced a frame in round " +
+                         std::to_string(round) + ": " + event.error);
+  }
+  const std::string who =
+      describe_worker(event.source, options_.machines, workers());
+  // Decode before teardown so the error text survives the hub.
+  if (!event.closed && event.frame.type == FrameType::kError) {
+    WireReader reader(event.frame.payload, "error");
+    const Word kind = reader.word();
+    if (kind == 2) {
+      // A surviving worker relayed a peer's death. The lost worker's OWN
+      // last words may still be in flight on its socket (a cap violation
+      // sends kError before the connection closes, but cross-socket
+      // arrival order is a race) — give them a grace window, because
+      // "machine 2 exceeded send capacity" beats "peer hung up" as a
+      // diagnosis. Then blame the worker that actually died, naming its
+      // machine block and the round.
+      const auto lost = static_cast<std::size_t>(reader.word());
+      const std::string detail = reader.str();
+      if (lost < workers()) {
+        std::optional<Event> own =
+            hub_->next_event_from(lost, std::chrono::milliseconds(250));
+        if (own && !own->closed && own->frame.type == FrameType::kError)
+          handle_oob(*own, round);
+      }
+      teardown();
+      throw TransportError(
+          "lost " + describe_worker(lost, options_.machines, workers()) +
+          " in round " + std::to_string(round) + ": " + detail +
+          " (reported by " + who + ")");
+    }
+    const std::string text = reader.str();
+    teardown();
+    if (kind == 0) throw InvariantError(who + ": " + text);
+    throw TransportError(who + ": " + text);
+  }
+  teardown();
+  if (event.closed)
+    throw TransportError("lost " + who + " in round " + std::to_string(round) +
+                         ": " + event.error);
+  throw TransportError(std::string("unexpected ") +
+                       frame_type_name(event.frame.type) + " frame from " +
+                       who + " in round " + std::to_string(round));
+}
+
+void ProcessGroup::send_or_fail(std::size_t w, FrameType type,
+                                std::span<const Word> payload,
+                                std::size_t round) {
+  try {
+    hub_->send(w, type, payload);
+  } catch (const TransportError& e) {
+    Event event;
+    event.source = w;
+    event.closed = true;
+    event.error = e.what();
+    handle_oob(event, round);
+  }
+}
+
+engine::ProgramStats ProcessGroup::run(engine::RoundState& state,
+                                       std::size_t capacity,
+                                       std::size_t first_round_index,
+                                       const engine::RoundProgram& program,
+                                       const engine::RoundHook& on_round) {
+  ARBOR_CHECK_MSG(!down_, "process group is down");
+  ARBOR_CHECK_MSG(program.remote, "program has no RemoteSpec");
+  ARBOR_CHECK_MSG(!program.steps.empty(), "RoundProgram has no steps");
+  const engine::RemoteSpec& spec = *program.remote;
+  const std::size_t machines = options_.machines;
+  ARBOR_CHECK_MSG(state.num_machines() == machines,
+                  "state machine count does not match the process group");
+  ARBOR_CHECK_MSG(capacity == options_.capacity,
+                  "capacity does not match the process group");
+  ARBOR_CHECK_MSG(spec.inputs.empty() || spec.inputs.size() == machines,
+                  "RemoteSpec inputs must cover every machine (or none)");
+  ARBOR_CHECK_MSG(!program.continue_fn || spec.has_vote,
+                  "program \"" + spec.name +
+                      "\" declares repeat_while but its RemoteSpec has no "
+                      "vote protocol");
+  ARBOR_CHECK_MSG(!spec.has_output || spec.output_sink,
+                  "RemoteSpec has_output without an output_sink");
+  ARBOR_CHECK_MSG(!spec.has_vote || spec.continue_with_votes,
+                  "RemoteSpec has_vote without continue_with_votes");
+
+  const std::size_t W = workers();
+  std::size_t executed = 0;  // rounds committed, this program
+  const auto oob = [&](const Event& event) {
+    handle_oob(event, first_round_index + executed);
+  };
+
+  // Scatter the spec with each block's inputs and current inbox contents.
+  for (std::size_t w = 0; w < W; ++w) {
+    const auto [begin, end] = machine_block(machines, W, w);
+    ProgramFrame frame;
+    frame.first_round = first_round_index;
+    frame.steps = program.steps.size();
+    frame.max_passes = program.max_passes;
+    frame.has_output = spec.has_output;
+    frame.has_vote = spec.has_vote;
+    frame.name = spec.name;
+    frame.scalars = spec.scalars;
+    frame.inputs.resize(end - begin);
+    frame.preinbox.resize(end - begin);
+    for (std::size_t m = begin; m < end; ++m) {
+      if (!spec.inputs.empty()) frame.inputs[m - begin] = spec.inputs[m];
+      const engine::InboxView inbox = state.inbox(m);
+      frame.preinbox[m - begin].reserve(inbox.size());
+      for (const engine::MessageView& msg : inbox)
+        frame.preinbox[m - begin].emplace_back(msg.begin(), msg.end());
+    }
+    send_or_fail(w, FrameType::kProgram, encode_program_frame(frame),
+                 first_round_index);
+  }
+
+  round_fingerprints_.clear();
+  std::size_t passes = 0;
+  for (bool more = true; more;) {
+    for (std::size_t step = 0; step < program.steps.size(); ++step) {
+      const std::vector<Frame> stats_frames =
+          hub_->collect(worker_ids_, FrameType::kRoundStats, oob);
+      engine::RoundStats stats;
+      std::uint64_t fp = util::mix64(0x726e6470);  // "rndp"
+      std::size_t machine = 0;
+      for (std::size_t w = 0; w < W; ++w) {
+        WireReader reader(stats_frames[w].payload, "round-stats");
+        ARBOR_CHECK_MSG(reader.word() == executed,
+                        "round stats out of order from worker " +
+                            std::to_string(w));
+        stats.max_sent = std::max(
+            stats.max_sent, static_cast<std::size_t>(reader.word()));
+        stats.max_received = std::max(
+            stats.max_received, static_cast<std::size_t>(reader.word()));
+        const auto [begin, end] = machine_block(machines, W, w);
+        ARBOR_CHECK_MSG(reader.word() == end - begin,
+                        "round stats block size mismatch from worker " +
+                            std::to_string(w));
+        for (std::size_t m = begin; m < end; ++m, ++machine) {
+          fp = util::hash_combine(fp, m);
+          fp = util::hash_combine(fp, reader.word());
+        }
+        reader.expect_end();
+      }
+      ARBOR_CHECK(machine == machines);
+      round_fingerprints_.push_back(fp);
+
+      // Commit: the round's caps are validated on the workers and its
+      // stats reduced exactly; charge the ledger before anything later
+      // can fail, like the in-process scheduler does.
+      ++executed;
+      if (on_round) on_round(stats);
+      const std::vector<Word> ack{static_cast<Word>(executed - 1)};
+      for (std::size_t w = 0; w < W; ++w)
+        send_or_fail(w, FrameType::kRoundAck, ack,
+                     first_round_index + executed);
+    }
+    ++passes;
+    if (!spec.has_vote) break;
+
+    const std::vector<Frame> ballots =
+        hub_->collect(worker_ids_, FrameType::kVote, oob);
+    Word total = 0;
+    for (std::size_t w = 0; w < W; ++w) {
+      WireReader reader(ballots[w].payload, "vote");
+      ARBOR_CHECK_MSG(reader.word() == passes,
+                      "vote out of order from worker " + std::to_string(w));
+      total += reader.word();
+      reader.expect_end();
+    }
+    more = spec.continue_with_votes(passes, total) &&
+           passes < program.max_passes;
+    const std::vector<Word> decision{static_cast<Word>(passes),
+                                     more ? Word{1} : Word{0}};
+    for (std::size_t w = 0; w < W; ++w)
+      send_or_fail(w, FrameType::kPassDecision, decision,
+                   first_round_index + executed);
+  }
+
+  if (spec.has_output) {
+    const std::vector<Frame> outputs =
+        hub_->collect(worker_ids_, FrameType::kOutputs, oob);
+    for (std::size_t w = 0; w < W; ++w) {
+      WireReader reader(outputs[w].payload, "outputs");
+      const auto [begin, end] = machine_block(machines, W, w);
+      for (std::size_t m = begin; m < end; ++m)
+        spec.output_sink(m, reader.words(reader.count()));
+      reader.expect_end();
+    }
+  }
+
+  // Write the workers' final inboxes back so post-program reads (and the
+  // next program's preinbox scatter) see exactly what in-process
+  // execution would have left behind.
+  const std::vector<Frame> dumps =
+      hub_->collect(worker_ids_, FrameType::kInboxDump, oob);
+  for (std::size_t w = 0; w < W; ++w) {
+    WireReader reader(dumps[w].payload, "inbox-dump");
+    const auto [begin, end] = machine_block(machines, W, w);
+    for (std::size_t m = begin; m < end; ++m) {
+      const std::size_t num_msgs = reader.count();
+      if (state.is_flat) {
+        engine::Inbox& inbox = state.flat_inboxes[m];
+        inbox.clear();
+        for (std::size_t i = 0; i < num_msgs; ++i)
+          inbox.append(reader.words(reader.count()));
+      } else {
+        auto& inbox = state.nested_inboxes[m];
+        inbox.clear();
+        inbox.reserve(num_msgs);
+        for (std::size_t i = 0; i < num_msgs; ++i) {
+          const std::span<const Word> msg = reader.words(reader.count());
+          inbox.emplace_back(msg.begin(), msg.end());
+        }
+      }
+    }
+    reader.expect_end();
+  }
+
+  ++programs_run_;
+  engine::ProgramStats out;
+  out.rounds = executed;
+  out.passes = passes;
+  out.overlapped = 0;  // lockstep rounds; overlap is an in-process detail
+  return out;
+}
+
+engine::ProgramStats MultiProcessBackend::run_program(
+    engine::RoundState& state, std::size_t capacity,
+    std::size_t first_round_index, const engine::RoundProgram& program,
+    const engine::RoundHook& on_round) {
+  return group_.run(state, capacity, first_round_index, program, on_round);
+}
+
+std::unique_ptr<MultiProcessBackend> make_multiprocess_backend(
+    const mpc::ClusterConfig& config) {
+  ARBOR_CHECK_MSG(!config.transport.in_process(),
+                  "in-process transport needs no backend");
+  GroupOptions options;
+  options.transport = config.transport;
+  options.machines = config.num_machines;
+  options.capacity = config.words_per_machine;
+  return std::make_unique<MultiProcessBackend>(options);
+}
+
+}  // namespace arbor::net

@@ -1,0 +1,117 @@
+// Driver runtime of the multi-process backend.
+//
+// A ProcessGroup owns a fleet of worker runtimes — in-process threads
+// (loopback transport) or arbor-worker OS processes dialed in over
+// 127.0.0.1 TCP — each serving a contiguous block of the cluster's
+// machines. run() executes one distributable RoundProgram across them in
+// lockstep: the spec and each block's inputs (plus current inbox
+// contents) are scattered, every round the workers' traffic stats and
+// per-machine inbox fingerprints are reduced here (the ledger hook fires
+// with exactly the totals the in-process scheduler would charge), pass
+// barriers reduce worker votes through RemoteSpec::continue_with_votes,
+// and after the final round output slabs flow into the spec's sink and
+// the workers' final inboxes are written back into the driver's
+// RoundState — so post-program inbox reads, fingerprints, and ledger
+// totals are bit-identical to in-process execution.
+//
+// Failure is a first-class outcome: a relayed InvariantError (cap
+// violation, bad frame) rethrows with its original type naming the
+// machine; a dead connection raises a TransportError naming the lost
+// worker, its machine block, and the round; either way the whole group is
+// torn down — connections closed, processes reaped (SIGKILL after a grace
+// period), threads joined — before the exception leaves run().
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "mpc/config.hpp"
+#include "net/transport.hpp"
+
+namespace arbor::net {
+
+struct GroupOptions {
+  mpc::TransportConfig transport;  ///< kind + workers + worker threads
+  std::size_t machines = 0;
+  std::size_t capacity = 0;
+  /// arbor-worker binary for the tcp transport. Empty: $ARBOR_WORKER_BIN,
+  /// then "arbor-worker" next to the running executable.
+  std::string worker_binary;
+};
+
+class ProcessGroup {
+ public:
+  explicit ProcessGroup(GroupOptions options);
+  ~ProcessGroup();
+  ProcessGroup(const ProcessGroup&) = delete;
+  ProcessGroup& operator=(const ProcessGroup&) = delete;
+
+  std::size_t workers() const noexcept { return options_.transport.workers; }
+  /// OS pid of a tcp worker (0 for loopback threads) — test seam for
+  /// killing a worker mid-program.
+  pid_t worker_pid(std::size_t rank) const;
+
+  /// Execute one program carrying a RemoteSpec (engine/program.hpp).
+  engine::ProgramStats run(engine::RoundState& state, std::size_t capacity,
+                           std::size_t first_round_index,
+                           const engine::RoundProgram& program,
+                           const engine::RoundHook& on_round);
+
+  /// Reduced per-round cluster fingerprints of the last run() — one word
+  /// per executed round, identical across loopback and any tcp width.
+  const std::vector<std::uint64_t>& round_fingerprints() const noexcept {
+    return round_fingerprints_;
+  }
+  std::size_t programs_run() const noexcept { return programs_run_; }
+
+ private:
+  void spawn_loopback();
+  void spawn_tcp();
+  void teardown() noexcept;
+  [[noreturn]] void handle_oob(const Event& event, std::size_t round);
+  /// send() that maps a transport failure to "lost worker w" through
+  /// handle_oob (teardown + named error) instead of letting a raw
+  /// "socket send failed" escape run() with the group still up.
+  void send_or_fail(std::size_t w, FrameType type,
+                    std::span<const Word> payload, std::size_t round);
+
+  GroupOptions options_;
+  std::unique_ptr<FrameHub> hub_;
+  std::vector<std::size_t> worker_ids_;  ///< 0..W-1, for collect()
+  std::vector<pid_t> pids_;              ///< tcp children (0 = loopback)
+  std::vector<std::thread> threads_;     ///< loopback workers
+  std::vector<std::uint64_t> round_fingerprints_;
+  std::size_t programs_run_ = 0;
+  bool down_ = false;
+};
+
+/// engine::ProgramBackend adapter: installed on a Cluster's engine so
+/// Engine::run_program routes distributable programs through the group.
+class MultiProcessBackend final : public engine::ProgramBackend {
+ public:
+  explicit MultiProcessBackend(GroupOptions options) : group_(options) {}
+
+  engine::ProgramStats run_program(engine::RoundState& state,
+                                   std::size_t capacity,
+                                   std::size_t first_round_index,
+                                   const engine::RoundProgram& program,
+                                   const engine::RoundHook& on_round) override;
+
+  ProcessGroup& group() noexcept { return group_; }
+
+ private:
+  ProcessGroup group_;
+};
+
+/// Backend for a cluster config whose transport is loopback or tcp.
+std::unique_ptr<MultiProcessBackend> make_multiprocess_backend(
+    const mpc::ClusterConfig& config);
+
+}  // namespace arbor::net

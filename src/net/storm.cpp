@@ -1,0 +1,63 @@
+#include "net/storm.hpp"
+
+#include <span>
+#include <utility>
+
+#include "net/registry.hpp"
+#include "util/assert.hpp"
+#include "util/hashing.hpp"
+
+namespace arbor::net {
+
+using engine::Word;
+
+engine::RoundProgram make_storm_program(std::shared_ptr<StormState> state) {
+  ARBOR_CHECK(state && state->machines > 0);
+  ARBOR_CHECK(state->slabs.size() == state->machines);
+  engine::RoundProgram program;
+  for (std::size_t round = 0; round < state->rounds; ++round) {
+    program.independent([state, round](std::size_t m, const auto&,
+                                       engine::Sender& send) {
+      const std::vector<Word>& slab = state->slabs[m];
+      if (slab.empty()) return;
+      for (std::size_t i = 0; i < state->batch; ++i) {
+        const Word w = slab[(round * state->batch + i) % slab.size()];
+        const std::size_t dst =
+            util::hash_words(13, w, round) % state->machines;
+        send.send(dst, std::span<const Word>(&w, 1));
+      }
+    });
+  }
+  return program;
+}
+
+engine::RoundProgram make_distributable_storm_program(
+    std::shared_ptr<StormState> state) {
+  engine::RoundProgram program = make_storm_program(state);
+  engine::RemoteSpec spec;
+  spec.name = "net.storm";
+  spec.scalars = {static_cast<Word>(state->batch),
+                  static_cast<Word>(state->rounds)};
+  spec.inputs = state->slabs;
+  program.distributable(std::move(spec));
+  return program;
+}
+
+void register_storm_program(Registry& registry) {
+  registry.add("net.storm", [](const ProgramInputs& in) {
+    ARBOR_CHECK_MSG(in.scalars.size() == 2, "net.storm expects 2 scalars");
+    auto state = std::make_shared<StormState>();
+    state->machines = in.machines;
+    state->batch = static_cast<std::size_t>(in.scalars[0]);
+    state->rounds = static_cast<std::size_t>(in.scalars[1]);
+    state->slabs.resize(in.machines);
+    for (std::size_t m = in.block_begin; m < in.block_end; ++m)
+      state->slabs[m] = in.inputs[m - in.block_begin];
+    WorkerProgram out;
+    out.program = make_storm_program(state);
+    out.state = state;
+    return out;
+  });
+}
+
+}  // namespace arbor::net

@@ -1,0 +1,44 @@
+// The routing storm as a distributable RoundProgram.
+//
+// Every machine scatters `batch` one-word messages from its slab to
+// hashed destinations each round — the send/route/deliver soak the engine
+// benches measure (bench/engine_storm.hpp) and the natural smoke workload
+// for the multi-process backend: deterministic for a given (slabs,
+// rounds) under EVERY executor and transport, arbitrarily long (the
+// worker-failure tests need a program that outlives a kill), and dense
+// enough that every worker talks to every other worker every round.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "engine/program.hpp"
+#include "engine/types.hpp"
+
+namespace arbor::net {
+
+class Registry;
+
+/// Machine-owned state of a storm; the program's steps only read it.
+struct StormState {
+  std::vector<std::vector<engine::Word>> slabs;  ///< per machine
+  std::size_t machines = 0;
+  std::size_t batch = 0;   ///< messages per machine per round
+  std::size_t rounds = 0;  ///< steps in the program
+};
+
+/// `rounds` machine-independent scatter steps over `state` (shared so the
+/// driver- and worker-side builds are the same code path). Message
+/// content and destinations are bit-compatible with
+/// bench::run_storm_program.
+engine::RoundProgram make_storm_program(std::shared_ptr<StormState> state);
+
+/// The same program with its RemoteSpec attached, ready for any backend:
+/// scalars = {batch, rounds}, inputs = the slabs.
+engine::RoundProgram make_distributable_storm_program(
+    std::shared_ptr<StormState> state);
+
+void register_storm_program(Registry& registry);
+
+}  // namespace arbor::net

@@ -1,0 +1,444 @@
+#include "net/transport.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace arbor::net {
+
+namespace {
+
+/// Ceiling on any single frame wait. The runtimes are lockstep — a frame
+/// that has not arrived in two minutes means a peer is gone in a way the
+/// socket layer did not surface — so convert the hang into a named error
+/// instead of wedging the test suite.
+constexpr std::chrono::seconds kEventTimeout{120};
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw TransportError(what + ": " + std::strerror(errno));
+}
+
+// ------------------------------------------------------------- loopback
+
+struct LoopbackQueue {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Frame> frames;
+  bool closed = false;
+};
+
+class LoopbackConn final : public Conn {
+ public:
+  LoopbackConn(std::shared_ptr<LoopbackQueue> in,
+               std::shared_ptr<LoopbackQueue> out)
+      : in_(std::move(in)), out_(std::move(out)) {}
+
+  ~LoopbackConn() override { LoopbackConn::shutdown(); }
+
+  void send(FrameType type, std::span<const Word> payload) override {
+    // Same ceiling the socket path enforces, so loopback and tcp reject
+    // an oversized bank identically.
+    encode_frame_header(type, payload.size());
+    std::lock_guard<std::mutex> lock(out_->mu);
+    if (out_->closed)
+      throw TransportError("send on closed loopback channel");
+    out_->frames.push_back(
+        Frame{type, std::vector<Word>(payload.begin(), payload.end())});
+    out_->cv.notify_all();
+  }
+
+  bool recv(Frame& out) override {
+    std::unique_lock<std::mutex> lock(in_->mu);
+    in_->cv.wait(lock, [&] { return !in_->frames.empty() || in_->closed; });
+    if (in_->frames.empty()) return false;
+    out = std::move(in_->frames.front());
+    in_->frames.pop_front();
+    return true;
+  }
+
+  void shutdown() noexcept override {
+    for (LoopbackQueue* q : {in_.get(), out_.get()}) {
+      std::lock_guard<std::mutex> lock(q->mu);
+      q->closed = true;
+      q->cv.notify_all();
+    }
+  }
+
+ private:
+  std::shared_ptr<LoopbackQueue> in_;
+  std::shared_ptr<LoopbackQueue> out_;
+};
+
+// ------------------------------------------------------------------ tcp
+
+class TcpConn final : public Conn {
+ public:
+  explicit TcpConn(int fd) : fd_(fd) {
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+
+  ~TcpConn() override {
+    TcpConn::shutdown();
+    ::close(fd_);
+  }
+
+  void send(FrameType type, std::span<const Word> payload) override {
+    const std::array<Word, 3> header =
+        encode_frame_header(type, payload.size());
+    std::lock_guard<std::mutex> lock(send_mu_);
+    send_all(header.data(), header.size() * sizeof(Word));
+    if (!payload.empty())
+      send_all(payload.data(), payload.size() * sizeof(Word));
+  }
+
+  bool recv(Frame& out) override {
+    std::array<Word, 3> raw;
+    const std::size_t got = recv_some(raw.data(), sizeof(raw));
+    if (got == 0) return false;  // clean close at a frame boundary
+    if (got < sizeof(raw))
+      throw TransportError("truncated frame header (" + std::to_string(got) +
+                           " of " + std::to_string(sizeof(raw)) + " bytes)");
+    const FrameHeader header = decode_frame_header(raw);
+    out.type = header.type;
+    out.payload.resize(header.payload_words);
+    if (header.payload_words > 0) {
+      const std::size_t want = header.payload_words * sizeof(Word);
+      const std::size_t body = recv_some(out.payload.data(), want);
+      if (body < want)
+        throw TransportError("truncated frame payload (" +
+                             std::to_string(body) + " of " +
+                             std::to_string(want) + " bytes)");
+    }
+    return true;
+  }
+
+  void shutdown() noexcept override { ::shutdown(fd_, SHUT_RDWR); }
+
+ private:
+  void send_all(const void* data, std::size_t bytes) {
+    const char* p = static_cast<const char*>(data);
+    while (bytes > 0) {
+      const ssize_t n = ::send(fd_, p, bytes, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw_errno("socket send failed");
+      }
+      p += n;
+      bytes -= static_cast<std::size_t>(n);
+    }
+  }
+
+  /// Reads until `bytes` arrived or the stream ended; returns bytes read.
+  std::size_t recv_some(void* data, std::size_t bytes) {
+    char* p = static_cast<char*>(data);
+    std::size_t got = 0;
+    while (got < bytes) {
+      const ssize_t n = ::recv(fd_, p + got, bytes - got, 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw_errno("socket recv failed");
+      }
+      if (n == 0) break;
+      got += static_cast<std::size_t>(n);
+    }
+    return got;
+  }
+
+  int fd_;
+  std::mutex send_mu_;
+};
+
+}  // namespace
+
+std::pair<std::unique_ptr<Conn>, std::unique_ptr<Conn>> loopback_pair() {
+  auto a_to_b = std::make_shared<LoopbackQueue>();
+  auto b_to_a = std::make_shared<LoopbackQueue>();
+  return {std::make_unique<LoopbackConn>(b_to_a, a_to_b),
+          std::make_unique<LoopbackConn>(a_to_b, b_to_a)};
+}
+
+TcpListener::TcpListener() {
+  // CLOEXEC everywhere: worker processes are fork+exec'd by the driver,
+  // and an inherited socket fd would keep a "closed" connection alive in
+  // the child — EOF-based teardown depends on no strays surviving exec.
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw_errno("cannot create listener socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0)
+    throw_errno("cannot bind 127.0.0.1 listener");
+  if (::listen(fd_, 16) < 0) throw_errno("cannot listen");
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0)
+    throw_errno("cannot read listener port");
+  port_ = ntohs(addr.sin_port);
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::unique_ptr<Conn> TcpListener::accept(int timeout_ms) {
+  if (timeout_ms >= 0) {
+    pollfd pfd{fd_, POLLIN, 0};
+    for (;;) {
+      const int ready = ::poll(&pfd, 1, timeout_ms);
+      if (ready > 0) break;
+      if (ready == 0) return nullptr;
+      if (errno != EINTR) throw_errno("poll on listener failed");
+    }
+  }
+  for (;;) {
+    const int fd = ::accept4(fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd >= 0) return std::make_unique<TcpConn>(fd);
+    if (errno != EINTR) throw_errno("accept failed");
+  }
+}
+
+std::unique_ptr<Conn> tcp_connect(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno("cannot create socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  for (;;) {
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0)
+      return std::make_unique<TcpConn>(fd);
+    if (errno == EINTR) continue;
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("cannot connect to 127.0.0.1:" + std::to_string(port));
+  }
+}
+
+// ------------------------------------------------------------ event layer
+
+void Mailbox::post(Event event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+  cv_.notify_all();
+}
+
+Event Mailbox::wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!cv_.wait_for(lock, kEventTimeout, [&] { return !events_.empty(); })) {
+    Event timeout;
+    timeout.source = kNoSource;  // nobody spoke — blame no one by rank
+    timeout.closed = true;
+    timeout.error = "timed out waiting for a frame (" +
+                    std::to_string(kEventTimeout.count()) + "s)";
+    return timeout;
+  }
+  Event event = std::move(events_.front());
+  events_.pop_front();
+  return event;
+}
+
+bool Mailbox::poll(Event& out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.empty()) return false;
+  out = std::move(events_.front());
+  events_.pop_front();
+  return true;
+}
+
+bool Mailbox::poll_for(Event& out, std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!cv_.wait_for(lock, timeout, [&] { return !events_.empty(); }))
+    return false;
+  out = std::move(events_.front());
+  events_.pop_front();
+  return true;
+}
+
+FrameHub::FrameHub(std::size_t sources) : slots_(sources) {}
+
+FrameHub::~FrameHub() {
+  shutdown_all();
+  for (Slot& slot : slots_)
+    if (slot.reader.joinable()) slot.reader.join();
+}
+
+void FrameHub::attach(std::size_t source, std::unique_ptr<Conn> conn) {
+  ARBOR_CHECK(source < slots_.size());
+  Slot& slot = slots_[source];
+  ARBOR_CHECK_MSG(!slot.conn, "source attached twice");
+  slot.conn = std::move(conn);
+  Conn* raw = slot.conn.get();
+  slot.reader = std::thread([this, source, raw] {
+    for (;;) {
+      Event event;
+      event.source = source;
+      try {
+        if (!raw->recv(event.frame)) {
+          event.closed = true;
+          event.error = "connection closed";
+        }
+      } catch (const std::exception& e) {
+        event.closed = true;
+        event.error = e.what();
+      }
+      const bool closed = event.closed;
+      mailbox_.post(std::move(event));
+      if (closed) return;
+    }
+  });
+}
+
+bool FrameHub::attached(std::size_t source) const {
+  return source < slots_.size() && slots_[source].conn != nullptr;
+}
+
+void FrameHub::send(std::size_t source, FrameType type,
+                    std::span<const Word> payload) {
+  ARBOR_CHECK(source < slots_.size() && slots_[source].conn);
+  slots_[source].conn->send(type, payload);
+}
+
+namespace {
+
+/// Closed connections, relayed errors, and shutdown requests interrupt
+/// any wait, whichever source they come from; ordinary data frames only
+/// satisfy a wait on their own source.
+bool is_interrupt(const Event& event) {
+  return event.closed || event.frame.type == FrameType::kError ||
+         event.frame.type == FrameType::kShutdown;
+}
+
+[[noreturn]] void oob_must_throw() {
+  throw TransportError("out-of-band handler returned instead of throwing");
+}
+
+}  // namespace
+
+/// Drain the mailbox without blocking: data frames go to their source's
+/// stash, interrupts are gathered. When `seed` is an interrupt itself it
+/// joins the pool. Returns the interrupt with the lowest source — so the
+/// blame for "which machine broke the round" is deterministic even when a
+/// crash and a cap violation race in together — or nothing.
+std::optional<Event> FrameHub::sweep_interrupts(std::optional<Event> seed) {
+  std::vector<Event> interrupts;
+  if (seed) interrupts.push_back(std::move(*seed));
+  Event event;
+  while (mailbox_.poll(event)) {
+    if (is_interrupt(event))
+      interrupts.push_back(std::move(event));
+    else
+      slots_[event.source].stash.push_back(std::move(event));
+  }
+  if (interrupts.empty()) return std::nullopt;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < interrupts.size(); ++i)
+    if (interrupts[i].source < interrupts[best].source) best = i;
+  return std::move(interrupts[best]);
+}
+
+Frame FrameHub::expect(std::size_t source, FrameType type,
+                       const OobHandler& oob) {
+  ARBOR_CHECK(source < slots_.size());
+  for (;;) {
+    if (std::optional<Event> interrupt = sweep_interrupts(std::nullopt)) {
+      oob(*interrupt);
+      oob_must_throw();
+    }
+    std::deque<Event>& stash = slots_[source].stash;
+    if (!stash.empty()) {
+      Event event = std::move(stash.front());
+      stash.pop_front();
+      if (event.frame.type == type) return std::move(event.frame);
+      oob(event);
+      oob_must_throw();
+    }
+    Event event = mailbox_.wait();
+    if (is_interrupt(event)) {
+      std::optional<Event> interrupt =
+          sweep_interrupts(std::move(event));
+      oob(*interrupt);
+      oob_must_throw();
+    }
+    slots_[event.source].stash.push_back(std::move(event));
+  }
+}
+
+std::vector<Frame> FrameHub::collect(std::span<const std::size_t> sources,
+                                     FrameType type, const OobHandler& oob) {
+  std::vector<Frame> out(sources.size());
+  std::vector<bool> have(sources.size(), false);
+  std::size_t remaining = sources.size();
+  while (remaining > 0) {
+    if (std::optional<Event> interrupt = sweep_interrupts(std::nullopt)) {
+      oob(*interrupt);
+      oob_must_throw();
+    }
+    bool took = false;
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      if (have[i]) continue;
+      std::deque<Event>& stash = slots_[sources[i]].stash;
+      if (stash.empty()) continue;
+      Event queued = std::move(stash.front());
+      stash.pop_front();
+      if (queued.frame.type != type) {
+        oob(queued);
+        oob_must_throw();
+      }
+      out[i] = std::move(queued.frame);
+      have[i] = true;
+      --remaining;
+      took = true;
+    }
+    if (remaining == 0 || took) continue;
+    Event fresh = mailbox_.wait();
+    if (is_interrupt(fresh)) {
+      std::optional<Event> interrupt = sweep_interrupts(std::move(fresh));
+      oob(*interrupt);
+      oob_must_throw();
+    }
+    slots_[fresh.source].stash.push_back(std::move(fresh));
+  }
+  return out;
+}
+
+std::optional<Event> FrameHub::next_event_from(
+    std::size_t source, std::chrono::milliseconds timeout) {
+  ARBOR_CHECK(source < slots_.size());
+  if (!slots_[source].stash.empty()) {
+    Event event = std::move(slots_[source].stash.front());
+    slots_[source].stash.pop_front();
+    return event;
+  }
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    const auto left = deadline - std::chrono::steady_clock::now();
+    if (left <= std::chrono::steady_clock::duration::zero())
+      return std::nullopt;
+    Event event;
+    if (!mailbox_.poll_for(
+            event,
+            std::chrono::duration_cast<std::chrono::milliseconds>(left)))
+      return std::nullopt;
+    if (event.source == source) return event;
+    if (event.source < slots_.size())
+      slots_[event.source].stash.push_back(std::move(event));
+  }
+}
+
+void FrameHub::shutdown_all() noexcept {
+  for (Slot& slot : slots_)
+    if (slot.conn) slot.conn->shutdown();
+}
+
+}  // namespace arbor::net

@@ -1,0 +1,179 @@
+// Transport abstraction of the multi-process backend: reliable, ordered,
+// framed duplex channels between the driver and its workers.
+//
+// Two implementations share the Conn interface:
+//
+//   * loopback — in-memory frame queues between threads of one process.
+//     The whole driver/worker runtime (wire encoding included) runs
+//     unchanged, just without sockets or fork: the fast path for tests
+//     and for exercising the transport stack under sanitizers.
+//   * tcp — 127.0.0.1 sockets between real OS processes (the arbor-worker
+//     binary). Frames are the wire.hpp encoding written verbatim; reads
+//     that end mid-frame are rejected as truncated by name.
+//
+// Above Conn sits the event layer: every connection gets a reader thread
+// that drains frames into a shared Mailbox, so a runtime blocked waiting
+// for one source still observes failures (or shutdowns) of any other —
+// the property that turns "worker died mid-round" into a prompt, named
+// error at the driver instead of a distributed deadlock. FrameHub bundles
+// the connections, stashes out-of-order frames per source (BSP skew: a
+// fast peer may send round r+1 before the local runtime finished round
+// r), and is the only API the driver/worker loops use.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/wire.hpp"
+
+namespace arbor::net {
+
+/// Failure of the transport fabric itself — a lost connection, a short
+/// read, a protocol break — as opposed to a relayed InvariantError from a
+/// simulated machine (which keeps its original type across the wire).
+class TransportError : public std::runtime_error {
+ public:
+  explicit TransportError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Reliable, ordered, framed duplex channel. send() is thread-safe
+/// against a concurrent recv(); recv() has a single consumer (the reader
+/// thread). shutdown() unblocks a pending recv() on both ends.
+class Conn {
+ public:
+  virtual ~Conn() = default;
+
+  virtual void send(FrameType type, std::span<const Word> payload) = 0;
+  /// Blocks for the next frame; false on orderly close. Transport-level
+  /// corruption (bad magic, short read) throws TransportError or
+  /// InvariantError.
+  virtual bool recv(Frame& out) = 0;
+  virtual void shutdown() noexcept = 0;
+};
+
+/// A connected pair of in-memory endpoints.
+std::pair<std::unique_ptr<Conn>, std::unique_ptr<Conn>> loopback_pair();
+
+/// Listening 127.0.0.1 socket on an ephemeral port.
+class TcpListener {
+ public:
+  TcpListener();
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  std::uint16_t port() const noexcept { return port_; }
+  /// Blocks for the next connection; with `timeout_ms` >= 0 returns null
+  /// when nothing dialed in before the deadline.
+  std::unique_ptr<Conn> accept(int timeout_ms = -1);
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+std::unique_ptr<Conn> tcp_connect(std::uint16_t port);
+
+// ------------------------------------------------------------ event layer
+
+/// Event source meaning "no specific connection" — a wait that timed out
+/// before ANY source produced a frame. Handlers must not map it to a
+/// worker: blaming rank 0 for a fabric-wide stall points the operator at
+/// the wrong machine.
+inline constexpr std::size_t kNoSource = static_cast<std::size_t>(-1);
+
+/// One observation from a connection's reader thread.
+struct Event {
+  std::size_t source = 0;
+  Frame frame;
+  bool closed = false;  ///< connection ended; `error` says how
+  std::string error;    ///< empty on orderly close
+};
+
+class Mailbox {
+ public:
+  void post(Event event);
+  Event wait();
+  bool poll(Event& out);
+  /// poll() that waits up to `timeout` for something to arrive.
+  bool poll_for(Event& out, std::chrono::milliseconds timeout);
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Event> events_;
+};
+
+/// The driver's and worker's view of all their connections: sends go
+/// straight to the Conn, receives come through the mailbox so any
+/// source's failure interrupts any wait. Frames that arrive from a source
+/// before the runtime asks for them are stashed per source and replayed
+/// in order.
+class FrameHub {
+ public:
+  explicit FrameHub(std::size_t sources);
+  ~FrameHub();
+  FrameHub(const FrameHub&) = delete;
+  FrameHub& operator=(const FrameHub&) = delete;
+
+  /// Take ownership of `conn` as `source` and start its reader thread.
+  void attach(std::size_t source, std::unique_ptr<Conn> conn);
+  bool attached(std::size_t source) const;
+
+  void send(std::size_t source, FrameType type, std::span<const Word> payload);
+
+  /// Out-of-band event observed while waiting for something else: a
+  /// kError frame, an unexpected frame type, or a closed connection. The
+  /// handler must throw; returning is a programming error.
+  using OobHandler = std::function<void(const Event& event)>;
+
+  /// Next frame of `type` from `source`; everything else goes through
+  /// `oob` (which must throw) — except frames from OTHER sources, which
+  /// are stashed for their own expect() calls.
+  Frame expect(std::size_t source, FrameType type, const OobHandler& oob);
+
+  /// One frame of `type` from every attached source in `sources`, arrival
+  /// order, returned indexed like `sources`. Drains the mailbox
+  /// non-blocking first so that when several events raced in (a crash
+  /// plus late frames), the handler sees the complete picture via
+  /// `pending` before anything throws.
+  std::vector<Frame> collect(std::span<const std::size_t> sources,
+                             FrameType type, const OobHandler& oob);
+
+  /// Next event from exactly `source`, waiting up to `timeout` for it;
+  /// events from other sources observed while waiting are stashed. Lets
+  /// an error handler give a dying worker's own report a grace window
+  /// before settling for a peer's second-hand account of the loss.
+  std::optional<Event> next_event_from(std::size_t source,
+                                       std::chrono::milliseconds timeout);
+
+  /// Shut every connection down (idempotent); reader threads wind down.
+  void shutdown_all() noexcept;
+
+ private:
+  struct Slot {
+    std::unique_ptr<Conn> conn;
+    std::thread reader;
+    std::deque<Event> stash;
+  };
+
+  std::optional<Event> sweep_interrupts(std::optional<Event> seed);
+
+  Mailbox mailbox_;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace arbor::net

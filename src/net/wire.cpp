@@ -1,0 +1,273 @@
+#include "net/wire.hpp"
+
+#include <cstring>
+
+#include "util/assert.hpp"
+
+namespace arbor::net {
+
+const char* frame_type_name(FrameType type) {
+  switch (type) {
+    case FrameType::kHello: return "hello";
+    case FrameType::kConfig: return "config";
+    case FrameType::kReady: return "ready";
+    case FrameType::kProgram: return "program";
+    case FrameType::kOutbox: return "outbox";
+    case FrameType::kRoundStats: return "round-stats";
+    case FrameType::kRoundAck: return "round-ack";
+    case FrameType::kVote: return "vote";
+    case FrameType::kPassDecision: return "pass-decision";
+    case FrameType::kOutputs: return "outputs";
+    case FrameType::kInboxDump: return "inbox-dump";
+    case FrameType::kError: return "error";
+    case FrameType::kShutdown: return "shutdown";
+  }
+  return "invalid";
+}
+
+namespace {
+
+bool known_frame_type(Word type) {
+  return type >= static_cast<Word>(FrameType::kHello) &&
+         type <= static_cast<Word>(FrameType::kShutdown);
+}
+
+}  // namespace
+
+std::array<Word, 3> encode_frame_header(FrameType type,
+                                        std::size_t payload_words) {
+  ARBOR_CHECK_MSG(payload_words <= kMaxFramePayloadWords,
+                  "oversized frame: " + std::to_string(payload_words) +
+                      " payload words exceed the " +
+                      std::to_string(kMaxFramePayloadWords) + "-word limit");
+  return {kFrameMagic, static_cast<Word>(type),
+          static_cast<Word>(payload_words)};
+}
+
+FrameHeader decode_frame_header(std::span<const Word, 3> header) {
+  ARBOR_CHECK_MSG(header[0] == kFrameMagic,
+                  "bad frame magic: got " + std::to_string(header[0]));
+  ARBOR_CHECK_MSG(known_frame_type(header[1]),
+                  "unknown frame type " + std::to_string(header[1]));
+  ARBOR_CHECK_MSG(header[2] <= kMaxFramePayloadWords,
+                  "oversized frame: " + std::to_string(header[2]) +
+                      " payload words exceed the " +
+                      std::to_string(kMaxFramePayloadWords) + "-word limit");
+  return {static_cast<FrameType>(header[1]),
+          static_cast<std::size_t>(header[2])};
+}
+
+// ---------------------------------------------------------------- reader
+
+void WireReader::fail(const char* defect) const {
+  throw InvariantError(std::string(defect) + " " + std::string(what_) +
+                       " frame (offset " + std::to_string(pos_) + " of " +
+                       std::to_string(data_.size()) + " words)");
+}
+
+Word WireReader::word() {
+  if (pos_ >= data_.size()) fail("truncated");
+  return data_[pos_++];
+}
+
+std::span<const Word> WireReader::words(std::size_t n) {
+  if (n > data_.size() - pos_) fail("truncated");
+  const std::span<const Word> out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+std::size_t WireReader::count() {
+  const Word v = word();
+  if (v > data_.size() - pos_) fail("truncated");
+  return static_cast<std::size_t>(v);
+}
+
+std::string WireReader::str() {
+  const Word bytes = word();
+  const std::size_t packed = (static_cast<std::size_t>(bytes) + 7) / 8;
+  const std::span<const Word> raw = words(packed);
+  std::string out(static_cast<std::size_t>(bytes), '\0');
+  if (bytes > 0) std::memcpy(out.data(), raw.data(), out.size());
+  return out;
+}
+
+void WireReader::expect_end() const {
+  if (pos_ != data_.size()) fail("oversized");
+}
+
+void put_str(std::vector<Word>& out, std::string_view s) {
+  out.push_back(static_cast<Word>(s.size()));
+  const std::size_t packed = (s.size() + 7) / 8;
+  const std::size_t base = out.size();
+  out.resize(base + packed, 0);
+  if (!s.empty()) std::memcpy(out.data() + base, s.data(), s.size());
+}
+
+// ------------------------------------------------------- outbox frames
+
+std::vector<Word> encode_outbox_frame(std::size_t round, std::size_t src_rank,
+                                      std::span<const engine::Outbox> outboxes,
+                                      std::size_t src_begin,
+                                      std::size_t src_end,
+                                      std::size_t dst_begin,
+                                      std::size_t dst_end) {
+  ARBOR_CHECK(src_end <= outboxes.size() && src_begin <= src_end);
+  ARBOR_CHECK(dst_begin <= dst_end);
+  const std::size_t block = dst_end - dst_begin;
+
+  std::vector<Word> out;
+  out.push_back(static_cast<Word>(round));
+  out.push_back(static_cast<Word>(src_rank));
+  out.push_back(static_cast<Word>(block));
+  const std::size_t counts_at = out.size();
+  out.resize(counts_at + block, 0);
+  const std::size_t num_msgs_at = out.size();
+  out.push_back(0);
+
+  Word num_msgs = 0;
+  for (std::size_t src = src_begin; src < src_end; ++src) {
+    const engine::Outbox& box = outboxes[src];
+    for (const engine::Outbox::Msg& msg : box.msgs) {
+      if (msg.dst < dst_begin || msg.dst >= dst_end) continue;
+      out[counts_at + (msg.dst - dst_begin)] += static_cast<Word>(msg.length);
+      out.push_back(static_cast<Word>(msg.dst));
+      out.push_back(static_cast<Word>(msg.length));
+      const std::span<const Word> payload = box.payload(msg);
+      out.insert(out.end(), payload.begin(), payload.end());
+      ++num_msgs;
+    }
+  }
+  out[num_msgs_at] = num_msgs;
+  return out;
+}
+
+OutboxFrameView decode_outbox_counts(std::span<const Word> payload,
+                                     std::size_t dst_block_size) {
+  WireReader reader(payload, "outbox");
+  const auto round = static_cast<std::size_t>(reader.word());
+  const auto src_rank = static_cast<std::size_t>(reader.word());
+  const auto block = static_cast<std::size_t>(reader.word());
+  ARBOR_CHECK_MSG(block == dst_block_size,
+                  "outbox frame addresses a block of " + std::to_string(block) +
+                      " machines, receiver holds " +
+                      std::to_string(dst_block_size));
+  std::vector<std::size_t> dst_words(block);
+  for (std::size_t i = 0; i < block; ++i)
+    dst_words[i] = static_cast<std::size_t>(reader.word());
+  return {round, src_rank, std::move(dst_words), reader};
+}
+
+void deliver_outbox_msgs(OutboxFrameView& view,
+                         std::span<engine::Inbox> inboxes,
+                         std::size_t dst_begin, std::size_t dst_end) {
+  WireReader& reader = view.msgs;
+  const std::size_t num_msgs = reader.count();
+  std::vector<std::size_t> seen(dst_end - dst_begin, 0);
+  for (std::size_t i = 0; i < num_msgs; ++i) {
+    const auto dst = static_cast<std::size_t>(reader.word());
+    ARBOR_CHECK_MSG(dst >= dst_begin && dst < dst_end,
+                    "outbox frame message for machine " + std::to_string(dst) +
+                        " outside the receiver's block");
+    const std::size_t length = reader.count();
+    seen[dst - dst_begin] += length;
+    ARBOR_CHECK_MSG(seen[dst - dst_begin] <= view.dst_words[dst - dst_begin],
+                    "outbox frame payload exceeds its count table for "
+                    "machine " +
+                        std::to_string(dst));
+    inboxes[dst].append(reader.words(length));
+  }
+  for (std::size_t i = 0; i < seen.size(); ++i)
+    ARBOR_CHECK_MSG(seen[i] == view.dst_words[i],
+                    "outbox frame payload short of its count table for "
+                    "machine " +
+                        std::to_string(dst_begin + i));
+  reader.expect_end();
+}
+
+// -------------------------------------------------- inbox dumps / slabs
+
+std::vector<Word> encode_inbox_dump(std::span<const engine::Inbox> inboxes,
+                                    std::size_t begin, std::size_t end) {
+  std::vector<Word> out;
+  for (std::size_t m = begin; m < end; ++m) {
+    const engine::Inbox& box = inboxes[m];
+    out.push_back(static_cast<Word>(box.message_count()));
+    for (std::size_t i = 0; i < box.message_count(); ++i) {
+      const std::span<const Word> msg = box.message(i);
+      out.push_back(static_cast<Word>(msg.size()));
+      out.insert(out.end(), msg.begin(), msg.end());
+    }
+  }
+  return out;
+}
+
+std::vector<Word> encode_slab_block(
+    const std::vector<std::vector<Word>>& slabs, std::size_t begin,
+    std::size_t end) {
+  ARBOR_CHECK(end <= slabs.size() && begin <= end);
+  std::vector<Word> out;
+  for (std::size_t m = begin; m < end; ++m) {
+    out.push_back(static_cast<Word>(slabs[m].size()));
+    out.insert(out.end(), slabs[m].begin(), slabs[m].end());
+  }
+  return out;
+}
+
+// ------------------------------------------------------- program frames
+
+std::vector<Word> encode_program_frame(const ProgramFrame& frame) {
+  ARBOR_CHECK(frame.inputs.size() == frame.preinbox.size());
+  std::vector<Word> out;
+  out.push_back(static_cast<Word>(frame.first_round));
+  out.push_back(static_cast<Word>(frame.steps));
+  out.push_back(static_cast<Word>(frame.max_passes));
+  out.push_back((frame.has_output ? 1u : 0u) | (frame.has_vote ? 2u : 0u));
+  put_str(out, frame.name);
+  out.push_back(static_cast<Word>(frame.scalars.size()));
+  out.insert(out.end(), frame.scalars.begin(), frame.scalars.end());
+  for (std::size_t i = 0; i < frame.inputs.size(); ++i) {
+    out.push_back(static_cast<Word>(frame.inputs[i].size()));
+    out.insert(out.end(), frame.inputs[i].begin(), frame.inputs[i].end());
+    out.push_back(static_cast<Word>(frame.preinbox[i].size()));
+    for (const std::vector<Word>& msg : frame.preinbox[i]) {
+      out.push_back(static_cast<Word>(msg.size()));
+      out.insert(out.end(), msg.begin(), msg.end());
+    }
+  }
+  return out;
+}
+
+ProgramFrame decode_program_frame(std::span<const Word> payload,
+                                  std::size_t block_size) {
+  WireReader reader(payload, "program");
+  ProgramFrame frame;
+  frame.first_round = static_cast<std::size_t>(reader.word());
+  frame.steps = static_cast<std::size_t>(reader.word());
+  frame.max_passes = static_cast<std::size_t>(reader.word());
+  const Word flags = reader.word();
+  frame.has_output = (flags & 1u) != 0;
+  frame.has_vote = (flags & 2u) != 0;
+  frame.name = reader.str();
+  const std::size_t num_scalars = reader.count();
+  const std::span<const Word> scalars = reader.words(num_scalars);
+  frame.scalars.assign(scalars.begin(), scalars.end());
+  frame.inputs.resize(block_size);
+  frame.preinbox.resize(block_size);
+  for (std::size_t i = 0; i < block_size; ++i) {
+    const std::size_t input_len = reader.count();
+    const std::span<const Word> input = reader.words(input_len);
+    frame.inputs[i].assign(input.begin(), input.end());
+    const std::size_t num_msgs = reader.count();
+    frame.preinbox[i].resize(num_msgs);
+    for (std::size_t j = 0; j < num_msgs; ++j) {
+      const std::size_t len = reader.count();
+      const std::span<const Word> msg = reader.words(len);
+      frame.preinbox[i][j].assign(msg.begin(), msg.end());
+    }
+  }
+  reader.expect_end();
+  return frame;
+}
+
+}  // namespace arbor::net

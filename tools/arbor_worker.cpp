@@ -1,0 +1,50 @@
+// arbor-worker: one worker process of the multi-process MPC backend.
+//
+// Spawned by net::ProcessGroup (or by hand, for debugging):
+//
+//   arbor-worker --connect PORT --rank R
+//
+// dials the driver on 127.0.0.1:PORT, handshakes (hello / config / peer
+// mesh / ready), then serves RoundPrograms for its machine block until
+// the driver shuts the group down. Every program it can run is a name in
+// net::Registry::builtin(); the driver ships the inputs.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "net/registry.hpp"
+#include "net/worker.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --connect PORT --rank R\n"
+               "  Worker process of the arbor multi-process backend; "
+               "normally spawned\n  by the driver (net::ProcessGroup), not "
+               "by hand.\n  Registered programs:\n",
+               argv0);
+  for (const std::string& name : arbor::net::Registry::builtin().names())
+    std::fprintf(stderr, "    %s\n", name.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long port = -1;
+  long rank = -1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
+      port = std::strtol(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--rank") == 0 && i + 1 < argc) {
+      rank = std::strtol(argv[++i], nullptr, 10);
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (port <= 0 || port > 65535 || rank < 0) usage(argv[0]);
+  return arbor::net::tcp_worker_main(static_cast<std::uint16_t>(port),
+                                     static_cast<std::size_t>(rank));
+}
