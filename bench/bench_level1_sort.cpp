@@ -1,26 +1,41 @@
 // E-level1: Level-1 record sort — central stable_sort vs. the engine-backed
-// distributed sample sort behind ClusterConfig::distributed_level1.
+// distributed sample sort behind ClusterConfig::distributed_level1, plus a
+// coordinator-vs-tree splitter strategy A/B on the raw record sort.
 //
-// Workload: sort N (key, payload) records by key through
+// Workload 1 (Level-1): sort N (key, payload) records by key through
 // MpcContext::sort_items_by_key, once on the central reference path and
 // once per execution policy on the distributed path. Every configuration
 // must produce the bit-identical permutation (stability included — keys are
 // drawn from a small range so ties dominate) and identical ledger totals;
 // the bench aborts on any disagreement.
 //
-//   ./bench_level1_sort [records] [key_range] [repeats]
+// Workload 2 (splitter A/B): the raw sample_sort_records at several
+// cluster widths, coordinator vs. splitter-tree strategy. Reports wall
+// time and the ledger's per-label traffic peaks — the coordinator's
+// splitter rounds pool Θ(p·s) and broadcast Θ(p²) words at machine 0,
+// the tree's stay O(√p·s) — and aborts if the two strategies disagree on
+// the sorted output.
+//
+// Results are also written as machine-readable JSON (default
+// BENCH_level1_sort.json, override with --json PATH) with backend +
+// variant fields, to seed the perf trajectory.
+//
+//   ./bench_level1_sort [records] [key_range] [repeats] [--json out.json]
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "mpc/cluster.hpp"
 #include "mpc/config.hpp"
 #include "mpc/ledger.hpp"
 #include "mpc/primitives.hpp"
+#include "mpc/sample_sort.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -29,6 +44,8 @@ using arbor::mpc::ClusterConfig;
 using arbor::mpc::ExecutionPolicy;
 using arbor::mpc::MpcContext;
 using arbor::mpc::RoundLedger;
+using arbor::mpc::SplitterStrategy;
+using arbor::mpc::Word;
 
 using Record = std::pair<std::uint64_t, std::uint64_t>;  // (key, payload)
 
@@ -59,9 +76,56 @@ Outcome run_sort(const std::vector<Record>& input, ClusterConfig cfg,
   return out;
 }
 
+/// One raw record sort at `machines` wide, under `strategy`. Returns the
+/// flattened sorted output plus the splitter/route traffic peaks.
+struct StrategyOutcome {
+  std::vector<Word> flat;
+  double secs = 0;
+  std::size_t rounds = 0;
+  std::size_t splitter_peak = 0;  ///< max traffic over the splitter rounds
+  std::size_t route_peak = 0;     ///< max traffic over the route rounds
+};
+
+StrategyOutcome run_strategy(const std::vector<std::vector<Word>>& slabs,
+                             std::size_t machines, std::size_t samples,
+                             SplitterStrategy strategy, std::size_t repeats) {
+  // Capacity wide enough for EITHER strategy (the coordinator needs its
+  // quadratic broadcast term; giving both the same roof keeps this a speed
+  // A/B — the S-cap contrast is asserted by the tests).
+  std::size_t total = 0;
+  for (const auto& slab : slabs) total += slab.size();
+  ClusterConfig cfg{machines,
+                    2 * total + machines * (samples + 1) * 2 +
+                        machines * machines * 2};
+  StrategyOutcome out;
+  for (std::size_t rep = 0; rep < repeats; ++rep) {
+    RoundLedger ledger(cfg);
+    arbor::mpc::Cluster cluster(cfg, &ledger);
+    auto input = slabs;
+    const auto start = std::chrono::steady_clock::now();
+    const arbor::mpc::RecordSortResult result = sample_sort_records(
+        cluster, std::move(input), 2, 2, samples, strategy);
+    const auto stop = std::chrono::steady_clock::now();
+    const double secs =
+        std::chrono::duration<double>(stop - start).count();
+    if (rep == 0 || secs < out.secs) out.secs = secs;
+    out.rounds = result.rounds;
+    out.flat.clear();
+    for (const auto& slab : result.slabs)
+      out.flat.insert(out.flat.end(), slab.begin(), slab.end());
+    const arbor::bench::SplitterPeaks peaks =
+        arbor::bench::classify_sort_peaks(ledger.peak_traffic_by_label());
+    out.splitter_peak = peaks.splitter;
+    out.route_peak = peaks.route;
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string json_path =
+      arbor::bench::take_json_flag(argc, argv, "BENCH_level1_sort.json");
   const std::size_t records =
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1'000'000;
   const std::size_t key_range =
@@ -73,7 +137,9 @@ int main(int argc, char** argv) {
       "E-level1: central stable_sort vs. engine-backed record sample sort",
       "Claim: the distributed Level-1 sort reaches >= 1.5x central "
       "throughput at parallel(8) on a 1M-record input (multicore "
-      "hardware; reported regardless), bit-identical output and ledger.");
+      "hardware; reported regardless), bit-identical output and ledger; "
+      "the splitter-tree strategy removes the coordinator's Θ(p·s) "
+      "splitter hot-spot at every cluster width.");
 
   arbor::util::SplitRng rng(17);
   std::vector<Record> input;
@@ -88,6 +154,13 @@ int main(int argc, char** argv) {
               "S=%zu  (hardware threads: %u)\n\n",
               records, key_range, repeats, base.num_machines,
               base.words_per_machine, std::thread::hardware_concurrency());
+
+  arbor::bench::JsonReport report("level1_sort");
+  report.meta("records", records)
+      .meta("key_range", key_range)
+      .meta("repeats", repeats)
+      .meta("machines", base.num_machines)
+      .meta("words_per_machine", base.words_per_machine);
 
   struct Config {
     const char* name;
@@ -128,11 +201,84 @@ int main(int argc, char** argv) {
                    arbor::bench::fmt(records / out.secs / 1e6, 2),
                    arbor::bench::fmt(central.secs / out.secs, 2),
                    arbor::bench::fmt(out.ledger_rounds)});
+    report.row()
+        .set("section", "level1")
+        .set("path", config.name)
+        .set("backend", config.distributed ? "distributed" : "central")
+        .set("variant", "level1")
+        .set("threads", config.policy.effective_threads())
+        .set("ms", out.secs * 1e3)
+        .set("mrec_per_sec", records / out.secs / 1e6)
+        .set("speedup_vs_central", central.secs / out.secs)
+        .set("ledger_rounds", out.ledger_rounds);
   }
   table.print();
 
   std::printf("\nspeedup at parallel(8) vs central: %.2fx (target >= 1.5x "
-              "on multicore hardware)\n",
+              "on multicore hardware)\n\n",
               speedup_at_8);
+  report.meta("speedup_at_8", speedup_at_8);
+
+  // ---------------- coordinator vs. splitter tree at several widths
+  const std::size_t ab_records = std::min<std::size_t>(records, 200'000);
+  const std::size_t samples = 32;
+  arbor::bench::Table ab({"machines", "variant", "ms", "rounds",
+                          "splitter_peak_w", "route_peak_w", "speedup"});
+  for (const std::size_t machines : {64u, 256u, 512u}) {
+    std::vector<std::vector<Word>> slabs(machines);
+    const std::size_t per = (ab_records + machines - 1) / machines;
+    arbor::util::SplitRng ab_rng(23);
+    std::size_t idx = 0;
+    for (auto& slab : slabs) {
+      const std::size_t count = std::min(per, ab_records - idx);
+      slab.reserve(count * 2);
+      for (std::size_t i = 0; i < count; ++i, ++idx) {
+        slab.push_back(ab_rng.next_below(key_range));
+        slab.push_back(idx);
+      }
+      if (idx >= ab_records) break;
+    }
+
+    StrategyOutcome coordinator;
+    for (const SplitterStrategy strategy :
+         {SplitterStrategy::kCoordinator, SplitterStrategy::kTree}) {
+      const bool is_tree = strategy == SplitterStrategy::kTree;
+      const StrategyOutcome out =
+          run_strategy(slabs, machines, samples, strategy, repeats);
+      if (!is_tree) {
+        coordinator = out;
+      } else if (out.flat != coordinator.flat) {
+        std::fprintf(stderr,
+                     "FATAL: tree and coordinator sorts disagree at "
+                     "machines=%zu\n",
+                     machines);
+        return 1;
+      }
+      const char* variant = is_tree ? "tree" : "coordinator";
+      ab.add_row({arbor::bench::fmt(machines), variant,
+                  arbor::bench::fmt(out.secs * 1e3, 1),
+                  arbor::bench::fmt(out.rounds),
+                  arbor::bench::fmt(out.splitter_peak),
+                  arbor::bench::fmt(out.route_peak),
+                  arbor::bench::fmt(coordinator.secs / out.secs, 2)});
+      report.row()
+          .set("section", "splitter_ab")
+          .set("backend", "serial")
+          .set("variant", variant)
+          .set("machines", machines)
+          .set("records", ab_records)
+          .set("samples_per_machine", samples)
+          .set("ms", out.secs * 1e3)
+          .set("rounds", out.rounds)
+          .set("splitter_peak_words", out.splitter_peak)
+          .set("route_peak_words", out.route_peak)
+          .set("speedup_vs_coordinator", coordinator.secs / out.secs);
+    }
+  }
+  std::printf("splitter strategy A/B (%zu records, %zu samples/machine):\n",
+              ab_records, samples);
+  ab.print();
+
+  if (!json_path.empty()) report.write_file(json_path);
   return 0;
 }

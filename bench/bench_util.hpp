@@ -5,8 +5,10 @@
 // can diff.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -184,6 +186,29 @@ class JsonReport {
   Object meta_;
   std::vector<Object> rows_;
 };
+
+/// Shared classification of the sample sort's per-label ledger traffic
+/// peaks (RoundLedger::peak_traffic_by_label) into splitter rounds vs.
+/// data-movement rounds, so every bench's coordinator-vs-tree A/B rows
+/// report "splitter_peak_words" under ONE rule: route and bucket-sort
+/// rounds move data, everything else (sample/up/pick/splitters/down) is
+/// splitter agreement.
+struct SplitterPeaks {
+  std::size_t splitter = 0;
+  std::size_t route = 0;
+};
+inline SplitterPeaks classify_sort_peaks(
+    const std::map<std::string, std::size_t>& peaks_by_label) {
+  SplitterPeaks out;
+  for (const auto& [label, peak] : peaks_by_label) {
+    if (label.find(".route") != std::string::npos ||
+        label.find(".sort") != std::string::npos)
+      out.route = std::max(out.route, peak);
+    else
+      out.splitter = std::max(out.splitter, peak);
+  }
+  return out;
+}
 
 /// Canonical `backend` tag for JSON rows: which executor a cluster config
 /// actually runs its programs on — "serial"/"parallel" in-process, or

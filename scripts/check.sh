@@ -13,8 +13,13 @@
 #   scripts/check.sh --mp                # multi-process smoke stage only:
 #                                        # driver + 2 local arbor-worker
 #                                        # processes over loopback TCP run
-#                                        # the DeterminismMatrix programs +
-#                                        # the full net_test suite
+#                                        # the DeterminismMatrix programs,
+#                                        # the distributed Level-1 sorts
+#                                        # (level1_distributed_test) + the
+#                                        # full net_test suite
+#   scripts/check.sh --bench-smoke       # run every bench binary at tiny
+#                                        # sizes to catch bench rot (argv
+#                                        # drift, aborts, JSON emit)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,17 +29,68 @@ if [[ "${1:-}" == "--mp" ]]; then
   shift
   cmake -B build -S . "$@"
   cmake --build build -j"${JOBS}" --target arbor-worker engine_multiprocess \
-    net_test level0_programs_test
+    net_test level0_programs_test level1_distributed_test
   echo "== mp: storm launcher, driver + 2 workers over loopback TCP =="
   ./build/engine_multiprocess --transport tcp:2
   echo "== mp: DeterminismMatrix programs over tcp:2 (env override) =="
   ARBOR_TRANSPORT=tcp:2 ctest --test-dir build \
     -R 'DeterminismMatrix|RoundProgramReuse' --output-on-failure -j"${JOBS}"
+  echo "== mp: distributed Level-1 sorts over tcp:2 (each internal sort"
+  echo "       spawns its own 2-process worker group) =="
+  ARBOR_TRANSPORT=tcp:2 ARBOR_DISTRIBUTED_LEVEL1=1 ctest --test-dir build \
+    -R 'DistributedSort|DistributedAggregate|DistributedCount|PipelineEquivalence' \
+    --output-on-failure -j"${JOBS}"
   echo "== mp: net_test (wire fuzz, transport matrix, failure handling) =="
   ctest --test-dir build \
     -R 'WireFormat|EnvOverrides|TransportDeterminismMatrix|MultiProcessBackend|FailureHandling' \
     --output-on-failure -j"${JOBS}"
   echo "== mp: clean =="
+  exit 0
+fi
+
+if [[ "${1:-}" == "--bench-smoke" ]]; then
+  shift
+  cmake -B build -S . "$@"
+  cmake --build build -j"${JOBS}" --target arbor-worker
+  # Build every bench binary. A compile failure FAILS the stage — catching
+  # bench rot is the point. Only bench_kernels may be absent (it needs
+  # Google Benchmark; cmake skips configuring it), and only when cmake
+  # really did not configure it.
+  for src in bench/bench_*.cpp; do
+    name="$(basename "${src}" .cpp)"
+    if [[ "${name}" == "bench_kernels" ]] && \
+       ! cmake --build build --target help 2>/dev/null | \
+         grep -q "^\.\.\. ${name}$"; then
+      echo "== bench-smoke: skipping ${name} (target not configured) =="
+      continue
+    fi
+    cmake --build build -j"${JOBS}" --target "${name}"
+    [[ -x "build/${name}" ]] || { echo "missing build/${name}"; exit 1; }
+    # Tiny sizes for the parameterized benches; the rest run their fixed
+    # (small) built-in workloads. JSON goes to a scratch dir so the smoke
+    # never clobbers committed BENCH_*.json trajectories.
+    smoke_dir="build/bench-smoke"
+    mkdir -p "${smoke_dir}"
+    case "${name}" in
+      bench_engine_scaling)
+        args=(4096 16384 3 --json "${smoke_dir}/${name}.json") ;;
+      bench_level1_sort)
+        args=(20000 512 1 --json "${smoke_dir}/${name}.json") ;;
+      bench_kernels)
+        args=(--benchmark_min_time=0.01) ;;
+      *)
+        args=() ;;
+    esac
+    echo "== bench-smoke: ${name} ${args[*]:-} =="
+    # ${args[@]+...} (not :-) so an empty array expands to ZERO arguments,
+    # never a single "" positional that strtoull would read as 0.
+    "./build/${name}" ${args[@]+"${args[@]}"} > "${smoke_dir}/${name}.out" || {
+      echo "bench-smoke: ${name} FAILED; last lines:"
+      tail -20 "${smoke_dir}/${name}.out"
+      exit 1
+    }
+  done
+  echo "== bench-smoke: clean =="
   exit 0
 fi
 

@@ -60,9 +60,17 @@ enum class StepKind : std::uint8_t {
   kBarrier,
 };
 
+/// Ledger/diagnostic label of a step that has not declared its own name.
+inline constexpr const char* kDefaultStepName = "cluster.round";
+
 struct ProgramStep {
   StepFn fn;
   StepKind kind = StepKind::kBarrier;
+  /// Per-round label: clusters charge their ledgers under this name and
+  /// cap-violation errors quote it, so a multi-round protocol's traffic is
+  /// attributable round by round (e.g. "sample_sort.tree.up"). Defaults to
+  /// the anonymous round label.
+  std::string name = kDefaultStepName;
 };
 
 /// Serializable description of a RoundProgram, for execution backends that
@@ -133,8 +141,21 @@ struct RoundProgram {
     return *this;
   }
 
+  /// Named variant: the round is charged to the ledger under `name` and
+  /// cap-violation errors quote it.
+  RoundProgram& independent(std::string name, StepFn fn) {
+    steps.push_back(
+        {std::move(fn), StepKind::kMachineIndependent, std::move(name)});
+    return *this;
+  }
+
   RoundProgram& barrier(StepFn fn) {
     steps.push_back({std::move(fn), StepKind::kBarrier});
+    return *this;
+  }
+
+  RoundProgram& barrier(std::string name, StepFn fn) {
+    steps.push_back({std::move(fn), StepKind::kBarrier, std::move(name)});
     return *this;
   }
 
@@ -156,6 +177,14 @@ struct RoundProgram {
   /// Rounds one pass over the steps executes.
   std::size_t steps_per_pass() const noexcept { return steps.size(); }
 };
+
+/// Suffix quoting a step's name in round-indexed error messages, shared by
+/// the in-process scheduler and the multi-process worker runtime so a cap
+/// violation reads identically whichever side detects it. Anonymous steps
+/// keep the bare message.
+inline std::string step_name_suffix(const std::string& name) {
+  return name == kDefaultStepName ? std::string() : " (" + name + ")";
+}
 
 /// What one executed round looked like, for ledger charging.
 struct RoundStats {

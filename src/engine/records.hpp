@@ -50,6 +50,12 @@ inline void stable_sort_records(std::vector<Word>& arena, std::size_t width,
   if (n <= 1) return;
   ARBOR_CHECK_MSG(n <= UINT32_MAX,
                   "record count exceeds the 32-bit permutation index");
+  if (width == 1) {
+    // Single-word records: equal words are indistinguishable, so a plain
+    // sort IS the stable sort (this is the word sample sort's path).
+    std::sort(arena.begin(), arena.end());
+    return;
+  }
   if (width == 2 && key_words == 2) {
     // Hot path for the Level-1 (key, index) records: packed pairs sort
     // without index indirection, and a full-record key makes ties

@@ -40,7 +40,8 @@ ProgramStats Scheduler::run(RoundState& state, std::size_t capacity,
       if (!computed_ahead) compute(state, capacity, program.steps[i].fn);
       computed_ahead = false;
       const RoundStats round_stats =
-          route(state, capacity, first_round_index + stats.rounds);
+          route(state, capacity, first_round_index + stats.rounds,
+                program.steps[i].name);
       const ProgramStep* next =
           i + 1 < program.steps.size() ? &program.steps[i + 1] : nullptr;
       if (overlap && next && next->kind == StepKind::kMachineIndependent) {
@@ -90,7 +91,8 @@ void Scheduler::compute(RoundState& state, std::size_t capacity,
 }
 
 RoundStats Scheduler::route(RoundState& state, std::size_t capacity,
-                            std::size_t round_index) {
+                            std::size_t round_index,
+                            const std::string& step_name) {
   const std::size_t machines = state.num_machines();
   const std::vector<Outbox>& outboxes = state.front_outboxes();
   RoundStats stats;
@@ -118,7 +120,8 @@ RoundStats Scheduler::route(RoundState& state, std::size_t capacity,
                         " exceeded receive capacity: " +
                         std::to_string(recv_words_[dst]) + " > " +
                         std::to_string(capacity) + " words in round " +
-                        std::to_string(round_index));
+                        std::to_string(round_index) +
+                        step_name_suffix(step_name));
     stats.max_received = std::max(stats.max_received, recv_words_[dst]);
   }
 

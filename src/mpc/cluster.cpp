@@ -46,14 +46,21 @@ engine::ProgramStats Cluster::run_program(const RoundProgram& program) {
   // Rounds are charged as they commit (caps validated, stats final; under
   // async overlap the delivery may still be in flight), so a program that
   // throws mid-way leaves the ledger reflecting exactly the rounds the
-  // imperative run_round loop would have charged — in every mode.
+  // imperative run_round loop would have charged — in every mode. Each
+  // round is charged under its step's name (the hook fires once per round
+  // in step order on every backend, so the label is recovered from the
+  // per-program round counter).
+  std::size_t program_round = 0;
   return engine_->run_program(
       state_, config_.words_per_machine, rounds_, program,
-      [this](const engine::RoundStats& stats) {
+      [this, &program, &program_round](const engine::RoundStats& stats) {
+        const std::string& label =
+            program.steps[program_round % program.steps_per_pass()].name;
+        ++program_round;
         ++rounds_;
         if (ledger_) {
-          ledger_->charge(1, "cluster.round");
-          ledger_->note_round_traffic(stats.max_traffic());
+          ledger_->charge(1, label);
+          ledger_->note_round_traffic(stats.max_traffic(), label);
         }
       });
 }

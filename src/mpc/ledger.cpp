@@ -38,6 +38,13 @@ void RoundLedger::note_round_traffic(std::size_t words) {
   }
 }
 
+void RoundLedger::note_round_traffic(std::size_t words,
+                                     const std::string& label) {
+  auto& peak = peak_traffic_by_label_[label];
+  peak = std::max(peak, words);
+  note_round_traffic(words);
+}
+
 void RoundLedger::absorb_parallel(const RoundLedger& other) {
   total_rounds_ = std::max(total_rounds_, other.total_rounds_);
   for (const auto& [label, rounds] : other.rounds_by_label_) {
@@ -47,6 +54,10 @@ void RoundLedger::absorb_parallel(const RoundLedger& other) {
   peak_local_words_ = std::max(peak_local_words_, other.peak_local_words_);
   peak_round_traffic_ =
       std::max(peak_round_traffic_, other.peak_round_traffic_);
+  for (const auto& [label, words] : other.peak_traffic_by_label_) {
+    auto& mine = peak_traffic_by_label_[label];
+    mine = std::max(mine, words);
+  }
   // Parallel executions coexist: their global footprints add up.
   peak_global_words_ += other.peak_global_words_;
   local_violations_ += other.local_violations_;
@@ -59,6 +70,10 @@ void RoundLedger::absorb_sequential(const RoundLedger& other) {
   peak_local_words_ = std::max(peak_local_words_, other.peak_local_words_);
   peak_round_traffic_ =
       std::max(peak_round_traffic_, other.peak_round_traffic_);
+  for (const auto& [label, words] : other.peak_traffic_by_label_) {
+    auto& mine = peak_traffic_by_label_[label];
+    mine = std::max(mine, words);
+  }
   peak_global_words_ = std::max(peak_global_words_, other.peak_global_words_);
   local_violations_ += other.local_violations_;
 }

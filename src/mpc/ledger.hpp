@@ -33,8 +33,12 @@ class RoundLedger {
   /// Record total words materialized across the cluster.
   void note_global_words(std::size_t words);
 
-  /// Record the largest per-machine send/receive volume of a round.
+  /// Record the largest per-machine send/receive volume of a round. The
+  /// labelled overload additionally folds the volume into the per-label
+  /// traffic peaks (see peak_traffic_by_label) so a multi-round protocol's
+  /// hot rounds are attributable by name.
   void note_round_traffic(std::size_t words);
+  void note_round_traffic(std::size_t words, const std::string& label);
 
   std::size_t total_rounds() const noexcept { return total_rounds_; }
   std::size_t peak_local_words() const noexcept { return peak_local_words_; }
@@ -47,6 +51,16 @@ class RoundLedger {
   /// Per-label round breakdown, e.g. {"sort": 12, "exponentiate": 8}.
   const std::map<std::string, std::size_t>& rounds_by_label() const noexcept {
     return rounds_by_label_;
+  }
+
+  /// Peak per-machine round traffic by round label, e.g.
+  /// {"sample_sort.tree.up": 512, "sample_sort.tree.route": 1344}. Only
+  /// rounds reported through the labelled note_round_traffic overload
+  /// appear here (Cluster::run_program labels every round with its
+  /// ProgramStep name).
+  const std::map<std::string, std::size_t>& peak_traffic_by_label()
+      const noexcept {
+    return peak_traffic_by_label_;
   }
 
   std::string report() const;
@@ -68,6 +82,7 @@ class RoundLedger {
   std::size_t peak_round_traffic_ = 0;
   std::size_t local_violations_ = 0;
   std::map<std::string, std::size_t> rounds_by_label_;
+  std::map<std::string, std::size_t> peak_traffic_by_label_;
 };
 
 }  // namespace arbor::mpc

@@ -19,16 +19,16 @@ constexpr std::size_t kRecordWidth = 2;
 
 // Slab sizing for the internal sort cluster: enough machines that slabs
 // parallelize across the engine's workers, few enough that per-machine
-// sorts amortize the routing. Capped by the model config's machine count
-// and by kMaxSortMachines — the coordinator's splitter broadcast is
-// quadratic in the machine count, and past a few hundred machines the
-// extra slab parallelism is pure overhead for any realistic worker pool.
+// sorts amortize the routing. There is no hard machine-count cap any
+// more: the splitter relay tree keeps every splitter round O(√p·s) per
+// machine, so wide clusters no longer pay the coordinator's quadratic
+// broadcast.
 constexpr std::size_t kTargetRecordsPerMachine = 2048;
-constexpr std::size_t kMaxSortMachines = 512;
 
-// Splitter sample size per machine (clamped to the slab size inside the
-// sort). 32 evenly-spaced samples of distinct (key, index) records keep
-// bucket skew low even on heavily duplicated keys, because the index
+// Splitter sample budget per machine (clamped to the slab size inside the
+// sort, raised to ⌈√p⌉ below so the tree root's thinned pool covers p−1
+// splitters). 32 evenly-spaced samples of distinct (key, index) records
+// keep bucket skew low even on heavily duplicated keys, because the index
 // tiebreaker spreads duplicates across splitter intervals.
 constexpr std::size_t kSamplesPerMachine = 32;
 
@@ -42,38 +42,70 @@ engine::Engine* MpcContext::ensure_engine() {
   return engine_;
 }
 
+RoundLedger* MpcContext::level1_sort_grounding() {
+  if (!grounding_ledger_) {
+    // Model-shaped: violations are counted against the model's S, however
+    // the execution cluster was provisioned.
+    grounding_ledger_ = std::make_unique<RoundLedger>(config_);
+  }
+  return grounding_ledger_.get();
+}
+
 std::vector<std::size_t> engine_sorted_order(const ClusterConfig& config,
                                              engine::Engine* engine,
-                                             const std::vector<Word>& keys) {
+                                             const std::vector<Word>& keys,
+                                             RoundLedger* grounding) {
   ARBOR_CHECK_MSG(config.num_machines > 0, "misconfigured cluster");
+  const std::size_t model_s = config.words_per_machine;
   const std::size_t n = keys.size();
   std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), 0);
   if (n <= 1) return order;
 
+  // Machines: enough for worker parallelism (kTargetRecordsPerMachine) and
+  // enough that a slab plus routing slack fits the model's S, capped by
+  // the model's machine count.
+  const std::size_t fit = MpcContext::div_ceil(4 * n * kRecordWidth,
+                                               std::max<std::size_t>(
+                                                   model_s, 1));
   const std::size_t machines = std::clamp<std::size_t>(
-      MpcContext::div_ceil(n, kTargetRecordsPerMachine), 1,
-      std::min(config.num_machines, kMaxSortMachines));
+      std::max(MpcContext::div_ceil(n, kTargetRecordsPerMachine), fit), 1,
+      config.num_machines);
+  const std::size_t group = sample_sort_tree_fanout(machines);
+  // ⌈√p⌉ samples minimum: the tree root picks p−1 splitters from a pool of
+  // at most G·s sampled keys, so s < ⌈√p⌉ would leave it short.
+  const std::size_t samples = std::max(kSamplesPerMachine, group);
+  const std::size_t slab_words =
+      MpcContext::div_ceil(n, machines) * kRecordWidth;
 
-  // The internal cluster is an execution vehicle: it runs unledgered (the
-  // Level-1 caller already charged the analytic sort cost, identical to
-  // the central path) and with a capacity sized to the dataflow rather
-  // than the model's S — sampling skew must never abort a sort whose cost
-  // was charged correctly. The S-cap grounding of the sample-sort
-  // dataflow lives in tests/level0_programs_test.cpp.
-  // Capacity must cover every round's worst case: routing (a maximally
-  // skewed bucket receives all n records), the coordinator's pooled sample
-  // (round 1), and the coordinator's splitter broadcast — (machines-1)
-  // splitter keys to each of `machines` destinations, a quadratic send
-  // volume (round 2).
+  // The internal cluster is sized by the model's S. The capacity only
+  // widens — linearly, never with the old machines·(machines−1) broadcast
+  // term — when the model config itself cannot hold the dataflow (S too
+  // small for the routed slabs or for the √p·s splitter pools, which
+  // happens for test configs whose min_words floor is tiny relative to
+  // the data); the grounding ledger below still measures every round
+  // against the model's S, so such runs are visible, not hidden.
+  // Routing slack covers the worst-case bucket: a slab's share plus the
+  // sampling granularity ⌈n/s⌉ (an adversarial key run shorter than one
+  // sample gap on every machine draws no splitter, so up to n/s records
+  // can land between two adjacent splitters) — sampling skew must never
+  // abort a sort whose cost was charged correctly.
+  const std::size_t routing_slack =
+      4 * slab_words + MpcContext::div_ceil(n, samples) * kRecordWidth;
+  const std::size_t splitter_slack =
+      2 * (group * samples * kRecordWidth + 2);
   ClusterConfig sort_cfg = config;
   sort_cfg.num_machines = machines;
   sort_cfg.words_per_machine =
-      std::max(config.words_per_machine,
-               2 * n * kRecordWidth +
-                   machines * kSamplesPerMachine * kRecordWidth +
-                   machines * (machines - 1) * kRecordWidth);
-  Cluster cluster(sort_cfg, /*ledger=*/nullptr, engine);
+      std::max(model_s, std::max(routing_slack, splitter_slack));
+
+  // The caller's primary ledger keeps the analytic ⌈log_S N⌉ charge —
+  // bit-identical to the central path — while the execution itself is no
+  // longer exempt: every round of the internal sort is charged to the
+  // model-shaped grounding ledger (per-step labels, traffic peaks,
+  // violations against the model's S).
+  RoundLedger sort_ledger(
+      ClusterConfig{machines, model_s, sort_cfg.execution});
 
   // Contiguous initial distribution: machine m holds records
   // [m·per, (m+1)·per).
@@ -90,9 +122,22 @@ std::vector<std::size_t> engine_sorted_order(const ClusterConfig& config,
     }
   }
 
-  const RecordSortResult sorted =
-      sample_sort_records(cluster, std::move(slabs), kRecordWidth,
-                          /*key_words=*/kRecordWidth, kSamplesPerMachine);
+  RecordSortResult sorted;
+  if (config.transport.in_process()) {
+    Cluster cluster(sort_cfg, &sort_ledger, engine);
+    sorted = sample_sort_records(cluster, std::move(slabs), kRecordWidth,
+                                 /*key_words=*/kRecordWidth, samples);
+  } else {
+    // Multi-process transports spawn a worker group per cluster, so the
+    // internal sort gets its own (the shared engine's machine count does
+    // not match). The driver-side engine only moves frames then — worker
+    // runtimes do the compute — so it stays serial.
+    sort_cfg.execution = ExecutionPolicy::serial();
+    Cluster cluster(sort_cfg, &sort_ledger);
+    sorted = sample_sort_records(cluster, std::move(slabs), kRecordWidth,
+                                 /*key_words=*/kRecordWidth, samples);
+  }
+  if (grounding) grounding->absorb_sequential(sort_ledger);
 
   std::size_t pos = 0;
   for (const auto& slab : sorted.slabs) {

@@ -14,13 +14,15 @@
 //
 // Execution: by default the semantics run centrally (std::stable_sort — the
 // reference path). With ClusterConfig::distributed_level1 set, the keyed
-// sorts execute as real [GSZ11] sample sorts on an engine-backed Level-0
-// cluster (mpc/sample_sort.cpp), sharing one worker pool across every
-// cluster a pipeline spawns via the lazily-owned Engine. The two paths are
-// bit-identical in outputs AND ledger totals: the distributed run sorts
-// (order-preserving key, original index) records — a total order equal to
-// the stable sort — and keeps charging the same analytic costs (its
-// internal cluster runs unledgered; see src/mpc/README.md).
+// sorts execute as real [GSZ11] splitter-tree sample sorts on an
+// engine-backed Level-0 cluster (mpc/sample_sort.cpp), sharing one worker
+// pool across every cluster a pipeline spawns via the lazily-owned Engine.
+// The two paths are bit-identical in outputs AND ledger totals: the
+// distributed run sorts (order-preserving key, original index) records — a
+// total order equal to the stable sort — and keeps charging the same
+// analytic costs on the primary ledger, while the internal cluster's real
+// rounds are charged to the context's model-shaped grounding ledger
+// (level1_sort_grounding(); see src/mpc/README.md).
 #pragma once
 
 #include <algorithm>
@@ -44,10 +46,15 @@ namespace arbor::mpc {
 /// Stable-sort permutation of `keys` computed by an engine-backed
 /// distributed record sort: order[i] is the original index of the i-th
 /// smallest key, equal keys in original order — exactly the permutation
-/// std::stable_sort applies. Defined in primitives.cpp.
+/// std::stable_sort applies. The sort runs as a splitter-tree sample sort
+/// on an internal cluster sized by the model's S; every executed round is
+/// charged to `grounding` (a model-shaped ledger, may be null) with
+/// per-step labels and traffic peaks — see MpcContext::
+/// level1_sort_grounding(). Defined in primitives.cpp.
 std::vector<std::size_t> engine_sorted_order(const ClusterConfig& config,
                                              engine::Engine* engine,
-                                             const std::vector<Word>& keys);
+                                             const std::vector<Word>& keys,
+                                             RoundLedger* grounding);
 
 class MpcContext {
  public:
@@ -72,6 +79,17 @@ class MpcContext {
   /// sub-contexts and Level-0 clusters so one worker pool serves the whole
   /// run.
   engine::Engine* ensure_engine();
+
+  /// Execution ledger of every internal Level-1 sort this context ran
+  /// (distributed path only): real rounds under the splitter-tree step
+  /// labels (sample_sort.tree.up/.pick/.down/.route/.sort), per-label
+  /// traffic peaks, and violations counted against the MODEL's S — the
+  /// internal sorts are charged here rather than exempted. Kept separate
+  /// from the primary ledger because the primary charge is the analytic
+  /// model cost, bit-identical to the central path (which executes no
+  /// internal rounds at all); this ledger is the grounding that the
+  /// executed dataflow honours the same budgets. Lazily built; never null.
+  RoundLedger* level1_sort_grounding();
 
   /// Policy Level-0 clusters under this context should execute with.
   ExecutionPolicy execution_policy() const noexcept {
@@ -160,8 +178,8 @@ class MpcContext {
       std::vector<Word> keys;
       keys.reserve(items.size());
       for (const T& item : items) keys.push_back(key_of(item));
-      const std::vector<std::size_t> order =
-          engine_sorted_order(config_, ensure_engine(), keys);
+      const std::vector<std::size_t> order = engine_sorted_order(
+          config_, ensure_engine(), keys, level1_sort_grounding());
       std::vector<T> sorted;
       sorted.reserve(items.size());
       for (const std::size_t idx : order)
@@ -247,6 +265,8 @@ class MpcContext {
   // (pipelines satisfy this by construction: sub-contexts are locals
   // inside the owner's scope).
   std::unique_ptr<engine::Engine> owned_engine_;
+  // Lazily built by level1_sort_grounding().
+  std::unique_ptr<RoundLedger> grounding_ledger_;
 };
 
 }  // namespace arbor::mpc

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <string>
 #include <utility>
 
 #include "engine/records.hpp"
@@ -12,229 +13,445 @@ namespace arbor::mpc {
 
 namespace {
 
-// Machine-local state of a word sample sort. One builder produces the
+// Machine-local state of a sample sort. The word sort is the width-1
+// special case of the record sort, so one state serves all four programs
+// ({word, record} × {coordinator, tree}). One builder set produces the
 // program for both deployments: the driver's in-process run (state over
 // the full input) and a worker's block share (state holds only its
 // machines' slabs) — which is what makes the transport an execution
 // detail rather than a second protocol implementation.
-struct WordSortState {
-  std::vector<std::vector<Word>> slabs;  ///< indexed by global machine id
+struct SortState {
+  std::vector<std::vector<Word>> slabs;   ///< inputs; key-sorted by step 1
+  std::vector<std::vector<Word>> result;  ///< record sorts: final step slot m
+  /// Tree strategy only: machine m's own group's fine splitter keys,
+  /// parsed out of the down packet by the route step and consumed by the
+  /// placement step (machine-owned state handed between m's own steps —
+  /// allowed by the machine-independent contract).
+  std::vector<std::vector<Word>> fine;
   std::size_t machines = 0;
+  std::size_t record_width = 1;
+  std::size_t key_words = 1;
   std::size_t samples_per_machine = 0;
 };
 
-// The whole sort is one RoundProgram of three machine-independent steps:
-// each step reads only its machine's inbox and machine-owned slab state,
-// so the scheduler may overlap a round's delivery with the next round's
-// compute (splitter selection on machine 0 starts while the sample
-// messages for other machines are still being delivered, and so on).
-engine::RoundProgram make_word_sort_program(
-    std::shared_ptr<WordSortState> st) {
+// ---------------------------------------------------------- tree topology
+
+// ⌈√p⌉-ary splitter relay tree: machines are cut into G = ⌈p/r⌉ contiguous
+// groups of r = ⌈√p⌉ (the last possibly smaller, never empty); a group's
+// first machine is its relay, machine 0 (relay of group 0) the root.
+// Bucket b is owned by machine b, so group boundaries in machine space are
+// also bucket-range boundaries in splitter space — which is what lets the
+// down-relay ship each group only the G−1 boundary splitters plus its own
+// members(g)−1 interior splitters instead of all p−1.
+struct SplitterTree {
+  std::size_t machines = 0;
+  std::size_t group_size = 0;  ///< r = ⌈√p⌉
+  std::size_t groups = 0;      ///< G = ⌈p/r⌉ ≤ r
+
+  static SplitterTree over(std::size_t machines) {
+    SplitterTree t;
+    t.machines = machines;
+    t.group_size = 1;
+    while (t.group_size * t.group_size < machines) ++t.group_size;
+    t.groups = (machines + t.group_size - 1) / t.group_size;
+    return t;
+  }
+
+  std::size_t group_of(std::size_t m) const { return m / group_size; }
+  bool is_relay(std::size_t m) const { return m % group_size == 0; }
+  std::size_t relay_of(std::size_t g) const { return g * group_size; }
+  std::size_t group_begin(std::size_t g) const { return g * group_size; }
+  std::size_t group_end(std::size_t g) const {
+    return std::min(machines, (g + 1) * group_size);
+  }
+  std::size_t members(std::size_t g) const {
+    return group_end(g) - group_begin(g);
+  }
+};
+
+// Count of keys in a key-sorted arena comparing ≤ rec's key — the bucket
+// rule of both strategies (a key equal to a splitter goes to the bucket
+// above it, like std::upper_bound). Applying it to the boundary splitters
+// yields the destination group, to a group's interior splitters the
+// in-group offset: both levels count the same global splitter sequence,
+// so two-hop routing lands every record on exactly the machine the
+// one-hop coordinator rule would pick.
+std::size_t keys_at_most(const Word* keys, std::size_t num_keys,
+                         const Word* rec, std::size_t key_words) {
+  std::size_t lo = 0;
+  std::size_t hi = num_keys;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (engine::compare_keys(keys + mid * key_words, rec, key_words) <= 0)
+      lo = mid + 1;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+// p−1 splitter keys at the quantiles of a key-sorted pool (entries may
+// repeat when the pool is smaller than p−1; repeats only make some
+// buckets empty). Empty when the pool is empty or the cluster has one
+// machine — "no splitters" routes everything to machine 0.
+std::vector<Word> pick_splitters(const std::vector<Word>& pool,
+                                 std::size_t machines,
+                                 std::size_t key_words) {
+  std::vector<Word> chosen;
+  const std::size_t pooled = pool.size() / key_words;
+  if (machines <= 1 || pooled == 0) return chosen;
+  chosen.reserve((machines - 1) * key_words);
+  for (std::size_t b = 1; b < machines; ++b) {
+    const Word* key = pool.data() + (b * pooled / machines) * key_words;
+    chosen.insert(chosen.end(), key, key + key_words);
+  }
+  return chosen;
+}
+
+std::vector<Word> pool_inbox(const engine::InboxView& inbox) {
+  std::vector<Word> pool;
+  pool.reserve(inbox.total_words());
+  for (const auto& msg : inbox) pool.insert(pool.end(), msg.begin(),
+                                            msg.end());
+  return pool;
+}
+
+// Final compute-only round of the record sorts (either strategy): each
+// bucket machine concatenates its routed records and key-sorts them into
+// its result slot — inside a round so the engine spreads the final sorts
+// across its workers, and under the async scheduler overlapping the last
+// route round's delivery. Each step writes only its own preallocated
+// result slab, honouring the concurrency contract.
+void append_bucket_sort_step(engine::RoundProgram& program, std::string name,
+                             std::shared_ptr<SortState> st) {
+  const std::size_t width = st->record_width;
+  const std::size_t kw = st->key_words;
+  program.independent(
+      std::move(name),
+      [st, width, kw](std::size_t m, const auto& inbox, Sender&) {
+        auto& slab = st->result[m];
+        slab.reserve(inbox.total_words());
+        for (const auto& msg : inbox)
+          slab.insert(slab.end(), msg.begin(), msg.end());
+        engine::stable_sort_records(slab, width, kw);
+      });
+}
+
+// ------------------------------------------------- tree splitter program
+//
+// Six communication rounds whose per-machine volume is O(√p·s·key_words)
+// words in every splitter round (s = samples per machine) and O(slab) in
+// the route rounds — the coordinator's Θ(p·s) pool and Θ(p²) broadcast
+// hot-spots never form, so the dataflow fits the model's S-cap at any p:
+//
+//   up    leaves send clamped evenly-spaced samples to their relay
+//         (relay receives ≤ r·s keys);
+//   up    relays re-sample their pool down to s keys and forward to the
+//         root (root receives ≤ G·s keys);
+//   pick  the root picks the p−1 splitters and scatters per-group packets
+//         [n_coarse, n_fine | boundary splitters | group g's interior
+//         splitters] — ≤ (G−1) + (r−1) keys per packet;
+//   down  relays forward their packet to every group member;
+//   route every machine keeps its group's fine splitters and sends each
+//         record to a spread member of its destination group (boundary
+//         splitters only);
+//   route the spread members place each received record on its final
+//         bucket machine (own group's fine splitters).
+//
+// A seventh, compute-only round (record sorts) key-sorts every bucket.
+//
+// The explicit [n_coarse, n_fine] packet header keeps "no splitters"
+// (machines == 1, all-empty pool) a clean parseable message, and a relay
+// whose children had no samples still scatters/forwards clean headers —
+// the route rounds rely on the packet being present, never on an accident
+// of the protocol.
+engine::RoundProgram make_tree_sort_program(std::shared_ptr<SortState> st,
+                                            bool bucket_sort_round) {
   const std::size_t machines = st->machines;
+  const std::size_t width = st->record_width;
+  const std::size_t kw = st->key_words;
+  const SplitterTree tree = SplitterTree::over(machines);
+  st->fine.assign(machines, {});
   engine::RoundProgram program;
 
-  // Step 1: every machine sends an evenly-spaced sample of its slab to
-  // machine 0 (the splitter coordinator). The sample count is clamped to
-  // the slab size so indices never repeat — a slab smaller than
-  // samples_per_machine contributes each key once instead of skewing the
-  // pool toward its low keys.
-  program.independent([st](std::size_t m, const auto&, Sender& send) {
-    std::vector<Word> sample;
-    const auto& slab = st->slabs[m];
-    if (!slab.empty()) {
-      std::vector<Word> sorted = slab;
-      std::sort(sorted.begin(), sorted.end());
-      const std::size_t samples =
-          std::min(st->samples_per_machine, sorted.size());
-      for (std::size_t i = 0; i < samples; ++i) {
-        const std::size_t idx = i * sorted.size() / samples;
-        sample.push_back(sorted[idx]);
-      }
-    }
-    send.send(0, sample);
-  });
+  // Round 1 — leaves → relays. Key-sorting slabs[m] in place mutates only
+  // machine-owned state; the sorted slab is reused by the route round (for
+  // the word sort the order of a slab is meaningless anyway). Samples are
+  // clamped to the slab size (no repeated indices); an empty slab sends
+  // nothing — the relay pools whatever arrives.
+  program.independent(
+      "sample_sort.tree.up",
+      [st, tree, width, kw](std::size_t m, const auto&, Sender& send) {
+        engine::stable_sort_records(st->slabs[m], width, kw);
+        const std::vector<Word> sample = engine::sample_record_keys(
+            st->slabs[m], width, kw, st->samples_per_machine);
+        if (!sample.empty())
+          send.send(tree.relay_of(tree.group_of(m)), sample);
+      });
 
-  // Step 2: coordinator picks machines-1 splitters from the pooled sample
-  // and broadcasts them. The broadcast happens even when the splitter set
-  // is empty — a single-machine cluster needs no splitters, and an
-  // all-empty pool has none to offer — so the routing round can rely on
-  // the message being present rather than on an accident of the protocol.
-  // (For machines ≤ √S the broadcast fits directly; a bigger cluster would
-  // relay through a fan-out-√S tree at the same asymptotic cost.)
-  program.independent([st, machines](std::size_t m, const auto& inbox,
-                                     Sender& send) {
-    if (m != 0) return;
-    std::vector<Word> chosen;
-    if (machines > 1) {
-      std::vector<Word> pool;
-      for (const auto& msg : inbox) pool.insert(pool.end(), msg.begin(),
-                                                msg.end());
-      std::sort(pool.begin(), pool.end());
-      for (std::size_t b = 1; b < machines; ++b) {
-        if (pool.empty()) break;
-        chosen.push_back(pool[b * pool.size() / machines]);
-      }
-    }
-    for (std::size_t dst = 0; dst < machines; ++dst)
-      send.send(dst, chosen);
-  });
+  // Round 2 — relays → root: pool the ≤ r children's samples, re-sample
+  // the pool down to the per-machine budget (sample-of-samples: the root's
+  // pool stays ≤ G·s keys instead of p·s), forward to the root.
+  program.independent(
+      "sample_sort.tree.up",
+      [st, tree, kw](std::size_t m, const auto& inbox, Sender& send) {
+        if (!tree.is_relay(m)) return;
+        std::vector<Word> pool = pool_inbox(inbox);
+        engine::stable_sort_records(pool, kw, kw);
+        const std::vector<Word> thinned = engine::sample_record_keys(
+            pool, kw, kw, st->samples_per_machine);
+        if (!thinned.empty()) send.send(0, thinned);
+      });
 
-  // Step 3: route every key to its bucket machine (binary search over the
-  // received splitters); buckets sort locally after delivery. The splitter
-  // message is always present (step 2 broadcasts explicitly, empty or
-  // not); an empty splitter set routes everything to machine 0.
-  program.independent([st, machines](std::size_t m, const auto& inbox,
-                                     Sender& send) {
-    ARBOR_CHECK_MSG(!inbox.empty(), "splitter broadcast missing");
-    const auto split = inbox.front();  // zero-copy view of the message
-    std::vector<std::vector<Word>> outgoing(machines);
-    for (Word key : st->slabs[m]) {
-      const std::size_t bucket = static_cast<std::size_t>(
-          std::upper_bound(split.begin(), split.end(), key) -
-          split.begin());
-      outgoing[bucket].push_back(key);
-    }
-    for (std::size_t dst = 0; dst < machines; ++dst)
-      if (!outgoing[dst].empty()) send.send(dst, outgoing[dst]);
-  });
+  // Round 3 — the root picks the p−1 splitters from the thinned pool and
+  // scatters one packet per group: the G−1 boundary splitters t_r, t_2r, …
+  // (chosen indices j·r−1, always in range because every group is
+  // non-empty) plus group g's interior splitters (chosen indices
+  // group_begin(g) … group_end(g)−2: members(g)−1 keys).
+  program.independent(
+      "sample_sort.tree.pick",
+      [st, tree, machines, kw](std::size_t m, const auto& inbox,
+                               Sender& send) {
+        if (m != 0) return;
+        std::vector<Word> pool = pool_inbox(inbox);
+        engine::stable_sort_records(pool, kw, kw);
+        const std::vector<Word> chosen =
+            pick_splitters(pool, machines, kw);
+        for (std::size_t g = 0; g < tree.groups; ++g) {
+          std::vector<Word> packet(2, 0);
+          if (!chosen.empty()) {
+            for (std::size_t j = 1; j < tree.groups; ++j) {
+              const Word* key =
+                  chosen.data() + (j * tree.group_size - 1) * kw;
+              packet.insert(packet.end(), key, key + kw);
+              ++packet[0];
+            }
+            for (std::size_t i = tree.group_begin(g);
+                 i + 1 < tree.group_end(g); ++i) {
+              const Word* key = chosen.data() + i * kw;
+              packet.insert(packet.end(), key, key + kw);
+              ++packet[1];
+            }
+          }
+          send.send(tree.relay_of(g), packet);
+        }
+      });
+
+  // Round 4 — relays forward their packet verbatim to every group member
+  // (including themselves).
+  program.independent(
+      "sample_sort.tree.down",
+      [tree](std::size_t m, const auto& inbox, Sender& send) {
+        if (!tree.is_relay(m)) return;
+        ARBOR_CHECK_MSG(!inbox.empty(),
+                        "splitter tree: relay " + std::to_string(m) +
+                            " missing its splitter packet from the root");
+        const std::vector<Word> packet = inbox.front();
+        const std::size_t g = tree.group_of(m);
+        for (std::size_t dst = tree.group_begin(g);
+             dst < tree.group_end(g); ++dst)
+          send.send(dst, packet);
+      });
+
+  // Round 5 — parse the packet (keeping the group's fine splitters for the
+  // placement round), then send every record to a spread member of its
+  // destination group: member (m mod members(g)), so a group's incoming
+  // volume spreads across its members instead of flooding the relay.
+  program.independent(
+      "sample_sort.tree.route",
+      [st, tree, width, kw](std::size_t m, const auto& inbox,
+                            Sender& send) {
+        ARBOR_CHECK_MSG(
+            !inbox.empty(),
+            "splitter tree: machine " + std::to_string(m) +
+                " missing its splitter packet from relay " +
+                std::to_string(tree.relay_of(tree.group_of(m))));
+        const std::span<const Word> packet = inbox.front().span();
+        ARBOR_CHECK_MSG(packet.size() >= 2,
+                        "splitter tree: truncated splitter packet on "
+                        "machine " +
+                            std::to_string(m));
+        const auto n_coarse = static_cast<std::size_t>(packet[0]);
+        const auto n_fine = static_cast<std::size_t>(packet[1]);
+        ARBOR_CHECK_MSG(packet.size() == 2 + (n_coarse + n_fine) * kw,
+                        "splitter tree: splitter packet header disagrees "
+                        "with its payload on machine " +
+                            std::to_string(m));
+        const Word* coarse = packet.data() + 2;
+        st->fine[m].assign(packet.begin() + 2 + n_coarse * kw,
+                           packet.end());
+
+        const auto& slab = st->slabs[m];
+        const std::size_t records = slab.size() / width;
+        // At most one destination per group (the spread member), so the
+        // buffers are G-wide, not p-wide — wide clusters stay linear.
+        std::vector<std::vector<Word>> outgoing(tree.groups);
+        for (std::size_t i = 0; i < records; ++i) {
+          const Word* rec = slab.data() + i * width;
+          const std::size_t g = keys_at_most(coarse, n_coarse, rec, kw);
+          outgoing[g].insert(outgoing[g].end(), rec, rec + width);
+        }
+        for (std::size_t g = 0; g < tree.groups; ++g)
+          if (!outgoing[g].empty())
+            send.send(tree.group_begin(g) + (m % tree.members(g)),
+                      outgoing[g]);
+      });
+
+  // Round 6 — place every received record on its final bucket machine
+  // using the group's fine splitters (final machine = group base + count
+  // of fine splitters ≤ key). Records pool per destination across the
+  // inbox in delivery order (source asc, send order), so the final
+  // buckets' contents are deterministic in every mode.
+  program.independent(
+      "sample_sort.tree.route",
+      [st, tree, width, kw](std::size_t m, const auto& inbox,
+                            Sender& send) {
+        const std::vector<Word>& fine = st->fine[m];
+        const std::size_t n_fine = fine.size() / kw;
+        const std::size_t g = tree.group_of(m);
+        const std::size_t base = tree.group_begin(g);
+        // Placement is intra-group: buffers are members(g)-wide.
+        std::vector<std::vector<Word>> outgoing(tree.members(g));
+        for (const auto& msg : inbox) {
+          const std::span<const Word> span = msg.span();
+          const std::size_t records = span.size() / width;
+          for (std::size_t i = 0; i < records; ++i) {
+            const Word* rec = span.data() + i * width;
+            const std::size_t local =
+                keys_at_most(fine.data(), n_fine, rec, kw);
+            outgoing[local].insert(outgoing[local].end(), rec,
+                                   rec + width);
+          }
+        }
+        for (std::size_t local = 0; local < outgoing.size(); ++local)
+          if (!outgoing[local].empty())
+            send.send(base + local, outgoing[local]);
+      });
+
+  // Round 7 (record sorts only): the parallel bucket sorts. The word sort
+  // skips this: its buckets stay in the inboxes, where the driver reads
+  // them (the same contract as the coordinator program).
+  if (bucket_sort_round)
+    append_bucket_sort_step(program, "sample_sort.tree.sort", st);
 
   return program;
 }
 
-// ----------------------------------------------- record sort (multi-word)
-
-struct RecordSortState {
-  std::vector<std::vector<Word>> slabs;   ///< inputs; key-sorted by step 1
-  std::vector<std::vector<Word>> result;  ///< step 4 writes slot m
-  std::size_t machines = 0;
-  std::size_t record_width = 0;
-  std::size_t key_words = 0;
-  std::size_t samples_per_machine = 0;
-};
-
-// One RoundProgram of four machine-independent steps (3 communication +
-// 1 compute-only): every step touches only its machine's inbox and
-// machine-owned slabs, so the scheduler can overlap each delivery with
-// the next step's compute.
-engine::RoundProgram make_record_sort_program(
-    std::shared_ptr<RecordSortState> st) {
+// ------------------------------------------- coordinator splitter program
+//
+// The legacy all-to-one pattern, kept as the A/B baseline: every machine
+// sends its samples to machine 0, which picks and broadcasts all p−1
+// splitters; one route round. The pooled sample is Θ(p·s) at the
+// coordinator and the broadcast Θ(p²) total, so this shape needs
+// p·(s+1)·key_words ≤ S — p ≤ √S machines.
+engine::RoundProgram make_coordinator_sort_program(
+    std::shared_ptr<SortState> st, bool bucket_sort_round) {
   const std::size_t machines = st->machines;
-  const std::size_t record_width = st->record_width;
-  const std::size_t key_words = st->key_words;
+  const std::size_t width = st->record_width;
+  const std::size_t kw = st->key_words;
   engine::RoundProgram program;
 
   // Step 1: each machine key-sorts its slab and sends an evenly-spaced,
-  // clamped sample of key prefixes to the coordinator. Sorting mutates
-  // only slabs[m] — machine-owned state, safe under the engine's
-  // concurrency contract — and the sorted slab is reused by the routing
-  // round.
-  program.independent([st, record_width, key_words](std::size_t m,
-                                                    const auto&,
-                                                    Sender& send) {
-    engine::stable_sort_records(st->slabs[m], record_width, key_words);
-    send.send(0, engine::sample_record_keys(st->slabs[m], record_width,
-                                            key_words,
-                                            st->samples_per_machine));
-  });
+  // clamped sample of key prefixes to the coordinator.
+  program.independent(
+      "sample_sort.central.sample",
+      [st, width, kw](std::size_t m, const auto&, Sender& send) {
+        engine::stable_sort_records(st->slabs[m], width, kw);
+        send.send(0, engine::sample_record_keys(st->slabs[m], width, kw,
+                                                st->samples_per_machine));
+      });
 
-  // Step 2: coordinator pools the sampled keys, picks machines-1 splitter
-  // keys at the sample quantiles, and broadcasts them — explicitly empty
-  // for a single-machine cluster or an all-empty pool (see the word sort).
-  program.independent([st, machines, key_words](std::size_t m,
-                                                const auto& inbox,
-                                                Sender& send) {
-    if (m != 0) return;
-    std::vector<Word> chosen;
-    if (machines > 1) {
-      std::vector<Word> pool;
-      for (const auto& msg : inbox)
-        pool.insert(pool.end(), msg.begin(), msg.end());
-      engine::stable_sort_records(pool, key_words, key_words);
-      const std::size_t pooled = pool.size() / key_words;
-      for (std::size_t b = 1; b < machines && pooled > 0; ++b) {
-        const Word* key = pool.data() + (b * pooled / machines) * key_words;
-        chosen.insert(chosen.end(), key, key + key_words);
-      }
-    }
-    for (std::size_t dst = 0; dst < machines; ++dst)
-      send.send(dst, chosen);
-  });
+  // Step 2: coordinator pools the sampled keys, picks p−1 splitter keys at
+  // the sample quantiles, and broadcasts them. The broadcast happens even
+  // when the splitter set is empty — a single-machine cluster needs no
+  // splitters, and an all-empty pool has none to offer — so the routing
+  // round can rely on the message being present rather than on an
+  // accident of the protocol.
+  program.independent(
+      "sample_sort.central.splitters",
+      [st, machines, kw](std::size_t m, const auto& inbox, Sender& send) {
+        if (m != 0) return;
+        std::vector<Word> pool = pool_inbox(inbox);
+        engine::stable_sort_records(pool, kw, kw);
+        const std::vector<Word> chosen =
+            pick_splitters(pool, machines, kw);
+        for (std::size_t dst = 0; dst < machines; ++dst)
+          send.send(dst, chosen);
+      });
 
-  // Step 3: route every record to its bucket machine. bucket(r) = number
-  // of splitter keys ≤ key(r) — the record-key analogue of the word
-  // version's upper_bound — so an empty splitter set routes everything to
+  // Step 3: route every record to its bucket machine — the count of
+  // splitter keys ≤ key(r); an empty splitter set routes everything to
   // machine 0.
-  program.independent([st, machines, record_width, key_words](
-                          std::size_t m, const auto& inbox, Sender& send) {
-    ARBOR_CHECK_MSG(!inbox.empty(), "splitter broadcast missing");
-    const auto split = inbox.front().span();
-    const std::size_t num_split = split.size() / key_words;
-    const auto& slab = st->slabs[m];
-    const std::size_t records =
-        engine::record_count(slab.size(), record_width);
-    std::vector<std::vector<Word>> outgoing(machines);
-    for (std::size_t r = 0; r < records; ++r) {
-      const Word* rec = slab.data() + r * record_width;
-      std::size_t lo = 0, hi = num_split;
-      while (lo < hi) {
-        const std::size_t mid = lo + (hi - lo) / 2;
-        if (engine::compare_keys(split.data() + mid * key_words, rec,
-                                 key_words) <= 0)
-          lo = mid + 1;
-        else
-          hi = mid;
-      }
-      outgoing[lo].insert(outgoing[lo].end(), rec, rec + record_width);
-    }
-    for (std::size_t dst = 0; dst < machines; ++dst)
-      if (!outgoing[dst].empty()) send.send(dst, outgoing[dst]);
-  });
+  program.independent(
+      "sample_sort.central.route",
+      [st, machines, width, kw](std::size_t m, const auto& inbox,
+                                Sender& send) {
+        ARBOR_CHECK_MSG(!inbox.empty(), "splitter broadcast missing");
+        const std::span<const Word> split = inbox.front().span();
+        const std::size_t num_split = split.size() / kw;
+        const auto& slab = st->slabs[m];
+        const std::size_t records = slab.size() / width;
+        std::vector<std::vector<Word>> outgoing(machines);
+        for (std::size_t i = 0; i < records; ++i) {
+          const Word* rec = slab.data() + i * width;
+          const std::size_t dst =
+              keys_at_most(split.data(), num_split, rec, kw);
+          outgoing[dst].insert(outgoing[dst].end(), rec, rec + width);
+        }
+        for (std::size_t dst = 0; dst < machines; ++dst)
+          if (!outgoing[dst].empty()) send.send(dst, outgoing[dst]);
+      });
 
-  // Step 4 (compute-only, no messages): each bucket machine concatenates
-  // its routed records and key-sorts them. Running this inside a round —
-  // instead of on the calling thread after the fact — lets the engine
-  // spread the final sorts across its workers; each step writes only its
-  // own preallocated result slab, honouring the concurrency contract.
-  // Under the async scheduler this compute even overlaps the routing
-  // round's delivery: bucket m starts sorting as soon as its own records
-  // arrive. Delivery order is (source machine asc, send order) in every
-  // mode — the transport keeps it too — so the stable sort makes the
-  // result deterministic and, with a full-record key, the unique total
-  // order.
-  program.independent([st, record_width, key_words](std::size_t m,
-                                                    const auto& inbox,
-                                                    Sender&) {
-    auto& slab = st->result[m];
-    slab.reserve(inbox.total_words());
-    for (const auto& msg : inbox)
-      slab.insert(slab.end(), msg.begin(), msg.end());
-    engine::stable_sort_records(slab, record_width, key_words);
-  });
+  // Step 4 (record sorts only): the parallel bucket sorts, as in the tree.
+  if (bucket_sort_round)
+    append_bucket_sort_step(program, "sample_sort.central.sort", st);
 
   return program;
+}
+
+engine::RoundProgram make_sort_program(std::shared_ptr<SortState> st,
+                                       SplitterStrategy strategy,
+                                       bool bucket_sort_round) {
+  return strategy == SplitterStrategy::kTree
+             ? make_tree_sort_program(std::move(st), bucket_sort_round)
+             : make_coordinator_sort_program(std::move(st),
+                                             bucket_sort_round);
+}
+
+SplitterStrategy strategy_from_scalar(Word scalar) {
+  ARBOR_CHECK_MSG(scalar <= 1, "unknown splitter strategy scalar " +
+                                   std::to_string(scalar));
+  return static_cast<SplitterStrategy>(scalar);
 }
 
 }  // namespace
 
+std::size_t sample_sort_tree_fanout(std::size_t machines) {
+  return SplitterTree::over(machines).group_size;
+}
+
 SampleSortResult sample_sort(Cluster& cluster,
                              const std::vector<std::vector<Word>>& input,
-                             std::size_t samples_per_machine) {
+                             std::size_t samples_per_machine,
+                             SplitterStrategy strategy) {
   const std::size_t machines = cluster.num_machines();
   ARBOR_CHECK(input.size() == machines);
   ARBOR_CHECK(samples_per_machine >= 1);
   const std::size_t start_rounds = cluster.rounds_executed();
 
   // Machine-local state lives here (the cluster only moves messages).
-  auto st = std::make_shared<WordSortState>();
+  auto st = std::make_shared<SortState>();
   st->slabs = input;
   st->machines = machines;
   st->samples_per_machine = samples_per_machine;
 
-  engine::RoundProgram program = make_word_sort_program(st);
+  engine::RoundProgram program =
+      make_sort_program(st, strategy, /*bucket_sort_round=*/false);
   if (cluster.distributed()) {
     engine::RemoteSpec spec;
     spec.name = "mpc.sample_sort";
-    spec.scalars = {static_cast<Word>(samples_per_machine)};
+    spec.scalars = {static_cast<Word>(samples_per_machine),
+                    static_cast<Word>(strategy)};
     spec.inputs = input;
     program.distributable(std::move(spec));
   }
@@ -257,7 +474,7 @@ SampleSortResult sample_sort(Cluster& cluster,
 RecordSortResult sample_sort_records(
     Cluster& cluster, std::vector<std::vector<Word>> input,
     std::size_t record_width, std::size_t key_words,
-    std::size_t samples_per_machine) {
+    std::size_t samples_per_machine, SplitterStrategy strategy) {
   const std::size_t machines = cluster.num_machines();
   ARBOR_CHECK(input.size() == machines);
   ARBOR_CHECK(record_width > 0);
@@ -269,20 +486,22 @@ RecordSortResult sample_sort_records(
   for (const auto& slab : input)
     engine::record_count(slab.size(), record_width);  // validates widths
 
-  auto st = std::make_shared<RecordSortState>();
+  auto st = std::make_shared<SortState>();
   st->machines = machines;
   st->record_width = record_width;
   st->key_words = key_words;
   st->samples_per_machine = samples_per_machine;
   st->result.resize(machines);
 
-  engine::RoundProgram program = make_record_sort_program(st);
+  engine::RoundProgram program =
+      make_sort_program(st, strategy, /*bucket_sort_round=*/true);
   if (cluster.distributed()) {
     engine::RemoteSpec spec;
     spec.name = "mpc.sample_sort_records";
     spec.scalars = {static_cast<Word>(record_width),
                     static_cast<Word>(key_words),
-                    static_cast<Word>(samples_per_machine)};
+                    static_cast<Word>(samples_per_machine),
+                    static_cast<Word>(strategy)};
     spec.inputs = input;  // copy: the state takes the originals below
     spec.has_output = true;
     spec.output_sink = [st](std::size_t m, std::span<const Word> slab) {
@@ -302,24 +521,25 @@ RecordSortResult sample_sort_records(
 
 void register_sample_sort_programs(net::Registry& registry) {
   registry.add("mpc.sample_sort", [](const net::ProgramInputs& in) {
-    ARBOR_CHECK_MSG(in.scalars.size() == 1,
-                    "mpc.sample_sort expects 1 scalar");
-    auto st = std::make_shared<WordSortState>();
+    ARBOR_CHECK_MSG(in.scalars.size() == 2,
+                    "mpc.sample_sort expects 2 scalars");
+    auto st = std::make_shared<SortState>();
     st->machines = in.machines;
     st->samples_per_machine = static_cast<std::size_t>(in.scalars[0]);
     st->slabs.resize(in.machines);
     for (std::size_t m = in.block_begin; m < in.block_end; ++m)
       st->slabs[m] = in.inputs[m - in.block_begin];
     net::WorkerProgram out;
-    out.program = make_word_sort_program(st);
+    out.program = make_sort_program(st, strategy_from_scalar(in.scalars[1]),
+                                    /*bucket_sort_round=*/false);
     out.state = st;
     return out;
   });
 
   registry.add("mpc.sample_sort_records", [](const net::ProgramInputs& in) {
-    ARBOR_CHECK_MSG(in.scalars.size() == 3,
-                    "mpc.sample_sort_records expects 3 scalars");
-    auto st = std::make_shared<RecordSortState>();
+    ARBOR_CHECK_MSG(in.scalars.size() == 4,
+                    "mpc.sample_sort_records expects 4 scalars");
+    auto st = std::make_shared<SortState>();
     st->machines = in.machines;
     st->record_width = static_cast<std::size_t>(in.scalars[0]);
     st->key_words = static_cast<std::size_t>(in.scalars[1]);
@@ -333,7 +553,8 @@ void register_sample_sort_programs(net::Registry& registry) {
       engine::record_count(st->slabs[m].size(), st->record_width);
     }
     net::WorkerProgram out;
-    out.program = make_record_sort_program(st);
+    out.program = make_sort_program(st, strategy_from_scalar(in.scalars[3]),
+                                    /*bucket_sort_round=*/true);
     out.state = st;
     out.output = [st](std::size_t m) { return st->result[m]; };
     return out;

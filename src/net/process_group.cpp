@@ -270,10 +270,24 @@ void ProcessGroup::handle_oob(const Event& event, std::size_t round) {
     if (kind == 0) throw InvariantError(who + ": " + text);
     throw TransportError(who + ": " + text);
   }
-  teardown();
-  if (event.closed)
+  if (event.closed) {
+    // The closure (or a failed send to the worker) may have raced ahead
+    // of the worker's own final kError frame still queued in the hub — a
+    // worker that hits a cap violation reports it and THEN closes, and a
+    // driver-side send can trip on the closed channel before the report
+    // is read. Give the worker's queued last words the same grace window
+    // the peer-relay path grants, because "machine X exceeded send
+    // capacity" beats "hung up" as a diagnosis; recurse only on an
+    // actual kError frame so a bare closure cannot loop.
+    const std::optional<Event> last = hub_->next_event_from(
+        event.source, std::chrono::milliseconds(250));
+    if (last && !last->closed && last->frame.type == FrameType::kError)
+      handle_oob(*last, round);
+    teardown();
     throw TransportError("lost " + who + " in round " + std::to_string(round) +
                          ": " + event.error);
+  }
+  teardown();
   throw TransportError(std::string("unexpected ") +
                        frame_type_name(event.frame.type) + " frame from " +
                        who + " in round " + std::to_string(round));

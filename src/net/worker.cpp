@@ -129,9 +129,11 @@ class WorkerRuntime {
   }
 
   /// One round's exchange + cap check + delivery; returns (max_sent,
-  /// max_received) over the block.
+  /// max_received) over the block. `step_name` feeds the receive-cap error
+  /// so it reads identically to the in-process scheduler's.
   std::pair<std::size_t, std::size_t> exchange(std::size_t local_round,
-                                               std::size_t global_round) {
+                                               std::size_t global_round,
+                                               const std::string& step_name) {
     for (std::size_t q : peers_) {
       const auto [qb, qe] = machine_block(w_.machines, w_.workers, q);
       try {
@@ -182,7 +184,8 @@ class WorkerRuntime {
                           " exceeded receive capacity: " +
                           std::to_string(total) + " > " +
                           std::to_string(w_.capacity) + " words in round " +
-                          std::to_string(global_round));
+                          std::to_string(global_round) +
+                          engine::step_name_suffix(step_name));
       max_received = std::max(max_received, total);
     }
 
@@ -233,7 +236,7 @@ class WorkerRuntime {
       for (const engine::ProgramStep& step : wp.program.steps) {
         compute_block(step.fn);
         const auto [max_sent, max_received] =
-            exchange(executed, frame.first_round + executed);
+            exchange(executed, frame.first_round + executed, step.name);
 
         std::vector<Word> stats{static_cast<Word>(executed),
                                 static_cast<Word>(max_sent),

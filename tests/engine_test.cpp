@@ -509,7 +509,6 @@ TEST(Scheduler, RunProgramIsNotReentrant) {
 
 // Re-entering from a continue callback is the same programming error.
 TEST(Scheduler, ContinueCallbackCannotReenter) {
-  ClusterConfig cfg{2, 64};
   engine::Engine shared(ExecutionPolicy::parallel(1));
   Cluster a({2, 64, ExecutionPolicy::parallel(1)}, nullptr, &shared);
   Cluster b({2, 64, ExecutionPolicy::parallel(1)}, nullptr, &shared);

@@ -57,18 +57,36 @@ TEST(SampleSort, SortsAcrossMachines) {
 
 TEST(SampleSort, ConstantRounds) {
   const ClusterConfig cfg{16, 1024};
-  Cluster cluster(cfg, nullptr);
   const auto input = random_slabs(16, 48, 2);
-  const SampleSortResult result = sample_sort(cluster, input);
-  // 3 communication rounds: sample, splitters, route.
-  EXPECT_EQ(result.rounds, 3u);
 
-  // The Level-1 charge for the same volume must not be smaller than what
-  // the real program needs per "constant-round" unit (it charges ⌈log_S N⌉
-  // which is ≥ 1; the Level-0 program realizes the constant).
+  // Tree strategy (default): 6 communication rounds — up, up, pick, down,
+  // route, route.
+  Cluster cluster(cfg, nullptr);
+  const SampleSortResult result = sample_sort(cluster, input);
+  EXPECT_EQ(result.rounds, 6u);
+
+  // Coordinator strategy: the legacy 3 rounds — sample, splitters, route.
+  Cluster central(cfg, nullptr);
+  const SampleSortResult coordinated =
+      sample_sort(central, input, 8, SplitterStrategy::kCoordinator);
+  EXPECT_EQ(coordinated.rounds, 3u);
+
+  // Both are O(1): the Level-1 charge for the same volume charges
+  // ⌈log_S N⌉ ≥ 1 units; the Level-0 programs realize the constant.
   RoundLedger ledger(cfg);
   MpcContext ctx(cfg, &ledger);
   EXPECT_GE(result.rounds, ctx.sort_rounds(16 * 48));
+
+  // Same multiset, same globally sorted concatenation, under either
+  // strategy (bucket boundaries may differ — splitter pools do).
+  std::vector<Word> tree_out;
+  for (const auto& slab : result.slabs)
+    tree_out.insert(tree_out.end(), slab.begin(), slab.end());
+  std::vector<Word> central_out;
+  for (const auto& slab : coordinated.slabs)
+    central_out.insert(central_out.end(), slab.begin(), slab.end());
+  EXPECT_EQ(tree_out, central_out);
+  EXPECT_EQ(tree_out, flatten_sorted(input));
 }
 
 TEST(SampleSort, HandlesEmptyAndSkewedSlabs) {
@@ -106,16 +124,20 @@ TEST(SampleSort, TinySkewedSlabsClampSamples) {
 }
 
 // Regression: a single-machine cluster takes the explicit empty-splitter
-// path (the coordinator broadcasts an empty splitter set to itself) and
-// still sorts in the standard 3 rounds.
+// path (the tree scatters [0, 0] packets, the coordinator broadcasts an
+// empty set to itself) and still sorts in the standard round count.
 TEST(SampleSort, SingleMachine) {
   const ClusterConfig cfg{1, 512};
-  Cluster cluster(cfg, nullptr);
   const std::vector<std::vector<Word>> input{{9, 2, 7, 2, 5}};
-  const SampleSortResult result = sample_sort(cluster, input);
-  ASSERT_EQ(result.slabs.size(), 1u);
-  EXPECT_EQ(result.slabs[0], (std::vector<Word>{2, 2, 5, 7, 9}));
-  EXPECT_EQ(result.rounds, 3u);
+  for (const SplitterStrategy strategy :
+       {SplitterStrategy::kTree, SplitterStrategy::kCoordinator}) {
+    Cluster cluster(cfg, nullptr);
+    const SampleSortResult result = sample_sort(cluster, input, 8, strategy);
+    ASSERT_EQ(result.slabs.size(), 1u);
+    EXPECT_EQ(result.slabs[0], (std::vector<Word>{2, 2, 5, 7, 9}));
+    EXPECT_EQ(result.rounds,
+              strategy == SplitterStrategy::kTree ? 6u : 3u);
+  }
 }
 
 TEST(SampleSort, SingleMachineEmptyInput) {
@@ -124,7 +146,59 @@ TEST(SampleSort, SingleMachineEmptyInput) {
   const SampleSortResult result = sample_sort(cluster, {{}});
   ASSERT_EQ(result.slabs.size(), 1u);
   EXPECT_TRUE(result.slabs[0].empty());
-  EXPECT_EQ(result.rounds, 3u);
+  EXPECT_EQ(result.rounds, 6u);
+}
+
+// The tree topology's awkward machine counts: p ∈ {1, 2, 3} (trees of
+// height < 2), non-perfect-square p (a ragged last group), and p where
+// the last group has a single member (its relay has itself as the only
+// child). Every count must sort every input shape.
+TEST(SampleSortTree, AwkwardMachineCounts) {
+  for (const std::size_t machines : {1u, 2u, 3u, 5u, 7u, 10u, 12u, 13u}) {
+    const ClusterConfig cfg{machines, 4096};
+    const auto input = random_slabs(machines, 19, 100 + machines);
+    Cluster cluster(cfg, nullptr);
+    const SampleSortResult result = sample_sort(cluster, input);
+    EXPECT_EQ(result.rounds, 6u);
+    std::vector<Word> out;
+    for (const auto& slab : result.slabs)
+      out.insert(out.end(), slab.begin(), slab.end());
+    EXPECT_EQ(out, flatten_sorted(input)) << "machines=" << machines;
+  }
+}
+
+// Empty slabs at interior relay ranks: all data sits on non-relay
+// machines, so every relay pools only its children's samples (and the
+// ragged last group's relay may pool nothing at all) — relays must
+// forward clean packets, never zero-width frames the route rounds choke
+// on.
+TEST(SampleSortTree, EmptySlabsAtRelayRanks) {
+  const std::size_t machines = 10;  // r = 4: relays at 0, 4, 8
+  const ClusterConfig cfg{machines, 4096};
+  util::SplitRng rng(77);
+  std::vector<std::vector<Word>> input(machines);
+  for (std::size_t m = 0; m < machines; ++m) {
+    if (m % 4 == 0) continue;  // relays hold nothing
+    for (int i = 0; i < 23; ++i) input[m].push_back(rng.next_below(1u << 20));
+  }
+  Cluster cluster(cfg, nullptr);
+  const SampleSortResult result = sample_sort(cluster, input);
+  std::vector<Word> out;
+  for (const auto& slab : result.slabs)
+    out.insert(out.end(), slab.begin(), slab.end());
+  EXPECT_EQ(out, flatten_sorted(input));
+
+  // The mirror image: only relays hold data (every leaf sample is empty).
+  std::vector<std::vector<Word>> relays_only(machines);
+  for (std::size_t m = 0; m < machines; m += 4)
+    for (int i = 0; i < 23; ++i)
+      relays_only[m].push_back(rng.next_below(1u << 20));
+  Cluster cluster2(cfg, nullptr);
+  const SampleSortResult result2 = sample_sort(cluster2, relays_only);
+  std::vector<Word> out2;
+  for (const auto& slab : result2.slabs)
+    out2.insert(out2.end(), slab.begin(), slab.end());
+  EXPECT_EQ(out2, flatten_sorted(relays_only));
 }
 
 TEST(SampleSort, DuplicateKeysPreserved) {
@@ -175,7 +249,7 @@ TEST(RecordSampleSort, SortsMultiWordRecordsByKeyPrefix) {
     }
   const RecordSortResult result =
       sample_sort_records(cluster, input, 3, /*key_words=*/2);
-  EXPECT_EQ(result.rounds, 4u);
+  EXPECT_EQ(result.rounds, 7u);
 
   std::vector<std::vector<Word>> out;
   for (const auto& slab : result.slabs)
@@ -224,7 +298,7 @@ TEST(RecordSampleSort, SingleMachineAndTinySlabs) {
   const RecordSortResult result = sample_sort_records(cluster, input, 2, 1);
   ASSERT_EQ(result.slabs.size(), 1u);
   EXPECT_EQ(result.slabs[0], (std::vector<Word>{2, 2, 5, 1, 5, 3}));
-  EXPECT_EQ(result.rounds, 4u);
+  EXPECT_EQ(result.rounds, 7u);
 }
 
 TEST(RecordSampleSort, AllSlabsEmpty) {
@@ -233,7 +307,35 @@ TEST(RecordSampleSort, AllSlabsEmpty) {
   const RecordSortResult result =
       sample_sort_records(cluster, std::vector<std::vector<Word>>(3), 4);
   for (const auto& slab : result.slabs) EXPECT_TRUE(slab.empty());
-  EXPECT_EQ(result.rounds, 4u);
+  EXPECT_EQ(result.rounds, 7u);
+}
+
+// Coordinator strategy keeps its legacy 4-round shape and, with a
+// full-record key, produces the identical unique total order as the tree.
+TEST(RecordSampleSort, CoordinatorStrategyABaseline) {
+  const ClusterConfig cfg{8, 8192};
+  util::SplitRng rng(19);
+  std::vector<std::vector<Word>> input(8);
+  std::size_t idx = 0;
+  for (auto& slab : input)
+    for (int r = 0; r < 20; ++r) {
+      slab.push_back(rng.next_below(16));
+      slab.push_back(idx++);
+    }
+  Cluster tree_cluster(cfg, nullptr);
+  const RecordSortResult tree = sample_sort_records(tree_cluster, input, 2);
+  Cluster central_cluster(cfg, nullptr);
+  const RecordSortResult central = sample_sort_records(
+      central_cluster, input, 2, 0, 8, SplitterStrategy::kCoordinator);
+  EXPECT_EQ(tree.rounds, 7u);
+  EXPECT_EQ(central.rounds, 4u);
+  std::vector<Word> tree_flat;
+  for (const auto& slab : tree.slabs)
+    tree_flat.insert(tree_flat.end(), slab.begin(), slab.end());
+  std::vector<Word> central_flat;
+  for (const auto& slab : central.slabs)
+    central_flat.insert(central_flat.end(), slab.begin(), slab.end());
+  EXPECT_EQ(tree_flat, central_flat);
 }
 
 TEST(RecordSampleSort, RejectsRaggedArena) {
@@ -242,6 +344,118 @@ TEST(RecordSampleSort, RejectsRaggedArena) {
   EXPECT_THROW(
       sample_sort_records(cluster, {{1, 2, 3}, {}}, /*record_width=*/2),
       arbor::InvariantError);
+}
+
+// ------------------------ S-cap grounding of the splitter relay tree
+//
+// The point of the tree: the per-machine traffic of every splitter round
+// is O(√p·s) words (s = samples per machine), where the coordinator
+// pattern pooled Θ(p·s) at machine 0 and broadcast Θ(p²). Grounded with
+// the ledger's per-label traffic peaks at p = 256 and p = 400 — machine
+// counts where the coordinator's splitter rounds cannot even run under
+// the same per-machine budget.
+TEST(SampleSortTree, SplitterRoundsStayWithinSqrtPBudget) {
+  for (const std::size_t machines : {256u, 400u}) {
+    const std::size_t samples = 32;
+    std::size_t r = 1;  // ⌈√p⌉
+    while (r * r < machines) ++r;
+    ASSERT_LE(r, samples);  // tree premise: s ≥ ⌈√p⌉
+    const ClusterConfig cfg{machines, 4096};
+    RoundLedger ledger(cfg);
+    Cluster cluster(cfg, &ledger);
+    const auto input = random_slabs(machines, 48, machines);
+    const SampleSortResult result = sample_sort(cluster, input, samples);
+    std::vector<Word> out;
+    for (const auto& slab : result.slabs)
+      out.insert(out.end(), slab.begin(), slab.end());
+    EXPECT_EQ(out, flatten_sorted(input)) << "p=" << machines;
+
+    // Every splitter round ≤ 4·√p·s words per machine; the coordinator's
+    // sample pool alone is p·s — asymptotically √p/4 times larger.
+    const std::size_t budget = 4 * r * samples;
+    EXPECT_LT(budget, machines * samples);
+    const auto& peaks = ledger.peak_traffic_by_label();
+    for (const char* label :
+         {"sample_sort.tree.up", "sample_sort.tree.pick",
+          "sample_sort.tree.down"}) {
+      ASSERT_TRUE(peaks.count(label)) << label << " p=" << machines;
+      EXPECT_LE(peaks.at(label), budget) << label << " p=" << machines;
+    }
+
+    // The coordinator strategy trips the very first splitter round under
+    // the same per-machine budget: machine 0 would have to receive p·s
+    // sample words.
+    Cluster central(cfg, nullptr);
+    EXPECT_THROW(
+        sample_sort(central, input, samples, SplitterStrategy::kCoordinator),
+        arbor::InvariantError);
+  }
+}
+
+// A receive-cap violation in a splitter round names the tree round and
+// the machine, so an overloaded relay is diagnosable from the error text
+// alone.
+TEST(SampleSortTree, CapViolationNamesTreeRoundAndMachine) {
+  // Capacity of 64 words: the relays' pooled samples (up to 16·32·1 = 512
+  // words at r = 16) overflow during the fan-in round.
+  const ClusterConfig cfg{256, 64};
+  Cluster cluster(cfg, nullptr);
+  const auto input = random_slabs(256, 48, 9);
+  try {
+    sample_sort(cluster, input, 32);
+    FAIL() << "expected a receive-cap violation in the splitter rounds";
+  } catch (const arbor::InvariantError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("sample_sort.tree."), std::string::npos) << what;
+    EXPECT_NE(what.find("exceeded receive capacity"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("machine "), std::string::npos) << what;
+  }
+}
+
+// Adversarial inputs at p ≥ 64: all-duplicate keys (every record lands in
+// one bucket), heavy source skew (all data on three machines), and a
+// duplicate-key record sort whose full-record key must still reproduce
+// the unique total order.
+TEST(SampleSortTree, AdversarialDuplicatesAndSkewAtWideClusters) {
+  const std::size_t machines = 64;
+  const ClusterConfig cfg{machines, 8192};
+
+  std::vector<std::vector<Word>> dup(machines, std::vector<Word>(24, 42));
+  Cluster c1(cfg, nullptr);
+  const SampleSortResult r1 = sample_sort(c1, dup);
+  std::vector<Word> out1;
+  for (const auto& slab : r1.slabs)
+    out1.insert(out1.end(), slab.begin(), slab.end());
+  EXPECT_EQ(out1, flatten_sorted(dup));
+
+  util::SplitRng rng(88);
+  std::vector<std::vector<Word>> skew(machines);
+  for (const std::size_t m : {61u, 62u, 63u})
+    for (int i = 0; i < 300; ++i)
+      skew[m].push_back(rng.next_below(1u << 30));
+  Cluster c2(cfg, nullptr);
+  const SampleSortResult r2 = sample_sort(c2, skew);
+  std::vector<Word> out2;
+  for (const auto& slab : r2.slabs)
+    out2.insert(out2.end(), slab.begin(), slab.end());
+  EXPECT_EQ(out2, flatten_sorted(skew));
+
+  std::vector<std::vector<Word>> records(machines);
+  std::size_t idx = 0;
+  for (auto& slab : records)
+    for (int i = 0; i < 12; ++i) {
+      slab.push_back(rng.next_below(4));  // 4 distinct keys across 768 recs
+      slab.push_back(idx++);
+    }
+  Cluster c3(cfg, nullptr);
+  const RecordSortResult r3 = sample_sort_records(c3, records, 2);
+  const auto expected = reference_record_sort(records, 2, 2);
+  std::vector<std::vector<Word>> out3;
+  for (const auto& slab : r3.slabs)
+    for (std::size_t off = 0; off + 2 <= slab.size(); off += 2)
+      out3.emplace_back(slab.begin() + off, slab.begin() + off + 2);
+  EXPECT_EQ(out3, expected);
 }
 
 TEST(BroadcastTree, AllMachinesReceive) {
@@ -371,10 +585,12 @@ struct MatrixOutcome {
 };
 
 template <typename RunFn>
-void expect_matrix_identical(const char* what, const RunFn& run) {
+void expect_matrix_identical(const char* what, const RunFn& run,
+                             std::size_t machines = 8,
+                             std::size_t capacity = 4096) {
   std::vector<MatrixOutcome> outcomes;
   for (const ExecutionPolicy& policy : determinism_matrix()) {
-    ClusterConfig cfg{8, 4096};
+    ClusterConfig cfg{machines, capacity};
     cfg.execution = policy;
     RoundLedger ledger(cfg);
     Cluster cluster(cfg, &ledger);
@@ -424,6 +640,61 @@ TEST(DeterminismMatrix, RecordSampleSort) {
       "sample_sort_records", [&](Cluster& cluster, bool first) {
         const RecordSortResult result =
             sample_sort_records(cluster, input, 2, 1);
+        if (first)
+          reference = result.slabs;
+        else
+          EXPECT_EQ(result.slabs, reference);
+      });
+}
+
+// Both splitter strategies are locked across the matrix — the tree above
+// (the default), the coordinator here (the A/B baseline) — and the tree
+// also at a wide, non-perfect-square machine count where its topology is
+// ragged.
+TEST(DeterminismMatrix, SampleSortCoordinatorStrategy) {
+  const auto input = random_slabs(8, 48, 25);
+  std::vector<std::vector<Word>> reference;
+  expect_matrix_identical(
+      "sample_sort/coordinator", [&](Cluster& cluster, bool first) {
+        const SampleSortResult result =
+            sample_sort(cluster, input, 8, SplitterStrategy::kCoordinator);
+        if (first)
+          reference = result.slabs;
+        else
+          EXPECT_EQ(result.slabs, reference);
+      });
+}
+
+TEST(DeterminismMatrix, WideTreeSampleSort) {
+  const std::size_t machines = 75;  // r = 9, ragged last group of 3
+  const auto input = random_slabs(machines, 40, 26);
+  std::vector<std::vector<Word>> reference;
+  expect_matrix_identical(
+      "sample_sort/tree-wide",
+      [&](Cluster& cluster, bool first) {
+        const SampleSortResult result = sample_sort(cluster, input);
+        if (first)
+          reference = result.slabs;
+        else
+          EXPECT_EQ(result.slabs, reference);
+      },
+      machines, 8192);
+}
+
+TEST(DeterminismMatrix, RecordSampleSortCoordinatorStrategy) {
+  util::SplitRng rng(27);
+  std::vector<std::vector<Word>> input(8);
+  std::size_t payload = 0;
+  for (auto& slab : input)
+    for (int r = 0; r < 24; ++r) {
+      slab.push_back(rng.next_below(8));
+      slab.push_back(payload++);
+    }
+  std::vector<std::vector<Word>> reference;
+  expect_matrix_identical(
+      "sample_sort_records/coordinator", [&](Cluster& cluster, bool first) {
+        const RecordSortResult result = sample_sort_records(
+            cluster, input, 2, 1, 8, SplitterStrategy::kCoordinator);
         if (first)
           reference = result.slabs;
         else

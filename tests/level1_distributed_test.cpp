@@ -151,6 +151,79 @@ TEST(DistributedCount, MatchesCentral) {
   expect_ledgers_identical(ledger, central_ledger);
 }
 
+// The internal sort cluster is no longer an unledgered execution vehicle:
+// its real rounds are charged to the context's model-shaped grounding
+// ledger under the splitter-tree step labels, and the executed dataflow
+// honours the model's S-cap (no violations, peak traffic ≤ S) — while the
+// primary ledger keeps the analytic charge, bit-identical to central
+// (asserted by every expect_ledgers_identical above).
+TEST(DistributedSort, InternalSortChargedToModelShapedGroundingLedger) {
+  util::SplitRng rng(51);
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> items;
+  for (std::size_t i = 0; i < 20000; ++i)
+    items.emplace_back(static_cast<std::uint32_t>(rng.next_below(512)), i);
+
+  ClusterConfig cfg{64, 4096};
+  cfg.distributed_level1 = true;
+  RoundLedger ledger(cfg);
+  MpcContext ctx(cfg, &ledger);
+  ctx.sort_items_by_key(
+      items, [](const auto& kv) { return MpcContext::word_key(kv.first); },
+      2, "sort");
+
+  RoundLedger* grounding = ctx.level1_sort_grounding();
+  // One tree record sort: 2 up + 1 pick + 1 down + 2 route + 1 bucket sort.
+  EXPECT_EQ(grounding->total_rounds(), 7u);
+  const auto& labels = grounding->rounds_by_label();
+  EXPECT_EQ(labels.at("sample_sort.tree.up"), 2u);
+  EXPECT_EQ(labels.at("sample_sort.tree.pick"), 1u);
+  EXPECT_EQ(labels.at("sample_sort.tree.down"), 1u);
+  EXPECT_EQ(labels.at("sample_sort.tree.route"), 2u);
+  EXPECT_EQ(labels.at("sample_sort.tree.sort"), 1u);
+  // Under the model's S-cap, not a widened one.
+  EXPECT_EQ(grounding->local_violations(), 0u);
+  EXPECT_LE(grounding->peak_round_traffic(), cfg.words_per_machine);
+  EXPECT_GT(grounding->peak_round_traffic(), 0u);
+  // The splitter rounds are far below the cap (they are O(√p·s) words).
+  const auto& peaks = grounding->peak_traffic_by_label();
+  EXPECT_LE(peaks.at("sample_sort.tree.pick"), cfg.words_per_machine / 4);
+}
+
+// The distributed Level-1 sorts also run over the multi-process transport:
+// each internal sort spawns its own worker group (machine counts are
+// data-dependent, so the shared engine's backend cannot serve them) and
+// stays bit-identical to the central path.
+TEST(DistributedSort, MatchesCentralOverLoopbackTransport) {
+  util::SplitRng rng(52);
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> items;
+  for (std::size_t i = 0; i < 20000; ++i)
+    items.emplace_back(static_cast<std::uint32_t>(rng.next_below(64)), i);
+
+  auto central = items;
+  ClusterConfig cfg{64, 4096};
+  cfg.distributed_level1 = false;
+  cfg.transport = mpc::TransportConfig{};
+  RoundLedger central_ledger(cfg);
+  MpcContext central_ctx(cfg, &central_ledger);
+  central_ctx.sort_items_by_key(
+      central, [](const auto& kv) { return MpcContext::word_key(kv.first); },
+      2, "sort");
+
+  auto distributed = items;
+  ClusterConfig dcfg = cfg;
+  dcfg.distributed_level1 = true;
+  dcfg.transport = mpc::TransportConfig::loopback(2);
+  RoundLedger ledger(dcfg);
+  MpcContext ctx(dcfg, &ledger);
+  ctx.sort_items_by_key(
+      distributed,
+      [](const auto& kv) { return MpcContext::word_key(kv.first); }, 2,
+      "sort");
+  EXPECT_EQ(distributed, central);
+  expect_ledgers_identical(ledger, central_ledger);
+  EXPECT_EQ(ctx.level1_sort_grounding()->total_rounds(), 7u);
+}
+
 TEST(MpcContext, DivCeilRejectsZeroDivisor) {
   EXPECT_THROW(MpcContext::div_ceil(5, 0), arbor::InvariantError);
   EXPECT_EQ(MpcContext::div_ceil(0, 3), 0u);

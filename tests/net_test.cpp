@@ -332,10 +332,12 @@ struct MatrixOutcome {
 };
 
 template <typename RunFn>
-void expect_transports_identical(const char* what, const RunFn& run) {
+void expect_transports_identical(const char* what, const RunFn& run,
+                                 std::size_t machines = 8,
+                                 std::size_t capacity = 4096) {
   std::vector<MatrixOutcome> outcomes;
   for (const TransportConfig& transport : transport_matrix()) {
-    ClusterConfig cfg{8, 4096};
+    ClusterConfig cfg{machines, capacity};
     cfg.transport = transport;
     mpc::RoundLedger ledger(cfg);
     mpc::Cluster cluster(cfg, &ledger);
@@ -398,12 +400,47 @@ TEST(TransportDeterminismMatrix, RecordSampleSort) {
       "sample_sort_records", [&](mpc::Cluster& cluster, bool first) {
         const mpc::RecordSortResult result =
             sample_sort_records(cluster, input, 2, 1);
-        EXPECT_EQ(result.rounds, 4u);
+        EXPECT_EQ(result.rounds, 7u);
         if (first)
           reference = result.slabs;
         else
           EXPECT_EQ(result.slabs, reference);
       });
+}
+
+// Both splitter strategies stay bit-identical across transports (the
+// strategy travels as a RemoteSpec scalar), and the tree also at a wide,
+// ragged machine count whose groups straddle worker-block boundaries.
+TEST(TransportDeterminismMatrix, SampleSortCoordinatorStrategy) {
+  const auto input = random_slabs(8, 48, 125);
+  std::vector<std::vector<Word>> reference;
+  expect_transports_identical(
+      "sample_sort/coordinator", [&](mpc::Cluster& cluster, bool first) {
+        const mpc::SampleSortResult result = sample_sort(
+            cluster, input, 8, mpc::SplitterStrategy::kCoordinator);
+        EXPECT_EQ(result.rounds, 3u);
+        if (first)
+          reference = result.slabs;
+        else
+          EXPECT_EQ(result.slabs, reference);
+      });
+}
+
+TEST(TransportDeterminismMatrix, WideTreeSampleSort) {
+  const std::size_t machines = 75;  // r = 9, ragged last group of 3
+  const auto input = random_slabs(machines, 40, 126);
+  std::vector<std::vector<Word>> reference;
+  expect_transports_identical(
+      "sample_sort/tree-wide",
+      [&](mpc::Cluster& cluster, bool first) {
+        const mpc::SampleSortResult result = sample_sort(cluster, input);
+        EXPECT_EQ(result.rounds, 6u);
+        if (first)
+          reference = result.slabs;
+        else
+          EXPECT_EQ(result.slabs, reference);
+      },
+      machines, 8192);
 }
 
 TEST(TransportDeterminismMatrix, BroadcastAndConverge) {
