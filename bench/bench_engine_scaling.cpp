@@ -104,6 +104,12 @@ int main(int argc, char** argv) {
       .meta("words_per_machine", base.words_per_machine)
       .meta("rounds", rounds);
 
+  // Metrics without spans or a trace file: every row's round-latency
+  // percentiles come from the same "round_us" histogram the telemetry
+  // report quotes. Cleared per row so percentiles are per-configuration.
+  arbor::trace::Tracer& tracer = arbor::trace::Tracer::global();
+  tracer.force_metrics(true);
+
   arbor::bench::Table table({"executor", "ms", "rounds/s", "Mwords/s",
                              "speedup", "overlapped", "fingerprint"});
   StormOutcome serial_out;
@@ -114,6 +120,7 @@ int main(int argc, char** argv) {
     ClusterConfig cfg = base;
     cfg.execution = config.policy;
     cfg.transport = config.transport;
+    tracer.metrics().clear();
     StormOutcome out;
     try {
       out = config.program ? arbor::bench::run_storm_program(slabs, cfg, rounds)
@@ -156,6 +163,8 @@ int main(int argc, char** argv) {
                    arbor::bench::fmt(out.words_moved / out.secs / 1e6, 2),
                    arbor::bench::fmt(speedup, 2),
                    arbor::bench::fmt(out.overlapped), fp});
+    const arbor::bench::Percentiles lat =
+        arbor::bench::metric_percentiles("round_us");
     report.row()
         .set("executor", config.name)
         .set("backend", arbor::bench::backend_name(cfg))
@@ -171,7 +180,10 @@ int main(int argc, char** argv) {
         .set("speedup_vs_serial", speedup)
         .set("overlapped_rounds", out.overlapped)
         .set("peak_traffic", out.peak_traffic)
-        .set("fingerprint", std::string(fp));
+        .set("fingerprint", std::string(fp))
+        .set("round_us_p50", lat.p50)
+        .set("round_us_p95", lat.p95)
+        .set("round_us_p99", lat.p99);
   }
   table.print();
 

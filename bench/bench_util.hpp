@@ -20,8 +20,38 @@
 #include "mpc/config.hpp"
 #include "mpc/ledger.hpp"
 #include "mpc/primitives.hpp"
+#include "trace/trace.hpp"
 
 namespace arbor::bench {
+
+// ------------------------------------------------------------ percentiles
+
+/// Nearest-rank p50/p95/p99 of a sample set (bench timings, trace
+/// histograms): ONE implementation, shared with the trace report
+/// (trace::percentile), so bench tables and BENCH_*.json quote the same
+/// numbers the telemetry does.
+struct Percentiles {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+inline Percentiles percentiles(std::vector<double> values) {
+  Percentiles out;
+  if (values.empty()) return out;
+  std::sort(values.begin(), values.end());
+  out.p50 = trace::percentile(values, 50.0);
+  out.p95 = trace::percentile(values, 95.0);
+  out.p99 = trace::percentile(values, 99.0);
+  return out;
+}
+
+/// Percentiles of a trace histogram by name from the global registry
+/// (empty Percentiles when it was never observed).
+inline Percentiles metric_percentiles(const std::string& name) {
+  const auto hist = trace::Tracer::global().metrics().histogram(name);
+  return hist ? percentiles(hist->samples) : Percentiles{};
+}
 
 class Table {
  public:
@@ -167,8 +197,11 @@ class JsonReport {
     return out + "  ]\n}\n";
   }
 
-  /// Write the report; prints where it went (or why it could not).
-  bool write_file(const std::string& path) const {
+  /// Write the report; prints where it went (or why it could not). Every
+  /// report is stamped with the trace/metrics summary first, so BENCH_*.json
+  /// trajectories always carry round-latency percentiles when available.
+  bool write_file(const std::string& path) {
+    stamp_trace_summary();
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (!f) {
       std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
@@ -182,6 +215,21 @@ class JsonReport {
   }
 
  private:
+  /// Trace/metrics summary block: the global tracer's mode plus the
+  /// "round_us" histogram's count and p50/p95/p99 when metrics were on
+  /// (ARBOR_TRACE=full or force_metrics) at any point in the run.
+  void stamp_trace_summary() {
+    trace::Tracer& tracer = trace::Tracer::global();
+    meta_.set("trace_mode", trace::mode_name(tracer.mode()));
+    const auto hist = tracer.metrics().histogram("round_us");
+    if (!hist) return;
+    const Percentiles p = percentiles(hist->samples);
+    meta_.set("round_us_count", static_cast<std::size_t>(hist->count));
+    meta_.set("round_us_p50", p.p50);
+    meta_.set("round_us_p95", p.p95);
+    meta_.set("round_us_p99", p.p99);
+  }
+
   std::string bench_;
   Object meta_;
   std::vector<Object> rows_;

@@ -20,6 +20,13 @@
 #   scripts/check.sh --bench-smoke       # run every bench binary at tiny
 #                                        # sizes to catch bench rot (argv
 #                                        # drift, aborts, JSON emit)
+#   scripts/check.sh --trace-smoke       # telemetry smoke stage only: run
+#                                        # the multiprocess storm launcher
+#                                        # under ARBOR_TRACE=full and
+#                                        # validate the emitted Chrome
+#                                        # trace with tools/trace-validate
+#                                        # (valid JSON, driver + worker
+#                                        # lanes, spans per phase)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -94,17 +101,42 @@ if [[ "${1:-}" == "--bench-smoke" ]]; then
   exit 0
 fi
 
+if [[ "${1:-}" == "--trace-smoke" ]]; then
+  shift
+  cmake -B build -S . "$@"
+  cmake --build build -j"${JOBS}" \
+    --target arbor-worker engine_multiprocess trace-validate trace_test
+  smoke_dir="build/trace-smoke"
+  mkdir -p "${smoke_dir}"
+  trace_json="${smoke_dir}/engine_multiprocess.json"
+  echo "== trace-smoke: storm over tcp:2 with ARBOR_TRACE=full =="
+  ARBOR_TRACE="full:${trace_json}" \
+    ./build/engine_multiprocess --transport tcp:2
+  [[ -f "${trace_json}" ]] || { echo "no trace written at ${trace_json}"; exit 1; }
+  echo "== trace-smoke: validating ${trace_json} =="
+  ./build/trace-validate "${trace_json}" --min-events 10 --expect-pids 3 \
+    --expect "driver,worker 0,worker 1,compute,serialize,deliver"
+  echo "== trace-smoke: trace_test (perturbation matrix + telemetry) =="
+  ctest --test-dir build -R 'Trace|Metrics|Percentile' \
+    --output-on-failure -j"${JOBS}"
+  echo "== trace-smoke: clean =="
+  exit 0
+fi
+
 if [[ "${1:-}" == "--tsan" ]]; then
   shift
   cmake --preset tsan "$@"
   cmake --build build-tsan -j"${JOBS}" \
-    --target engine_test level0_programs_test net_test arbor-worker
+    --target engine_test level0_programs_test net_test trace_test arbor-worker
   echo "== tsan: engine_test =="
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/engine_test
   echo "== tsan: level0_programs_test =="
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/level0_programs_test
   echo "== tsan: net_test (loopback transport threads + tcp groups) =="
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/net_test
+  echo "== tsan: trace_test (traced programs: per-thread span buffers and"
+  echo "         the shared metrics registry must be provably race-free) =="
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/trace_test
   echo "== tsan: clean =="
   exit 0
 fi

@@ -9,6 +9,7 @@
 #include "core/orientation_mpc.hpp"
 #include "core/partitioning.hpp"
 #include "local/list_coloring.hpp"
+#include "trace/trace.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 
@@ -218,6 +219,7 @@ SinglePartResult color_single_part(const graph::Graph& g,
 MpcColoringResult mpc_color(const graph::Graph& g,
                             const ColoringParams& params,
                             mpc::MpcContext& ctx) {
+  trace::Span stage_span = trace::Tracer::global().span("mpc", "coloring");
   const std::size_t n = g.num_vertices();
   MpcColoringResult result;
   result.colors.assign(n, kUncolored);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "trace/trace.hpp"
 #include "util/assert.hpp"
 
 namespace arbor::core {
@@ -84,6 +85,8 @@ PartialPipelineResult run_partial_iterated(const graph::Graph& g,
                                            const PipelineParams& p,
                                            std::size_t budget,
                                            mpc::MpcContext& ctx) {
+  trace::Span stage_span =
+      trace::Tracer::global().span("mpc", "layering.partial_iterated");
   const std::size_t n = g.num_vertices();
   PartialPipelineResult result;
   result.assignment.layer.assign(n, kInfiniteLayer);

@@ -6,6 +6,7 @@
 #include "core/density_estimate.hpp"
 #include "core/partitioning.hpp"
 #include "graph/arboricity.hpp"
+#include "trace/trace.hpp"
 #include "util/assert.hpp"
 
 namespace arbor::core {
@@ -25,6 +26,7 @@ bool oriented_towards_v(Layer lu, Layer lv) { return lu <= lv; }
 MpcOrientationResult mpc_orient(const graph::Graph& g,
                                 const OrientationParams& params,
                                 mpc::MpcContext& ctx) {
+  trace::Span stage_span = trace::Tracer::global().span("mpc", "orientation");
   const std::size_t n = g.num_vertices();
   std::size_t k = params.k;
   if (k == 0) {

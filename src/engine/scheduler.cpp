@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "trace/trace.hpp"
 #include "util/assert.hpp"
 
 namespace arbor::engine {
@@ -33,15 +34,25 @@ ProgramStats Scheduler::run(RoundState& state, std::size_t capacity,
   // opt-in; barrier steps drop back to strict per step below.
   const bool overlap = state.is_flat && policy_.async_rounds;
 
+  trace::Tracer& tracer = trace::Tracer::global();
+
   ProgramStats stats;
   for (;;) {
     bool computed_ahead = false;
     for (std::size_t i = 0; i < program.steps.size(); ++i) {
-      if (!computed_ahead) compute(state, capacity, program.steps[i].fn);
+      const std::string& label = program.steps[i].name;
+      const std::int64_t round_t0 = tracer.metrics_on() ? trace::now_ns() : 0;
+      if (!computed_ahead) {
+        trace::Span span = tracer.span("engine", "compute " + label);
+        compute(state, capacity, program.steps[i]);
+      }
       computed_ahead = false;
-      const RoundStats round_stats =
-          route(state, capacity, first_round_index + stats.rounds,
-                program.steps[i].name);
+      RoundStats round_stats;
+      {
+        trace::Span span = tracer.span("engine", "route " + label);
+        round_stats = route(state, capacity, first_round_index + stats.rounds,
+                            label);
+      }
       const ProgramStep* next =
           i + 1 < program.steps.size() ? &program.steps[i + 1] : nullptr;
       if (overlap && next && next->kind == StepKind::kMachineIndependent) {
@@ -52,14 +63,31 @@ ProgramStats Scheduler::run(RoundState& state, std::size_t capacity,
         // exactly the error paths the caps exist for.
         ++stats.rounds;
         if (on_round) on_round(round_stats);
-        deliver_and_compute(state, capacity, next->fn);
+        {
+          // The span that proves (or disproves) the async overlap claim:
+          // one fused phase where strict execution would show a deliver
+          // span, a barrier, then a compute span.
+          trace::Span span =
+              tracer.span("engine", "deliver+compute " + next->name);
+          deliver_and_compute(state, capacity, *next);
+        }
         state.flip();  // the fused compute's bank becomes next round's front
         computed_ahead = true;
         ++stats.overlapped;
       } else {
+        trace::Span span = tracer.span("engine", "deliver " + label);
         deliver(state);
+        span.end();
         ++stats.rounds;
         if (on_round) on_round(round_stats);
+      }
+      if (tracer.metrics_on()) {
+        // Per step-iteration wall time: under overlap the iteration ends
+        // when the fused deliver+compute does.
+        const double us =
+            static_cast<double>(trace::now_ns() - round_t0) / 1000.0;
+        tracer.metrics().observe("round_us", us);
+        tracer.metrics().observe("round_us." + label, us);
       }
     }
     ++stats.passes;
@@ -78,14 +106,18 @@ void Scheduler::run_parallel(std::size_t n, const ThreadPool::BlockFn& fn) {
 }
 
 void Scheduler::compute(RoundState& state, std::size_t capacity,
-                        const StepFn& step) {
+                        const ProgramStep& step) {
   const std::size_t machines = state.num_machines();
   std::vector<Outbox>& out = state.front_outboxes();
+  trace::Tracer& tracer = trace::Tracer::global();
   run_parallel(machines, [&](std::size_t begin, std::size_t end) {
+    // One span per machine block: pool threads show up as their own trace
+    // lanes, and the block spans' alignment makes load imbalance visible.
+    trace::Span span = tracer.span("engine", "block " + step.name);
     for (std::size_t m = begin; m < end; ++m) {
       out[m].clear();  // keeps arena capacity from previous rounds
       Sender sender(m, capacity, machines, out[m]);
-      step(m, state.inbox(m), sender);
+      step.fn(m, state.inbox(m), sender);
     }
   });
 }
@@ -177,14 +209,16 @@ void Scheduler::deliver(RoundState& state) {
 }
 
 void Scheduler::deliver_and_compute(RoundState& state, std::size_t capacity,
-                                    const StepFn& next_step) {
+                                    const ProgramStep& next_step) {
   const std::size_t machines = state.num_machines();
   // The front bank is frozen (round r's routed outboxes); the fused compute
   // writes the back bank. Materialize the back bank on this thread before
   // entering the parallel region.
   const std::vector<Outbox>& cur = state.front_outboxes();
   std::vector<Outbox>& nxt = state.back_outboxes();
+  trace::Tracer& tracer = trace::Tracer::global();
   run_parallel(machines, [&](std::size_t begin, std::size_t end) {
+    trace::Span span = tracer.span("engine", "block " + next_step.name);
     for (std::size_t m = begin; m < end; ++m) {
       // Deliver round r's messages for machine m...
       Inbox& in = state.flat_inboxes[m];
@@ -201,7 +235,7 @@ void Scheduler::deliver_and_compute(RoundState& state, std::size_t capacity,
       // flight (the machine-independent contract makes this sufficient).
       nxt[m].clear();
       Sender sender(m, capacity, machines, nxt[m]);
-      next_step(m, InboxView(in), sender);
+      next_step.fn(m, InboxView(in), sender);
     }
   });
 }

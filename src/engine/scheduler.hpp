@@ -79,12 +79,13 @@ class Scheduler {
 
  private:
   void run_parallel(std::size_t n, const ThreadPool::BlockFn& fn);
-  void compute(RoundState& state, std::size_t capacity, const StepFn& step);
+  void compute(RoundState& state, std::size_t capacity,
+               const ProgramStep& step);
   RoundStats route(RoundState& state, std::size_t capacity,
                    std::size_t round_index, const std::string& step_name);
   void deliver(RoundState& state);
   void deliver_and_compute(RoundState& state, std::size_t capacity,
-                           const StepFn& next_step);
+                           const ProgramStep& next_step);
 
   ExecutionPolicy policy_;
   ThreadPool* pool_;  // null => phases run inline

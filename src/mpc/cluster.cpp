@@ -1,6 +1,7 @@
 #include "mpc/cluster.hpp"
 
 #include "net/process_group.hpp"
+#include "trace/trace.hpp"
 #include "util/assert.hpp"
 
 namespace arbor::mpc {
@@ -9,6 +10,16 @@ namespace {
 engine::Engine& deref_engine(engine::Engine* e) {
   ARBOR_CHECK_MSG(e != nullptr, "Cluster requires a non-null engine");
   return *e;
+}
+
+// Tracing is opt-in per ClusterConfig but recorded globally (the engine
+// and driver-side net spans go through Tracer::global()). raise_mode never
+// lowers: a traced cluster coexisting with untraced ones keeps tracing.
+void arm_tracer(const ClusterConfig& config) {
+  if (config.trace.mode == trace::Mode::kOff) return;
+  trace::Tracer& tracer = trace::Tracer::global();
+  tracer.raise_mode(config.trace.mode);
+  if (!config.trace.path.empty()) tracer.set_path(config.trace.path);
 }
 
 }  // namespace
@@ -21,6 +32,7 @@ Cluster::Cluster(ClusterConfig config, RoundLedger* ledger)
       state_(engine_->make_state(config.num_machines)) {
   ARBOR_CHECK(config.num_machines > 0);
   ARBOR_CHECK(config.words_per_machine > 0);
+  arm_tracer(config);
   if (!config.transport.in_process()) {
     backend_ = net::make_multiprocess_backend(config);
     owned_engine_->set_backend(backend_.get());
@@ -35,6 +47,7 @@ Cluster::Cluster(ClusterConfig config, RoundLedger* ledger,
       state_(engine_->make_state(config.num_machines)) {
   ARBOR_CHECK(config.num_machines > 0);
   ARBOR_CHECK(config.words_per_machine > 0);
+  arm_tracer(config);
 }
 
 void Cluster::preload(std::size_t dst, std::span<const Word> payload) {
@@ -61,6 +74,15 @@ engine::ProgramStats Cluster::run_program(const RoundProgram& program) {
         if (ledger_) {
           ledger_->charge(1, label);
           ledger_->note_round_traffic(stats.max_traffic(), label);
+        }
+        trace::Tracer& tracer = trace::Tracer::global();
+        if (tracer.metrics_on()) {
+          // Mirror of the ledger charge above, so the telemetry report can
+          // be cross-checked against ledger totals word for word
+          // (tests/trace_test.cpp).
+          trace::MetricsRegistry& metrics = tracer.metrics();
+          metrics.add("cluster.rounds." + label, 1);
+          metrics.add("cluster.round_words." + label, stats.max_traffic());
         }
       });
 }

@@ -1,87 +1,58 @@
 #include "mpc/config.hpp"
 
-#include <cstdlib>
-#include <string>
+#include "util/env_knob.hpp"
 
 namespace arbor::mpc {
 
 bool parse_bool_flag(std::string_view value, std::string_view what) {
-  if (value == "1" || value == "on" || value == "true" || value == "yes")
-    return true;
-  if (value == "0" || value == "off" || value == "false" || value == "no")
-    return false;
-  ARBOR_CHECK_MSG(false, std::string(what) + "=\"" + std::string(value) +
-                             "\" is not a boolean flag (use 1/on/true/yes "
-                             "or 0/off/false/no)");
-  return false;  // unreachable
+  return util::parse_bool_knob(value, what);
 }
 
 TransportConfig parse_transport_flag(std::string_view value,
                                      std::string_view what) {
-  std::string_view kind = value;
-  std::string_view workers_part;
-  bool has_colon = false;
-  if (const auto colon = value.find(':'); colon != std::string_view::npos) {
-    kind = value.substr(0, colon);
-    workers_part = value.substr(colon + 1);
-    has_colon = true;
-    // "tcp:" is a truncated "tcp:N" (or a script interpolating an empty
-    // variable) — strict means strict, not "fall back to the default".
-    ARBOR_CHECK_MSG(!workers_part.empty(),
-                    std::string(what) + "=\"" + std::string(value) +
-                        "\": worker count is empty");
-  }
+  const auto [kind, arg] = util::split_knob(value);
+  // "tcp:" is a truncated "tcp:N" (or a script interpolating an empty
+  // variable) — strict means strict, not "fall back to the default".
+  if (arg && arg->empty())
+    util::reject_knob(what, value, "worker count is empty");
 
   TransportConfig cfg;
   if (kind == "inprocess" || kind == "in-process") {
     cfg.kind = TransportConfig::Kind::kInProcess;
-    ARBOR_CHECK_MSG(!has_colon,
-                    std::string(what) + "=\"" + std::string(value) +
-                        "\": the in-process transport takes no worker count");
+    if (arg)
+      util::reject_knob(what, value,
+                        "the in-process transport takes no worker count");
     return cfg;
   } else if (kind == "loopback") {
     cfg.kind = TransportConfig::Kind::kLoopback;
   } else if (kind == "tcp") {
     cfg.kind = TransportConfig::Kind::kTcp;
   } else {
-    ARBOR_CHECK_MSG(false, std::string(what) + "=\"" + std::string(value) +
-                               "\" is not a transport (use inprocess, "
-                               "loopback[:workers], or tcp[:workers])");
+    util::reject_knob(what, value,
+                      "not a transport (use inprocess, loopback[:workers], "
+                      "or tcp[:workers])");
   }
 
-  if (!workers_part.empty()) {
-    std::size_t workers = 0;
-    for (char c : workers_part) {
-      ARBOR_CHECK_MSG(c >= '0' && c <= '9',
-                      std::string(what) + "=\"" + std::string(value) +
-                          "\": worker count is not a number");
-      workers = workers * 10 + static_cast<std::size_t>(c - '0');
-      ARBOR_CHECK_MSG(workers <= 1024,
-                      std::string(what) + "=\"" + std::string(value) +
-                          "\": worker count out of range");
-    }
-    ARBOR_CHECK_MSG(workers >= 1, std::string(what) + "=\"" +
-                                      std::string(value) +
-                                      "\": worker count must be >= 1");
-    cfg.workers = workers;
-  }
+  if (arg)
+    cfg.workers = util::parse_count_knob(*arg, "worker count", 1, 1024, what,
+                                         value);
   return cfg;
 }
 
 bool distributed_level1_env_default() {
   static const bool value = [] {
-    const char* env = std::getenv("ARBOR_DISTRIBUTED_LEVEL1");
-    if (env == nullptr || *env == '\0') return false;
-    return parse_bool_flag(env, "ARBOR_DISTRIBUTED_LEVEL1");
+    const auto env = util::env_knob("ARBOR_DISTRIBUTED_LEVEL1");
+    if (!env) return false;
+    return parse_bool_flag(*env, "ARBOR_DISTRIBUTED_LEVEL1");
   }();
   return value;
 }
 
 TransportConfig transport_env_default() {
   static const TransportConfig value = [] {
-    const char* env = std::getenv("ARBOR_TRANSPORT");
-    if (env == nullptr || *env == '\0') return TransportConfig{};
-    return parse_transport_flag(env, "ARBOR_TRANSPORT");
+    const auto env = util::env_knob("ARBOR_TRANSPORT");
+    if (!env) return TransportConfig{};
+    return parse_transport_flag(*env, "ARBOR_TRANSPORT");
   }();
   return value;
 }

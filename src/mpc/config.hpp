@@ -12,6 +12,7 @@
 
 #include "engine/execution_policy.hpp"
 #include "engine/types.hpp"
+#include "trace/trace.hpp"
 #include "util/assert.hpp"
 
 namespace arbor::mpc {
@@ -106,6 +107,14 @@ struct ClusterConfig {
   /// Programs without a RemoteSpec always run in-process regardless.
   /// Default in-process (or the ARBOR_TRANSPORT environment override).
   TransportConfig transport = transport_env_default();
+
+  /// Run tracing + metrics telemetry (src/trace/): off (default, or the
+  /// strictly-parsed ARBOR_TRACE override), spans, or full. Constructing
+  /// a Cluster raises the process-wide tracer to this mode and, over the
+  /// loopback/tcp transport, turns on worker-side telemetry shipping.
+  /// Purely observational: inbox fingerprints and ledger totals are
+  /// bit-identical with tracing off or full (tests/trace_test.cpp).
+  trace::TraceConfig trace = trace::trace_env_default();
 
   /// Derive a cluster for a graph problem of n vertices / m edges with
   /// local memory S = max(n^δ, min_words) and enough machines for

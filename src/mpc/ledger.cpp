@@ -42,6 +42,7 @@ void RoundLedger::note_round_traffic(std::size_t words,
                                      const std::string& label) {
   auto& peak = peak_traffic_by_label_[label];
   peak = std::max(peak, words);
+  traffic_words_by_label_[label] += words;
   note_round_traffic(words);
 }
 
@@ -57,6 +58,11 @@ void RoundLedger::absorb_parallel(const RoundLedger& other) {
   for (const auto& [label, words] : other.peak_traffic_by_label_) {
     auto& mine = peak_traffic_by_label_[label];
     mine = std::max(mine, words);
+  }
+  for (const auto& [label, words] : other.traffic_words_by_label_) {
+    auto& mine = traffic_words_by_label_[label];
+    mine = std::max(mine, words);  // rounds max under parallel merge; so
+                                   // does the volume charged along them
   }
   // Parallel executions coexist: their global footprints add up.
   peak_global_words_ += other.peak_global_words_;
@@ -74,6 +80,8 @@ void RoundLedger::absorb_sequential(const RoundLedger& other) {
     auto& mine = peak_traffic_by_label_[label];
     mine = std::max(mine, words);
   }
+  for (const auto& [label, words] : other.traffic_words_by_label_)
+    traffic_words_by_label_[label] += words;
   peak_global_words_ = std::max(peak_global_words_, other.peak_global_words_);
   local_violations_ += other.local_violations_;
 }

@@ -63,6 +63,15 @@ class RoundLedger {
     return peak_traffic_by_label_;
   }
 
+  /// Total per-machine round traffic by label: the SUM of every labelled
+  /// round's max traffic, where peak_traffic_by_label keeps the max. This
+  /// is the volume total the trace telemetry's `cluster.round_words.<label>`
+  /// counters must match exactly (tests/trace_test.cpp).
+  const std::map<std::string, std::size_t>& traffic_words_by_label()
+      const noexcept {
+    return traffic_words_by_label_;
+  }
+
   std::string report() const;
 
   /// Merge a sub-ledger that ran "in parallel" with others (e.g. the
@@ -83,6 +92,7 @@ class RoundLedger {
   std::size_t local_violations_ = 0;
   std::map<std::string, std::size_t> rounds_by_label_;
   std::map<std::string, std::size_t> peak_traffic_by_label_;
+  std::map<std::string, std::size_t> traffic_words_by_label_;
 };
 
 }  // namespace arbor::mpc

@@ -7,6 +7,7 @@
 
 #include "engine/records.hpp"
 #include "net/registry.hpp"
+#include "trace/trace.hpp"
 #include "util/assert.hpp"
 
 namespace arbor::mpc {
@@ -434,6 +435,7 @@ SampleSortResult sample_sort(Cluster& cluster,
                              const std::vector<std::vector<Word>>& input,
                              std::size_t samples_per_machine,
                              SplitterStrategy strategy) {
+  trace::Span stage_span = trace::Tracer::global().span("mpc", "sample_sort");
   const std::size_t machines = cluster.num_machines();
   ARBOR_CHECK(input.size() == machines);
   ARBOR_CHECK(samples_per_machine >= 1);

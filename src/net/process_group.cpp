@@ -69,6 +69,12 @@ ProcessGroup::ProcessGroup(GroupOptions options)
                   "the in-process transport has no process group");
   for (std::size_t w = 0; w < workers(); ++w) worker_ids_.push_back(w);
   try {
+    // Mesh bring-up on the driver lane: fork/exec + hellos + peer mesh +
+    // readiness barrier for tcp, channel plumbing for loopback.
+    trace::Span span = trace::Tracer::global().span(
+        "driver", options_.transport.kind == mpc::TransportConfig::Kind::kTcp
+                      ? "mesh bring-up tcp"
+                      : "mesh bring-up loopback");
     if (options_.transport.kind == mpc::TransportConfig::Kind::kLoopback)
       spawn_loopback();
     else
@@ -109,6 +115,7 @@ void ProcessGroup::spawn_loopback() {
     wirings[w].machines = options_.machines;
     wirings[w].capacity = options_.capacity;
     wirings[w].worker_threads = options_.transport.worker_threads;
+    wirings[w].trace = options_.trace;
     wirings[w].hub = std::make_unique<FrameHub>(W + 1);
   }
   for (std::size_t w = 0; w < W; ++w) {
@@ -186,7 +193,8 @@ void ProcessGroup::spawn_tcp() {
                              static_cast<Word>(options_.capacity),
                              static_cast<Word>(W), static_cast<Word>(w),
                              static_cast<Word>(
-                                 options_.transport.worker_threads)};
+                                 options_.transport.worker_threads),
+                             static_cast<Word>(options_.trace)};
     for (std::uint16_t p : ports) config.push_back(p);
     conns[w]->send(FrameType::kConfig, config);
   }
@@ -338,7 +346,11 @@ engine::ProgramStats ProcessGroup::run(engine::RoundState& state,
     handle_oob(event, first_round_index + executed);
   };
 
+  trace::Tracer& tracer = trace::Tracer::global();
+  trace::Span program_span = tracer.span("driver", "program " + spec.name);
+
   // Scatter the spec with each block's inputs and current inbox contents.
+  trace::Span scatter_span = tracer.span("driver", "scatter " + spec.name);
   for (std::size_t w = 0; w < W; ++w) {
     const auto [begin, end] = machine_block(machines, W, w);
     ProgramFrame frame;
@@ -361,11 +373,15 @@ engine::ProgramStats ProcessGroup::run(engine::RoundState& state,
     send_or_fail(w, FrameType::kProgram, encode_program_frame(frame),
                  first_round_index);
   }
+  scatter_span.end();
 
   round_fingerprints_.clear();
   std::size_t passes = 0;
   for (bool more = true; more;) {
     for (std::size_t step = 0; step < program.steps.size(); ++step) {
+      const std::string& label = program.steps[step].name;
+      const std::int64_t round_t0 = tracer.metrics_on() ? trace::now_ns() : 0;
+      trace::Span round_span = tracer.span("driver", "round " + label);
       const std::vector<Frame> stats_frames =
           hub_->collect(worker_ids_, FrameType::kRoundStats, oob);
       engine::RoundStats stats;
@@ -402,6 +418,13 @@ engine::ProgramStats ProcessGroup::run(engine::RoundState& state,
       for (std::size_t w = 0; w < W; ++w)
         send_or_fail(w, FrameType::kRoundAck, ack,
                      first_round_index + executed);
+      round_span.end();
+      if (tracer.metrics_on()) {
+        const double us =
+            static_cast<double>(trace::now_ns() - round_t0) / 1000.0;
+        tracer.metrics().observe("round_us", us);
+        tracer.metrics().observe("round_us." + label, us);
+      }
     }
     ++passes;
     if (!spec.has_vote) break;
@@ -465,6 +488,23 @@ engine::ProgramStats ProcessGroup::run(engine::RoundState& state,
     reader.expect_end();
   }
 
+  // Telemetry last, absorbed in rank order (collect() indexes by source),
+  // so the merged metrics report is deterministic. Worker rank r gets
+  // process lane r+1 in the trace; the driver is lane 0.
+  if (options_.trace != trace::Mode::kOff) {
+    trace::Span span = tracer.span("driver", "collect telemetry");
+    const std::vector<Frame> blobs =
+        hub_->collect(worker_ids_, FrameType::kTelemetry, oob);
+    for (std::size_t w = 0; w < W; ++w) {
+      const TelemetryFrame telemetry = decode_telemetry_frame(blobs[w].payload);
+      ARBOR_CHECK_MSG(telemetry.rank == w,
+                      "telemetry frame claims rank " +
+                          std::to_string(telemetry.rank) + ", expected " +
+                          std::to_string(w));
+      tracer.absorb(telemetry.blob, w + 1);
+    }
+  }
+
   ++programs_run_;
   engine::ProgramStats out;
   out.rounds = executed;
@@ -488,6 +528,7 @@ std::unique_ptr<MultiProcessBackend> make_multiprocess_backend(
   options.transport = config.transport;
   options.machines = config.num_machines;
   options.capacity = config.words_per_machine;
+  options.trace = config.trace.mode;
   return std::make_unique<MultiProcessBackend>(options);
 }
 

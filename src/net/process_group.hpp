@@ -44,6 +44,10 @@ struct GroupOptions {
   /// arbor-worker binary for the tcp transport. Empty: $ARBOR_WORKER_BIN,
   /// then "arbor-worker" next to the running executable.
   std::string worker_binary;
+  /// Group trace mode: carried to every worker (config frame / loopback
+  /// wiring) so workers record and ship telemetry, and gates the driver's
+  /// own spans and its rank-ordered telemetry collection.
+  trace::Mode trace = trace::Mode::kOff;
 };
 
 class ProcessGroup {

@@ -1,5 +1,6 @@
 #include "net/wire.hpp"
 
+#include <bit>
 #include <cstring>
 
 #include "util/assert.hpp"
@@ -21,6 +22,7 @@ const char* frame_type_name(FrameType type) {
     case FrameType::kInboxDump: return "inbox-dump";
     case FrameType::kError: return "error";
     case FrameType::kShutdown: return "shutdown";
+    case FrameType::kTelemetry: return "telemetry";
   }
   return "invalid";
 }
@@ -29,7 +31,7 @@ namespace {
 
 bool known_frame_type(Word type) {
   return type >= static_cast<Word>(FrameType::kHello) &&
-         type <= static_cast<Word>(FrameType::kShutdown);
+         type <= static_cast<Word>(FrameType::kTelemetry);
 }
 
 }  // namespace
@@ -265,6 +267,78 @@ ProgramFrame decode_program_frame(std::span<const Word> payload,
       const std::span<const Word> msg = reader.words(len);
       frame.preinbox[i][j].assign(msg.begin(), msg.end());
     }
+  }
+  reader.expect_end();
+  return frame;
+}
+
+// ----------------------------------------------------- telemetry frames
+
+namespace {
+
+Word double_bits(double value) { return std::bit_cast<Word>(value); }
+double bits_double(Word bits) { return std::bit_cast<double>(bits); }
+
+}  // namespace
+
+std::vector<Word> encode_telemetry_frame(std::size_t rank,
+                                         const trace::TelemetryBlob& blob) {
+  std::vector<Word> out;
+  out.push_back(static_cast<Word>(rank));
+  out.push_back(static_cast<Word>(blob.counters.size()));
+  for (const auto& [name, value] : blob.counters) {
+    put_str(out, name);
+    out.push_back(value);
+  }
+  out.push_back(static_cast<Word>(blob.histograms.size()));
+  for (const trace::HistogramSnapshot& hist : blob.histograms) {
+    put_str(out, hist.name);
+    out.push_back(hist.count);
+    out.push_back(double_bits(hist.sum));
+    out.push_back(static_cast<Word>(hist.samples.size()));
+    for (double sample : hist.samples) out.push_back(double_bits(sample));
+  }
+  out.push_back(static_cast<Word>(blob.spans.size()));
+  for (const trace::TelemetrySpan& span : blob.spans) {
+    put_str(out, span.name);
+    put_str(out, span.category);
+    out.push_back(span.tid);
+    out.push_back(static_cast<Word>(span.start_ns));
+    out.push_back(static_cast<Word>(span.dur_ns));
+  }
+  return out;
+}
+
+TelemetryFrame decode_telemetry_frame(std::span<const Word> payload) {
+  WireReader reader(payload, "telemetry");
+  TelemetryFrame frame;
+  frame.rank = static_cast<std::size_t>(reader.word());
+  const std::size_t num_counters = reader.count();
+  frame.blob.counters.reserve(num_counters);
+  for (std::size_t i = 0; i < num_counters; ++i) {
+    std::string name = reader.str();
+    const Word value = reader.word();
+    frame.blob.counters.emplace_back(std::move(name), value);
+  }
+  const std::size_t num_hists = reader.count();
+  frame.blob.histograms.resize(num_hists);
+  for (trace::HistogramSnapshot& hist : frame.blob.histograms) {
+    hist.name = reader.str();
+    hist.count = reader.word();
+    hist.sum = bits_double(reader.word());
+    const std::size_t num_samples = reader.count();
+    hist.samples.reserve(num_samples);
+    for (std::size_t i = 0; i < num_samples; ++i)
+      hist.samples.push_back(bits_double(reader.word()));
+  }
+  const std::size_t num_spans = reader.count();
+  frame.blob.spans.resize(num_spans);
+  for (trace::TelemetrySpan& span : frame.blob.spans) {
+    span.name = reader.str();
+    span.category = reader.str();
+    span.tid = reader.word();
+    span.start_ns = static_cast<std::int64_t>(reader.word());
+    span.dur_ns = static_cast<std::int64_t>(reader.word());
   }
   reader.expect_end();
   return frame;

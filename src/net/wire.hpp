@@ -30,6 +30,7 @@
 #include "engine/inbox.hpp"
 #include "engine/outbox.hpp"
 #include "engine/types.hpp"
+#include "trace/trace.hpp"
 
 namespace arbor::net {
 
@@ -57,6 +58,7 @@ enum class FrameType : Word {
   kInboxDump = 11,    ///< worker → driver: final inbox state of the block
   kError = 12,        ///< either way: InvariantError text to relay
   kShutdown = 13,     ///< driver → worker: tear the group down
+  kTelemetry = 14,    ///< worker → driver: spans + metrics at program end
 };
 
 const char* frame_type_name(FrameType type);
@@ -183,5 +185,27 @@ struct ProgramFrame {
 std::vector<Word> encode_program_frame(const ProgramFrame& frame);
 ProgramFrame decode_program_frame(std::span<const Word> payload,
                                   std::size_t block_size);
+
+// ----------------------------------------------------- telemetry frames
+
+/// The kTelemetry payload a worker ships after its inbox dump when the
+/// group runs traced (trace/trace.hpp):
+///
+///   [rank,
+///    num_counters, {name, value} * num_counters,
+///    num_histograms, {name, count, sum_bits,
+///                     num_samples, sample_bits...} * num_histograms,
+///    num_spans, {name, category, tid, start_ns, dur_ns} * num_spans]
+///
+/// Doubles travel as their IEEE-754 bit patterns (host order, like every
+/// other word on this localhost fabric); strings use put_str.
+struct TelemetryFrame {
+  std::size_t rank = 0;
+  trace::TelemetryBlob blob;
+};
+
+std::vector<Word> encode_telemetry_frame(std::size_t rank,
+                                         const trace::TelemetryBlob& blob);
+TelemetryFrame decode_telemetry_frame(std::span<const Word> payload);
 
 }  // namespace arbor::net

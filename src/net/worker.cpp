@@ -57,6 +57,13 @@ void send_peer_lost(FrameHub& hub, std::size_t driver, std::size_t lost,
 
 }  // namespace
 
+void worker_log(std::size_t rank, std::string_view text) {
+  std::string line =
+      "[worker:" + std::to_string(rank) + "] " + std::string(text) + "\n";
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fflush(stderr);
+}
+
 std::uint64_t fingerprint_inbox(const engine::Inbox& inbox) {
   std::uint64_t h = util::mix64(0x6e6574);  // "net"
   for (std::size_t i = 0; i < inbox.message_count(); ++i) {
@@ -80,6 +87,7 @@ class WorkerRuntime {
     for (std::size_t q = 0; q < w_.workers; ++q)
       if (q != w_.rank) peers_.push_back(q);
     if (w_.worker_threads > 1) pool_.emplace(w_.worker_threads);
+    tracer_.set_mode(w_.trace);
   }
 
   void serve() {
@@ -134,25 +142,48 @@ class WorkerRuntime {
   std::pair<std::size_t, std::size_t> exchange(std::size_t local_round,
                                                std::size_t global_round,
                                                const std::string& step_name) {
-    for (std::size_t q : peers_) {
-      const auto [qb, qe] = machine_block(w_.machines, w_.workers, q);
-      try {
-        w_.hub->send(q, FrameType::kOutbox,
-                     encode_outbox_frame(local_round, w_.rank, outboxes_,
-                                         block_.first, block_.second, qb,
-                                         qe));
-      } catch (const TransportError& e) {
-        // A failed send means the PEER is gone (EPIPE races ahead of the
-        // reader thread's closure event) — blame q, not ourselves, so the
-        // driver reports the worker that actually died.
-        throw PeerLost{q, e.what()};
+    const bool metrics = tracer_.metrics_on();
+    const std::int64_t serialize_t0 = metrics ? trace::now_ns() : 0;
+    std::vector<std::vector<Word>> peer_payloads;
+    std::vector<Word> self_frame;
+    std::size_t sent_words = 0;
+    {
+      trace::Span span = tracer_.span("net", "serialize " + step_name);
+      peer_payloads.reserve(peers_.size());
+      for (std::size_t q : peers_) {
+        const auto [qb, qe] = machine_block(w_.machines, w_.workers, q);
+        peer_payloads.push_back(encode_outbox_frame(local_round, w_.rank,
+                                                    outboxes_, block_.first,
+                                                    block_.second, qb, qe));
+        sent_words += peer_payloads.back().size();
+      }
+      self_frame =
+          encode_outbox_frame(local_round, w_.rank, outboxes_, block_.first,
+                              block_.second, block_.first, block_.second);
+    }
+    const std::int64_t send_t0 = metrics ? trace::now_ns() : 0;
+    {
+      trace::Span span = tracer_.span("net", "send " + step_name);
+      for (std::size_t i = 0; i < peers_.size(); ++i) {
+        const std::size_t q = peers_[i];
+        try {
+          w_.hub->send(q, FrameType::kOutbox, peer_payloads[i]);
+        } catch (const TransportError& e) {
+          // A failed send means the PEER is gone (EPIPE races ahead of the
+          // reader thread's closure event) — blame q, not ourselves, so the
+          // driver reports the worker that actually died.
+          throw PeerLost{q, e.what()};
+        }
       }
     }
-    const std::vector<Word> self_frame =
-        encode_outbox_frame(local_round, w_.rank, outboxes_, block_.first,
-                            block_.second, block_.first, block_.second);
+    peer_payloads.clear();
+    const std::int64_t wait_t0 = metrics ? trace::now_ns() : 0;
+    trace::Span wait_span = tracer_.span("net", "wait " + step_name);
     const std::vector<Frame> peer_frames =
         w_.hub->collect(peers_, FrameType::kOutbox, oob());
+    wait_span.end();
+    const std::int64_t deliver_t0 = metrics ? trace::now_ns() : 0;
+    trace::Span deliver_span = tracer_.span("net", "deliver " + step_name);
 
     // Count tables first (source rank ascending), so every receive cap is
     // checked before any message payload is deserialized.
@@ -197,6 +228,21 @@ class WorkerRuntime {
     std::size_t max_sent = 0;
     for (std::size_t m = block_.first; m < block_.second; ++m)
       max_sent = std::max(max_sent, outboxes_[m].word_count());
+    deliver_span.end();
+    if (metrics) {
+      const std::int64_t done = trace::now_ns();
+      trace::MetricsRegistry& reg = tracer_.metrics();
+      reg.add("net.sent_words." + step_name, sent_words);
+      reg.add("net.sent_frames." + step_name, peers_.size());
+      reg.observe("net.serialize_us." + step_name,
+                  static_cast<double>(send_t0 - serialize_t0) / 1000.0);
+      reg.observe("net.send_us." + step_name,
+                  static_cast<double>(wait_t0 - send_t0) / 1000.0);
+      reg.observe("net.wait_us." + step_name,
+                  static_cast<double>(deliver_t0 - wait_t0) / 1000.0);
+      reg.observe("net.deliver_us." + step_name,
+                  static_cast<double>(done - deliver_t0) / 1000.0);
+    }
     return {max_sent, max_received};
   }
 
@@ -230,11 +276,17 @@ class WorkerRuntime {
         inboxes_[m].append(msg);
     }
 
+    trace::Span program_span = tracer_.span("net", "program " + frame.name);
     std::size_t executed = 0;  // rounds completed in this program
     std::size_t passes = 0;
     for (bool more = true; more;) {
       for (const engine::ProgramStep& step : wp.program.steps) {
-        compute_block(step.fn);
+        const std::int64_t round_t0 =
+            tracer_.metrics_on() ? trace::now_ns() : 0;
+        {
+          trace::Span span = tracer_.span("net", "compute " + step.name);
+          compute_block(step.fn);
+        }
         const auto [max_sent, max_received] =
             exchange(executed, frame.first_round + executed, step.name);
 
@@ -253,6 +305,15 @@ class WorkerRuntime {
                         "round ack out of order");
         reader.expect_end();
         ++executed;
+        if (tracer_.metrics_on()) {
+          // "net." prefix: the driver's merged registry keeps the plain
+          // "round_us" histogram for its own per-round latency, so worker
+          // samples must not fold into it.
+          const double us =
+              static_cast<double>(trace::now_ns() - round_t0) / 1000.0;
+          tracer_.metrics().observe("net.round_us", us);
+          tracer_.metrics().observe("net.round_us." + step.name, us);
+        }
       }
       ++passes;
       if (!frame.has_vote) break;
@@ -282,6 +343,15 @@ class WorkerRuntime {
     }
     w_.hub->send(driver_, FrameType::kInboxDump,
                  encode_inbox_dump(inboxes_, block_.first, block_.second));
+
+    if (w_.trace != trace::Mode::kOff) {
+      // Close the program span before draining so it ships with THIS
+      // program's blob; the driver collects telemetry right after the
+      // inbox dumps, in rank order.
+      program_span.end();
+      w_.hub->send(driver_, FrameType::kTelemetry,
+                   encode_telemetry_frame(w_.rank, tracer_.drain_telemetry()));
+    }
   }
 
   WorkerWiring& w_;
@@ -291,6 +361,11 @@ class WorkerRuntime {
   std::vector<engine::Inbox> inboxes_;
   std::vector<engine::Outbox> outboxes_;
   std::optional<engine::ThreadPool> pool_;
+  /// Runtime-local tracer (NOT the process-global one): loopback runtimes
+  /// share the driver's address space, so a per-runtime instance keeps
+  /// worker spans out of the driver's buffers until they arrive the same
+  /// way tcp workers' do — as a kTelemetry frame.
+  trace::Tracer tracer_;
 };
 
 }  // namespace
@@ -305,10 +380,17 @@ void run_worker(WorkerWiring wiring) {
   } catch (const ShutdownSignal&) {
     // Orderly teardown.
   } catch (const PeerLost& lost) {
+    // Log before reporting: the driver tears the group down on receipt,
+    // and the log line must already be on stderr when it does.
+    worker_log(wiring.rank,
+               "lost worker " + std::to_string(lost.rank) + ": " + lost.detail);
     send_peer_lost(*wiring.hub, driver, lost.rank, lost.detail);
   } catch (const InvariantError& e) {
+    // Relayed to the driver with its type intact; no stderr echo — the
+    // driver rethrows it with full context.
     send_error(*wiring.hub, driver, kErrorKindInvariant, e.what());
   } catch (const std::exception& e) {
+    worker_log(wiring.rank, e.what());
     send_error(*wiring.hub, driver, kErrorKindTransport, e.what());
   }
   wiring.hub->shutdown_all();
@@ -340,6 +422,11 @@ int tcp_worker_main(std::uint16_t port, std::size_t rank) {
     wiring.workers = static_cast<std::size_t>(reader.word());
     ARBOR_CHECK_MSG(reader.word() == rank, "config addressed to another rank");
     wiring.worker_threads = static_cast<std::size_t>(reader.word());
+    const Word trace_word = reader.word();
+    ARBOR_CHECK_MSG(trace_word <= static_cast<Word>(trace::Mode::kFull),
+                    "config frame carries an unknown trace mode " +
+                        std::to_string(trace_word));
+    wiring.trace = static_cast<trace::Mode>(trace_word);
     std::vector<std::uint16_t> ports(wiring.workers);
     for (std::uint16_t& p : ports)
       p = static_cast<std::uint16_t>(reader.word());
@@ -377,7 +464,7 @@ int tcp_worker_main(std::uint16_t port, std::size_t rank) {
     run_worker(std::move(wiring));
     return 0;
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "arbor-worker[%zu]: %s\n", rank, e.what());
+    worker_log(rank, e.what());
     return 1;
   }
 }

@@ -21,15 +21,19 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "net/transport.hpp"
+#include "trace/trace.hpp"
 
 namespace arbor::net {
 
 /// Wire protocol version; driver and worker must agree exactly.
-inline constexpr std::uint64_t kProtocolVersion = 1;
+/// v2: the config frame carries the group's trace mode and workers ship a
+/// kTelemetry frame after each program's inbox dump when tracing is on.
+inline constexpr std::uint64_t kProtocolVersion = 2;
 
 /// FrameHub source ids: ranks 0..workers-1 are peers, `workers` is the
 /// driver.
@@ -56,8 +60,18 @@ struct WorkerWiring {
   std::size_t machines = 0;
   std::size_t capacity = 0;
   std::size_t worker_threads = 1;
+  /// Group trace mode (the driver's decision, from ClusterConfig::trace):
+  /// when not off, the runtime records spans/metrics into its own tracer
+  /// and ships them as a kTelemetry frame after every program.
+  trace::Mode trace = trace::Mode::kOff;
   std::unique_ptr<FrameHub> hub;
 };
+
+/// Write one line to stderr as `[worker:<rank>] <text>` (single write, so
+/// concurrent worker processes cannot interleave mid-line). Every stderr
+/// line a worker runtime emits goes through here — multi-process failure
+/// logs stay attributable by rank.
+void worker_log(std::size_t rank, std::string_view text);
 
 /// Serve programs until the driver shuts the group down (or a connection
 /// dies). Never throws: failures are reported to the driver as kError

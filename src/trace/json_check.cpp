@@ -1,0 +1,178 @@
+#include "trace/json_check.hpp"
+
+#include <cctype>
+
+namespace arbor::trace {
+
+namespace {
+
+class Checker {
+ public:
+  explicit Checker(std::string_view text) : text_(text) {}
+
+  JsonCheckResult run() {
+    skip_ws();
+    if (!value()) return result_;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after value");
+      return result_;
+    }
+    return {true, 0, ""};
+  }
+
+ private:
+  bool fail(const std::string& error) {
+    if (result_.error.empty()) result_ = {false, pos_, error};
+    return false;
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  void skip_ws() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                      peek() == '\r'))
+      ++pos_;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word)
+      return fail("bad literal");
+    pos_ += word.size();
+    return true;
+  }
+
+  bool string() {
+    if (eof() || peek() != '"') return fail("expected string");
+    ++pos_;
+    while (!eof() && peek() != '"') {
+      if (peek() == '\\') {
+        ++pos_;
+        if (eof()) return fail("unterminated escape");
+        const char e = peek();
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (eof() || !std::isxdigit(static_cast<unsigned char>(peek())))
+              return fail("bad unicode escape");
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+                   e != 'n' && e != 'r' && e != 't') {
+          return fail("bad escape");
+        }
+      } else if (static_cast<unsigned char>(peek()) < 0x20) {
+        return fail("raw control character in string");
+      }
+      ++pos_;
+    }
+    if (eof()) return fail("unterminated string");
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    if (eof() || !std::isdigit(static_cast<unsigned char>(peek())))
+      return fail("bad number");
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek())))
+        return fail("bad number fraction");
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek())))
+        return fail("bad number exponent");
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool value() {
+    if (++depth_ > kMaxDepth) return fail("nesting too deep");
+    struct Depth {
+      std::size_t& d;
+      ~Depth() { --d; }
+    } depth_guard{depth_};
+    skip_ws();
+    if (eof()) return fail("unexpected end of input");
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (eof() || peek() != ':') return fail("expected ':' in object");
+      ++pos_;
+      if (!value()) return false;
+      skip_ws();
+      if (eof()) return fail("unterminated object");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      if (!value()) return false;
+      skip_ws();
+      if (eof()) return fail("unterminated array");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  static constexpr std::size_t kMaxDepth = 256;
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
+  JsonCheckResult result_{false, 0, ""};
+};
+
+}  // namespace
+
+JsonCheckResult check_json(std::string_view text) { return Checker(text).run(); }
+
+}  // namespace arbor::trace

@@ -1,0 +1,25 @@
+// Minimal JSON syntax checker for validating emitted trace files.
+//
+// This is a validator, not a parser: it walks the grammar (objects,
+// arrays, strings with escapes, numbers, true/false/null) and reports the
+// first defect with its byte offset. Enough to assert "the trace writer
+// emitted well-formed JSON a viewer will load" in tests and in
+// tools/trace_validate.cpp without pulling a JSON library into the build.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace arbor::trace {
+
+struct JsonCheckResult {
+  bool ok = false;
+  std::size_t offset = 0;  ///< byte offset of the defect when !ok
+  std::string error;       ///< empty when ok
+};
+
+/// Validate that `text` is exactly one JSON value (plus whitespace).
+JsonCheckResult check_json(std::string_view text);
+
+}  // namespace arbor::trace

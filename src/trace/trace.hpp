@@ -1,0 +1,301 @@
+// Run tracing and metrics telemetry.
+//
+// Two instruments share this header:
+//
+//   * Tracer — wall-clock spans ("this thread spent [start, start+dur) in
+//     engine.compute for step sample_sort.tree.up") collected into
+//     per-thread buffers and serialized as Chrome trace-event JSON, the
+//     format Perfetto / chrome://tracing render directly. Spans carry a
+//     category (engine / net / mpc / driver), a name (the ProgramStep
+//     label wherever one exists, so trace rows line up with ledger rows),
+//     a process lane (driver = pid 0, worker rank r = pid r+1) and a
+//     thread lane.
+//   * MetricsRegistry — named monotonic counters (words / frames per step
+//     label) and histograms (round latency, serialize / send / frame-wait
+//     / deliver durations) with exact count+sum and nearest-rank
+//     p50/p95/p99 over retained samples.
+//
+// net/ workers drain both into a TelemetryBlob at program end and ship it
+// to the driver as a kTelemetry frame (net/wire.hpp); the driver absorbs
+// blobs in rank order into the global tracer, so the merged metrics
+// report is deterministic and one trace file shows driver and worker
+// lanes on one comparable clock (steady_clock is CLOCK_MONOTONIC —
+// system-wide on Linux, and the transport is localhost-only).
+//
+// Everything is gated on a Mode that is OFF by default: a disabled
+// tracer's span() is one relaxed atomic load and a branch — no clock
+// read, no string construction, no allocation — so instrumentation stays
+// compiled in everywhere. The knob is ClusterConfig::trace, defaulting to
+// the strictly-parsed ARBOR_TRACE environment variable:
+//
+//   ARBOR_TRACE=off | spans[:path] | full[:path]
+//
+// where `spans` records spans only, `full` adds metrics, and `path`
+// overrides where the global tracer writes its trace file at process
+// exit (default arbor-trace.json). Unknown values are rejected by name
+// (util/env_knob.hpp). Enabling tracing never perturbs simulated
+// execution: inbox fingerprints and ledger totals are bit-identical with
+// tracing off or full (tests/trace_test.cpp).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace arbor::trace {
+
+enum class Mode : std::uint8_t {
+  kOff = 0,    ///< null sink: span() is a branch, nothing is recorded
+  kSpans = 1,  ///< record spans only
+  kFull = 2,   ///< spans + metrics counters/histograms
+};
+
+const char* mode_name(Mode mode);
+
+struct TraceConfig {
+  Mode mode = Mode::kOff;
+  /// Output file for the global tracer's exit flush; empty = default
+  /// ("arbor-trace.json").
+  std::string path;
+
+  friend bool operator==(const TraceConfig&, const TraceConfig&) = default;
+};
+
+/// Strict parse of "off|spans|full[:path]" (ARBOR_TRACE): unknown modes,
+/// an empty path after ':', or a path on "off" are rejected by name with
+/// the canonical knob message shape.
+TraceConfig parse_trace_flag(std::string_view value, std::string_view what);
+
+/// Process-wide default for ClusterConfig::trace, read once from the
+/// ARBOR_TRACE environment variable.
+TraceConfig trace_env_default();
+
+/// Monotonic nanoseconds (CLOCK_MONOTONIC): comparable across the
+/// processes of one localhost run.
+std::int64_t now_ns();
+
+/// Nearest-rank percentile of an ascending-sorted sample, p in [0,100].
+double percentile(std::span<const double> sorted, double p);
+
+// ------------------------------------------------------------- metrics
+
+/// Snapshot of one histogram for wire transfer / reporting.
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;  ///< exact, even past the sample cap
+  double sum = 0.0;         ///< exact, even past the sample cap
+  std::vector<double> samples;  ///< first kMaxHistogramSamples observations
+};
+
+/// Observations kept per histogram for percentile estimation; count and
+/// sum stay exact beyond it (keep-first is deterministic, reservoir
+/// sampling would not be).
+inline constexpr std::size_t kMaxHistogramSamples = std::size_t{1} << 16;
+
+class MetricsRegistry {
+ public:
+  void add(std::string_view name, std::uint64_t delta);
+  void observe(std::string_view name, double value);
+
+  std::map<std::string, std::uint64_t> counters() const;
+  std::vector<HistogramSnapshot> histograms() const;
+  std::optional<std::uint64_t> counter(std::string_view name) const;
+  std::optional<HistogramSnapshot> histogram(std::string_view name) const;
+
+  /// Fold shipped worker metrics in: counters sum, histogram snapshots
+  /// append (callers merge in rank order, keeping reports deterministic).
+  void merge(const std::vector<std::pair<std::string, std::uint64_t>>& counters,
+             const std::vector<HistogramSnapshot>& histograms);
+
+  /// Deterministic text report: counters then histograms, name-sorted,
+  /// histograms with count/sum/p50/p95/p99.
+  std::string report() const;
+
+  void clear();
+  bool empty() const;
+
+ private:
+  struct Histogram {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    std::vector<double> samples;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+// --------------------------------------------------------------- spans
+
+/// One closed span, as stored in thread buffers and shipped over the wire.
+struct TelemetrySpan {
+  std::string name;
+  std::string category;
+  std::uint64_t tid = 0;
+  std::int64_t start_ns = 0;
+  std::int64_t dur_ns = 0;
+};
+
+/// Everything a worker ships to the driver at program end.
+struct TelemetryBlob {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<HistogramSnapshot> histograms;
+  std::vector<TelemetrySpan> spans;
+
+  bool empty() const noexcept {
+    return counters.empty() && histograms.empty() && spans.empty();
+  }
+};
+
+class Tracer;
+
+/// RAII span: closes (records stop time) on destruction or end(). A
+/// default-constructed Span is the null sink disabled tracing returns.
+class Span {
+ public:
+  Span() = default;
+  Span(Span&& other) noexcept { *this = std::move(other); }
+  Span& operator=(Span&& other) noexcept;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { end(); }
+
+  void end();
+  bool active() const noexcept { return tracer_ != nullptr; }
+
+ private:
+  friend class Tracer;
+  Span(Tracer* tracer, const char* category, std::string name,
+       std::int64_t start_ns)
+      : tracer_(tracer),
+        category_(category),
+        name_(std::move(name)),
+        start_ns_(start_ns) {}
+
+  Tracer* tracer_ = nullptr;
+  const char* category_ = "";
+  std::string name_;
+  std::int64_t start_ns_ = 0;
+};
+
+class Tracer {
+ public:
+  Tracer();
+  explicit Tracer(TraceConfig config, bool flush_at_exit = false);
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// The process-wide tracer: configured once from ARBOR_TRACE, raised by
+  /// Cluster configs, flushed to its configured path at process exit.
+  static Tracer& global();
+
+  Mode mode() const noexcept { return mode_.load(std::memory_order_relaxed); }
+  void set_mode(Mode mode) noexcept {
+    mode_.store(mode, std::memory_order_relaxed);
+  }
+  /// Never lowers: several clusters in one process may disagree and "some
+  /// component wants tracing" must win.
+  void raise_mode(Mode mode) noexcept;
+  void set_path(std::string path);
+  std::string path() const;
+
+  /// The null-sink branch: everything below answers these before touching
+  /// a clock or a buffer.
+  bool spans_on() const noexcept { return mode() != Mode::kOff; }
+  bool metrics_on() const noexcept {
+    return mode() == Mode::kFull ||
+           metrics_forced_.load(std::memory_order_relaxed);
+  }
+  /// Benches opt into metrics without span overhead or a trace file.
+  void force_metrics(bool on) noexcept {
+    metrics_forced_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Open a span on the calling thread's buffer; inert when disabled
+  /// (`name` is not even copied).
+  Span span(const char* category, std::string_view name) {
+    if (!spans_on()) return Span();
+    return Span(this, category, std::string(name), now_ns());
+  }
+
+  MetricsRegistry& metrics() noexcept { return metrics_; }
+
+  /// Move every recorded span and metric out (worker side, program end).
+  TelemetryBlob drain_telemetry();
+  /// Fold a worker's blob in under its process lane (driver side; callers
+  /// absorb in rank order).
+  void absorb(const TelemetryBlob& blob, std::uint64_t pid);
+
+  /// Recorded spans, local + absorbed (tests).
+  std::size_t span_count() const;
+  /// Drop all spans and metrics (tests, bench row isolation).
+  void clear();
+
+  // ------------------------------------------------- chrome trace output
+  /// {"traceEvents": [...], "metrics": {...}}: complete spans (ph "X",
+  /// microsecond timestamps rebased to the earliest event), process-name
+  /// metadata per lane, and the metrics registry's counters/percentiles.
+  void write_chrome_trace(std::ostream& os) const;
+  /// write_chrome_trace to `path`; false (no throw) on I/O failure.
+  bool write_chrome_trace_file(const std::string& path) const;
+  /// Exit flush: write the configured path if any span was recorded.
+  void flush();
+
+ private:
+  friend class Span;
+
+  struct ThreadBuffer {
+    std::mutex mu;  ///< owner thread appends; drain/write contend briefly
+    std::uint64_t tid = 0;
+    std::vector<TelemetrySpan> spans;
+  };
+  struct ForeignSpan {
+    TelemetrySpan span;
+    std::uint64_t pid = 0;
+  };
+
+  void record(const char* category, std::string&& name, std::int64_t start_ns,
+              std::int64_t dur_ns);
+  ThreadBuffer& local_buffer();
+
+  const std::uint64_t serial_;  ///< never reused; keys thread-local caches
+  std::atomic<Mode> mode_{Mode::kOff};
+  std::atomic<bool> metrics_forced_{false};
+  bool flush_at_exit_ = false;
+
+  mutable std::mutex registry_mu_;  ///< guards buffers_, foreign_, path_
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::vector<ForeignSpan> foreign_;
+  std::string path_;
+  MetricsRegistry metrics_;
+};
+
+/// Test helper: override a tracer's mode for a scope, restoring on exit.
+class ScopedMode {
+ public:
+  ScopedMode(Tracer& tracer, Mode mode)
+      : tracer_(tracer), saved_(tracer.mode()) {
+    tracer_.set_mode(mode);
+  }
+  ~ScopedMode() { tracer_.set_mode(saved_); }
+  ScopedMode(const ScopedMode&) = delete;
+  ScopedMode& operator=(const ScopedMode&) = delete;
+
+ private:
+  Tracer& tracer_;
+  Mode saved_;
+};
+
+}  // namespace arbor::trace

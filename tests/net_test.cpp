@@ -9,13 +9,18 @@
 #include <gtest/gtest.h>
 
 #include <sys/wait.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
 #include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <ranges>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -245,6 +250,59 @@ TEST(WireFormat, TruncatedAndOversizedFramesRejectedByName) {
     expect_rejected([&] { decode_program_frame(short_payload, 1); },
                     "truncated program frame");
   }
+}
+
+TEST(WireFormat, TelemetryFrameRoundTripsAndRejectsDefectsByName) {
+  trace::TelemetryBlob blob;
+  blob.counters = {{"net.sent_words.sort", 4096}, {"net.sent_frames.sort", 8}};
+  trace::HistogramSnapshot hist;
+  hist.name = "net.round_us";
+  hist.count = 3;
+  hist.sum = 6.5;
+  hist.samples = {1.0, 2.25, 3.25};
+  blob.histograms = {hist};
+  blob.spans = {{"compute sort", "net", 7, 1000, 250},
+                {"send sort", "net", 7, 1300, 40}};
+
+  const std::vector<Word> payload = encode_telemetry_frame(3, blob);
+  const TelemetryFrame decoded = decode_telemetry_frame(payload);
+  EXPECT_EQ(decoded.rank, 3u);
+  ASSERT_EQ(decoded.blob.counters.size(), 2u);
+  EXPECT_EQ(decoded.blob.counters[0].first, "net.sent_words.sort");
+  EXPECT_EQ(decoded.blob.counters[0].second, 4096u);
+  ASSERT_EQ(decoded.blob.histograms.size(), 1u);
+  EXPECT_EQ(decoded.blob.histograms[0].name, "net.round_us");
+  EXPECT_EQ(decoded.blob.histograms[0].count, 3u);
+  EXPECT_DOUBLE_EQ(decoded.blob.histograms[0].sum, 6.5);
+  EXPECT_EQ(decoded.blob.histograms[0].samples, hist.samples);
+  ASSERT_EQ(decoded.blob.spans.size(), 2u);
+  EXPECT_EQ(decoded.blob.spans[0].name, "compute sort");
+  EXPECT_EQ(decoded.blob.spans[0].category, "net");
+  EXPECT_EQ(decoded.blob.spans[0].tid, 7u);
+  EXPECT_EQ(decoded.blob.spans[0].start_ns, 1000);
+  EXPECT_EQ(decoded.blob.spans[0].dur_ns, 250);
+
+  // Same fuzz treatment as every other frame: every truncation prefix is
+  // rejected by name, as is trailing junk.
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    const std::vector<Word> short_payload(payload.begin(),
+                                          payload.begin() + cut);
+    expect_rejected([&] { decode_telemetry_frame(short_payload); },
+                    "truncated telemetry frame");
+  }
+  std::vector<Word> longer = payload;
+  longer.push_back(0xDEAD);
+  expect_rejected([&] { decode_telemetry_frame(longer); },
+                  "oversized telemetry frame");
+
+  // A telemetry frame's header is a known type (corrupted headers stay
+  // covered by the header fuzz above, which rejects before the payload
+  // decoder ever runs).
+  const std::array<Word, 3> header{
+      kFrameMagic, static_cast<Word>(FrameType::kTelemetry),
+      static_cast<Word>(payload.size())};
+  const FrameHeader parsed = decode_frame_header(header);
+  EXPECT_EQ(parsed.type, FrameType::kTelemetry);
 }
 
 // ------------------------------------------------- strict env overrides
@@ -673,6 +731,19 @@ TEST(FailureHandling, LedgerChargesMatchInProcessOnErrorPaths) {
 }
 
 TEST(FailureHandling, KilledWorkerRaisesTransportErrorAndLeavesNoZombies) {
+  // Capture the run's stderr: worker processes inherit fd 2 at fork, so
+  // the redirect must be in place BEFORE the backend spawns them. Every
+  // line a worker runtime writes goes through worker_log and must carry
+  // its "[worker:<rank>]" prefix — asserted below on the survivor's
+  // peer-loss report.
+  char stderr_path[] = "/tmp/arbor_net_test_stderr_XXXXXX";
+  const int capture_fd = ::mkstemp(stderr_path);
+  ASSERT_GE(capture_fd, 0);
+  std::fflush(stderr);
+  const int saved_stderr = ::dup(2);
+  ASSERT_GE(saved_stderr, 0);
+  ASSERT_GE(::dup2(capture_fd, 2), 0);
+
   GroupOptions options;
   options.transport = TransportConfig::tcp(2);
   options.machines = 8;
@@ -708,6 +779,30 @@ TEST(FailureHandling, KilledWorkerRaisesTransportErrorAndLeavesNoZombies) {
   const pid_t leftover = ::waitpid(-1, nullptr, WNOHANG);
   EXPECT_TRUE(leftover == 0 || (leftover == -1 && errno == ECHILD))
       << "unreaped child " << leftover;
+
+  // Teardown reaped the survivor (worker 0), so its stderr is flushed and
+  // complete. Restore fd 2 before asserting on the capture.
+  std::fflush(stderr);
+  ::dup2(saved_stderr, 2);
+  ::close(saved_stderr);
+  ::close(capture_fd);
+  std::string captured;
+  {
+    std::ifstream in(stderr_path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    captured = buf.str();
+  }
+  ::unlink(stderr_path);
+  EXPECT_NE(captured.find("[worker:0] "), std::string::npos) << captured;
+  EXPECT_NE(captured.find("lost worker 1"), std::string::npos) << captured;
+  // Nothing a worker wrote may dodge the rank prefix: every non-empty
+  // captured line starts with "[worker:".
+  std::istringstream lines(captured);
+  for (std::string line; std::getline(lines, line);) {
+    if (line.empty()) continue;
+    EXPECT_EQ(line.rfind("[worker:", 0), 0u) << "unprefixed line: " << line;
+  }
 }
 
 }  // namespace

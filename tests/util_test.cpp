@@ -3,10 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <initializer_list>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "util/assert.hpp"
+#include "util/env_knob.hpp"
 #include "util/hashing.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -161,6 +165,103 @@ TEST(LinearSlope, RecoversLine) {
 TEST(LinearSlope, RejectsDegenerateInput) {
   EXPECT_THROW(linear_slope({1.0}, {2.0}), arbor::InvariantError);
   EXPECT_THROW(linear_slope({1.0, 1.0}, {2.0, 3.0}), arbor::InvariantError);
+}
+
+// -------------------------------------------------------- env knobs
+
+/// Run `fn`, assert it throws an InvariantError whose message contains
+/// every fragment — the shared strict-knob contract (env_knob.hpp).
+template <typename Fn>
+void expect_knob_rejected(Fn fn, std::initializer_list<const char*> parts) {
+  try {
+    fn();
+    FAIL() << "expected an InvariantError";
+  } catch (const arbor::InvariantError& e) {
+    const std::string what = e.what();
+    for (const char* part : parts)
+      EXPECT_NE(what.find(part), std::string::npos)
+          << "missing \"" << part << "\" in: " << what;
+  }
+}
+
+TEST(EnvKnob, RejectShapeIsCanonical) {
+  expect_knob_rejected(
+      [] { reject_knob("ARBOR_THING", "bogus", "not a thing"); },
+      {"ARBOR_THING=\"bogus\": not a thing"});
+}
+
+TEST(EnvKnob, BoolKnobAcceptsTheEightSpellings) {
+  for (const char* yes : {"1", "on", "true", "yes"})
+    EXPECT_TRUE(parse_bool_knob(yes, "ARBOR_X")) << yes;
+  for (const char* no : {"0", "off", "false", "no"})
+    EXPECT_FALSE(parse_bool_knob(no, "ARBOR_X")) << no;
+  // Strict: no case folding, no trimming, typos rejected by name.
+  for (const char* bad : {"ture", "ON", " 1", "2", ""})
+    expect_knob_rejected([&] { parse_bool_knob(bad, "ARBOR_X"); },
+                         {"ARBOR_X=\"", "not a boolean flag"});
+}
+
+TEST(EnvKnob, SplitKnobKeepsEmptyArgumentsVisible) {
+  const KnobParts plain = split_knob("full");
+  EXPECT_EQ(plain.head, "full");
+  EXPECT_FALSE(plain.arg.has_value());
+
+  const KnobParts with_arg = split_knob("tcp:4");
+  EXPECT_EQ(with_arg.head, "tcp");
+  ASSERT_TRUE(with_arg.arg.has_value());
+  EXPECT_EQ(*with_arg.arg, "4");
+
+  // Only the FIRST colon splits: paths keep theirs.
+  const KnobParts path = split_knob("full:/tmp/a:b.json");
+  EXPECT_EQ(path.head, "full");
+  EXPECT_EQ(*path.arg, "/tmp/a:b.json");
+
+  // A trailing colon is a present-but-empty argument, not absence.
+  const KnobParts trailing = split_knob("tcp:");
+  EXPECT_EQ(trailing.head, "tcp");
+  ASSERT_TRUE(trailing.arg.has_value());
+  EXPECT_TRUE(trailing.arg->empty());
+}
+
+TEST(EnvKnob, CountKnobValidatesRangeByItemName) {
+  EXPECT_EQ(parse_count_knob("4", "worker count", 1, 64, "ARBOR_TRANSPORT",
+                             "tcp:4"),
+            4u);
+  expect_knob_rejected(
+      [] {
+        parse_count_knob("", "worker count", 1, 64, "ARBOR_TRANSPORT", "tcp:");
+      },
+      {"ARBOR_TRANSPORT=\"tcp:\"", "worker count is empty"});
+  expect_knob_rejected(
+      [] {
+        parse_count_knob("x4", "worker count", 1, 64, "ARBOR_TRANSPORT",
+                         "tcp:x4");
+      },
+      {"worker count is not a number"});
+  expect_knob_rejected(
+      [] {
+        parse_count_knob("0", "worker count", 1, 64, "ARBOR_TRANSPORT",
+                         "tcp:0");
+      },
+      {"worker count must be >= 1"});
+  expect_knob_rejected(
+      [] {
+        parse_count_knob("65", "worker count", 1, 64, "ARBOR_TRANSPORT",
+                         "tcp:65");
+      },
+      {"worker count out of range"});
+}
+
+TEST(EnvKnob, EnvKnobTreatsUnsetAndEmptyAlike) {
+  ::unsetenv("ARBOR_UTIL_TEST_KNOB");
+  EXPECT_FALSE(env_knob("ARBOR_UTIL_TEST_KNOB").has_value());
+  ::setenv("ARBOR_UTIL_TEST_KNOB", "", 1);
+  EXPECT_FALSE(env_knob("ARBOR_UTIL_TEST_KNOB").has_value());
+  ::setenv("ARBOR_UTIL_TEST_KNOB", "v", 1);
+  const auto got = env_knob("ARBOR_UTIL_TEST_KNOB");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "v");
+  ::unsetenv("ARBOR_UTIL_TEST_KNOB");
 }
 
 }  // namespace

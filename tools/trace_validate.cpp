@@ -1,0 +1,117 @@
+// trace-validate: check an arbor Chrome-trace file (scripts/check.sh
+// --trace-smoke).
+//
+//   trace-validate FILE [--min-events N] [--expect label,label,...]
+//                       [--expect-pids N]
+//
+// Validates that FILE is well-formed JSON (src/trace/json_check.hpp — a
+// real parse, not a grep), contains a traceEvents array with at least N
+// complete ("ph": "X") events, mentions every --expect label in some
+// event name, and carries process-name metadata for at least N distinct
+// lanes (--expect-pids: driver + workers). Exit 0 on success; prints the
+// first failure and exits 1 otherwise.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "trace/json_check.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s FILE [--min-events N] [--expect l1,l2,...] "
+               "[--expect-pids N]\n",
+               argv0);
+  std::exit(2);
+}
+
+std::size_t count_occurrences(const std::string& text,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size()))
+    ++count;
+  return count;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::size_t min_events = 1;
+  std::size_t expect_pids = 0;
+  std::vector<std::string> expect_labels;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--min-events") == 0 && i + 1 < argc) {
+      min_events = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--expect-pids") == 0 && i + 1 < argc) {
+      expect_pids = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--expect") == 0 && i + 1 < argc) {
+      std::string labels = argv[++i];
+      std::size_t start = 0;
+      while (start <= labels.size()) {
+        const std::size_t comma = labels.find(',', start);
+        const std::string label = labels.substr(
+            start, comma == std::string::npos ? comma : comma - start);
+        if (!label.empty()) expect_labels.push_back(label);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    } else if (path.empty() && argv[i][0] != '-') {
+      path = argv[i];
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (path.empty()) usage(argv[0]);
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "trace-validate: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string body = buf.str();
+
+  const arbor::trace::JsonCheckResult check = arbor::trace::check_json(body);
+  if (!check.ok) {
+    std::fprintf(stderr, "trace-validate: %s is not valid JSON: %s at byte %zu\n",
+                 path.c_str(), check.error.c_str(), check.offset);
+    return 1;
+  }
+  if (body.find("\"traceEvents\"") == std::string::npos) {
+    std::fprintf(stderr, "trace-validate: %s has no traceEvents array\n",
+                 path.c_str());
+    return 1;
+  }
+  const std::size_t events = count_occurrences(body, "\"ph\":\"X\"");
+  if (events < min_events) {
+    std::fprintf(stderr,
+                 "trace-validate: %s has %zu complete events, expected >= %zu\n",
+                 path.c_str(), events, min_events);
+    return 1;
+  }
+  const std::size_t lanes = count_occurrences(body, "\"process_name\"");
+  if (lanes < expect_pids) {
+    std::fprintf(stderr,
+                 "trace-validate: %s has %zu process lanes, expected >= %zu\n",
+                 path.c_str(), lanes, expect_pids);
+    return 1;
+  }
+  for (const std::string& label : expect_labels) {
+    if (body.find(label) == std::string::npos) {
+      std::fprintf(stderr, "trace-validate: %s never mentions \"%s\"\n",
+                   path.c_str(), label.c_str());
+      return 1;
+    }
+  }
+  std::printf("trace-validate: %s ok (%zu events, %zu lanes)\n", path.c_str(),
+              events, lanes);
+  return 0;
+}
