@@ -267,6 +267,52 @@ int main(int argc, char** argv) {
     ab.print();
   }
 
+  // -------- checked-execution A/B: ExecutionPolicy::check must be
+  // zero-cost when off. The storm program now declares Ownership families
+  // (src/check/ownership.hpp) and the scheduler gained a per-step check
+  // branch; with check=false none of that may cost anything. Min-of-3
+  // per side against the same serial fingerprint.
+  {
+    const auto min_storm_secs = [&](const ClusterConfig& cfg) {
+      double best = 1e300;
+      for (int rep = 0; rep < 3; ++rep) {
+        const StormOutcome out =
+            arbor::bench::run_storm_program(slabs, cfg, rounds);
+        if (out.fingerprint != serial_out.fingerprint) {
+          std::fprintf(stderr,
+                       "FATAL: checked-off A/B run disagrees with the "
+                       "serial executor\n");
+          std::exit(1);
+        }
+        best = std::min(best, out.secs);
+      }
+      return best;
+    };
+    ClusterConfig base_cfg = base;
+    base_cfg.execution = ExecutionPolicy::parallel(4);
+    ClusterConfig off_cfg = base;
+    off_cfg.execution = ExecutionPolicy::parallel(4).with_check(false);
+    const double base_secs = min_storm_secs(base_cfg);
+    const double off_secs = min_storm_secs(off_cfg);
+    const double ratio = base_secs / off_secs;
+    std::printf("\nchecked-off A/B at parallel(4): baseline %.1f ms, "
+                "check=false %.1f ms, ratio %.3f (target >= 0.97)\n",
+                base_secs * 1e3, off_secs * 1e3, ratio);
+    report.row()
+        .set("section", "checked_ab")
+        .set("backend", "engine")
+        .set("variant", "baseline")
+        .set("threads", std::size_t{4})
+        .set("ms", base_secs * 1e3);
+    report.row()
+        .set("section", "checked_ab")
+        .set("backend", "engine")
+        .set("variant", "check_off")
+        .set("threads", std::size_t{4})
+        .set("ms", off_secs * 1e3);
+    report.meta("checked_off_ratio", ratio);
+  }
+
   if (!json_path.empty()) report.write_file(json_path);
   return 0;
 }

@@ -27,6 +27,14 @@
 #                                        # trace with tools/trace-validate
 #                                        # (valid JSON, driver + worker
 #                                        # lanes, spans per phase)
+#   scripts/check.sh --asan              # Address+UB sanitizer stage only:
+#                                        # builds the 'asan' preset and runs
+#                                        # the engine, net, trace, and
+#                                        # checked-execution tests clean
+#   scripts/check.sh --lint              # style wall only: build and run
+#                                        # tools/arbor_lint over src/ (raw
+#                                        # getenv, unnamed distributable
+#                                        # steps, rand()/time())
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -127,7 +135,8 @@ if [[ "${1:-}" == "--tsan" ]]; then
   shift
   cmake --preset tsan "$@"
   cmake --build build-tsan -j"${JOBS}" \
-    --target engine_test level0_programs_test net_test trace_test arbor-worker
+    --target engine_test level0_programs_test net_test trace_test \
+             check_test arbor-worker
   echo "== tsan: engine_test =="
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/engine_test
   echo "== tsan: level0_programs_test =="
@@ -137,7 +146,36 @@ if [[ "${1:-}" == "--tsan" ]]; then
   echo "== tsan: trace_test (traced programs: per-thread span buffers and"
   echo "         the shared metrics registry must be provably race-free) =="
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/trace_test
+  echo "== tsan: check_test (checked-mode programs: the Monitor's"
+  echo "         owned_span gate and loopback monitors must be race-free) =="
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/check_test
   echo "== tsan: clean =="
+  exit 0
+fi
+
+if [[ "${1:-}" == "--asan" ]]; then
+  shift
+  cmake --preset asan "$@"
+  cmake --build build-asan -j"${JOBS}" \
+    --target engine_test net_test trace_test check_test arbor-worker
+  # abort_on_error so a worker PROCESS dying on a report fails the driver
+  # visibly; detect_leaks stays on (the default) — the wall is the point.
+  for t in engine_test net_test trace_test check_test; do
+    echo "== asan: ${t} =="
+    ASAN_OPTIONS="abort_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+      "./build-asan/${t}"
+  done
+  echo "== asan: clean =="
+  exit 0
+fi
+
+if [[ "${1:-}" == "--lint" ]]; then
+  shift
+  cmake -B build -S . "$@"
+  cmake --build build -j"${JOBS}" --target arbor_lint
+  echo "== lint: arbor_lint over src/ =="
+  ./build/arbor_lint src
+  echo "== lint: clean =="
   exit 0
 fi
 

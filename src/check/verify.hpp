@@ -1,0 +1,57 @@
+// ProgramVerifier: static analysis of a RoundProgram + RemoteSpec before
+// any round executes.
+//
+// Every rule here names a failure that today (or before this layer) only
+// surfaced mid-run, far from its cause — a null output_sink dying inside
+// the gather loop, a vote mismatch aborting at the first pass barrier, an
+// anonymous step making a tcp worker's cap violation unattributable. The
+// verifier front-loads all of them: Cluster::run_program calls
+// verify_program() before the first compute phase, so a malformed program
+// fails with a VerifyError quoting the step and field while the stack
+// still points at the caller that built it.
+//
+// Shallow rules need only the program object. Deep rules (VerifyContext
+// with a registry) additionally rebuild the program through its
+// registered worker-side factory — the exact code path every remote
+// worker runs — and cross-check the rebuilt shape (step count, kinds,
+// names, output/vote halves) against the driver-side declaration, so a
+// protocol whose two sides drifted apart is caught on the driver before
+// a worker process ever spawns.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "engine/program.hpp"
+#include "util/assert.hpp"
+
+namespace arbor::net {
+class Registry;
+}  // namespace arbor::net
+
+namespace arbor::check {
+
+/// A program that violates its declared contracts. Subtype of
+/// InvariantError: the same class of failure as a cap violation, caught
+/// earlier.
+class VerifyError : public InvariantError {
+ public:
+  explicit VerifyError(const std::string& what) : InvariantError(what) {}
+};
+
+/// What the verifier knows about the run the program is headed into.
+struct VerifyContext {
+  std::size_t machines = 0;  ///< M
+  std::size_t capacity = 0;  ///< S, the per-machine word budget
+  /// Non-null enables deep verification: the spec's factory is looked up
+  /// and the rebuilt program's shape cross-checked. Null keeps the
+  /// verifier purely static (always-on path).
+  const net::Registry* registry = nullptr;
+};
+
+/// Throws VerifyError ("program verifier: ...", quoting step and field) on
+/// the first violated rule; returns normally for a well-formed program.
+void verify_program(const engine::RoundProgram& program,
+                    const VerifyContext& context);
+
+}  // namespace arbor::check

@@ -28,7 +28,22 @@ struct ExecutionPolicy {
   /// serial reference executor ignores it and always runs strict.
   bool async_rounds = true;
 
+  /// Checked execution (src/check/): every compute phase runs through the
+  /// model-race Monitor, which verifies the StepFn ownership contracts and
+  /// replays machine-independent steps under an adversarial machine order.
+  /// Forces strict (non-overlapped) single-threaded compute so violations
+  /// are deterministic; outputs stay bit-identical to an unchecked run.
+  /// Off by default and zero-cost when off.
+  bool check = false;
+
   static ExecutionPolicy serial() { return {}; }
+
+  /// The serial reference executor with checked execution on.
+  static ExecutionPolicy checked() {
+    ExecutionPolicy p;
+    p.check = true;
+    return p;
+  }
 
   /// `threads == 0` means "use the hardware concurrency".
   static ExecutionPolicy parallel(std::size_t threads = 0) {
@@ -45,6 +60,13 @@ struct ExecutionPolicy {
   ExecutionPolicy with_async(bool on) const noexcept {
     ExecutionPolicy p = *this;
     p.async_rounds = on;
+    return p;
+  }
+
+  /// Same policy with checked execution forced on or off.
+  ExecutionPolicy with_check(bool on) const noexcept {
+    ExecutionPolicy p = *this;
+    p.check = on;
     return p;
   }
 

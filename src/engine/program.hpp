@@ -25,6 +25,10 @@
 #include "engine/inbox.hpp"
 #include "engine/outbox.hpp"
 
+namespace arbor::check {
+class Ownership;  // check/ownership.hpp
+}  // namespace arbor::check
+
 namespace arbor::engine {
 
 /// Step function: (machine id, messages received last round, sender).
@@ -135,6 +139,13 @@ struct RoundProgram {
   /// the program can only execute in-process. Shared, not owned, so that
   /// copying a program (run_round wraps steps by value) stays cheap.
   std::shared_ptr<RemoteSpec> remote;
+  /// Which machine owns which slice of the protocol's mutable state, set
+  /// by owned() — the declaration ExecutionPolicy checked mode verifies
+  /// the StepFn contracts against (check/ownership.hpp). Null: checked
+  /// runs still replay independent steps and accept owned_span()
+  /// registrations, but have no up-front state map. Shared like `remote`
+  /// and for the same reason.
+  std::shared_ptr<check::Ownership> ownership;
 
   RoundProgram& independent(StepFn fn) {
     steps.push_back({std::move(fn), StepKind::kMachineIndependent});
@@ -171,6 +182,13 @@ struct RoundProgram {
   /// execute this program across address spaces (see RemoteSpec).
   RoundProgram& distributable(RemoteSpec spec) {
     remote = std::make_shared<RemoteSpec>(std::move(spec));
+    return *this;
+  }
+
+  /// Attach the ownership declaration checked execution verifies the
+  /// step contracts against (check/ownership.hpp).
+  RoundProgram& owned(std::shared_ptr<check::Ownership> declaration) {
+    ownership = std::move(declaration);
     return *this;
   }
 

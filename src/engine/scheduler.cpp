@@ -1,8 +1,10 @@
 #include "engine/scheduler.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <string>
 
+#include "check/monitor.hpp"
 #include "trace/trace.hpp"
 #include "util/assert.hpp"
 
@@ -31,8 +33,16 @@ ProgramStats Scheduler::run(RoundState& state, std::size_t capacity,
 
   // Overlap needs flat inboxes (the serial reference representation
   // materializes per-message vectors on the calling thread) and the policy
-  // opt-in; barrier steps drop back to strict per step below.
-  const bool overlap = state.is_flat && policy_.async_rounds;
+  // opt-in; barrier steps drop back to strict per step below. Checked
+  // execution forces strict phases: the Monitor replays steps under two
+  // machine orders, which a fused deliver+compute cannot interleave with.
+  const bool overlap =
+      state.is_flat && policy_.async_rounds && !policy_.check;
+
+  std::unique_ptr<check::Monitor> monitor;
+  if (policy_.check)
+    monitor = std::make_unique<check::Monitor>(program, capacity,
+                                               state.num_machines());
 
   trace::Tracer& tracer = trace::Tracer::global();
 
@@ -44,7 +54,7 @@ ProgramStats Scheduler::run(RoundState& state, std::size_t capacity,
       const std::int64_t round_t0 = tracer.metrics_on() ? trace::now_ns() : 0;
       if (!computed_ahead) {
         trace::Span span = tracer.span("engine", "compute " + label);
-        compute(state, capacity, program.steps[i]);
+        compute(state, capacity, program.steps[i], monitor.get());
       }
       computed_ahead = false;
       RoundStats round_stats;
@@ -92,7 +102,18 @@ ProgramStats Scheduler::run(RoundState& state, std::size_t capacity,
     }
     ++stats.passes;
     if (!program.continue_fn) break;
-    if (!program.continue_fn(stats.passes)) break;
+    bool more;
+    if (monitor) {
+      // The continue callback runs at a true barrier and may update shared
+      // pass state — unless the program has machine-independent steps,
+      // whose contract forbids them reading state the callback maintains.
+      const std::vector<std::uint64_t> before = monitor->hashes();
+      more = program.continue_fn(stats.passes);
+      monitor->expect_continue_clean(before, "continue callback");
+    } else {
+      more = program.continue_fn(stats.passes);
+    }
+    if (!more) break;
     if (stats.passes >= program.max_passes) break;
   }
   return stats;
@@ -106,9 +127,17 @@ void Scheduler::run_parallel(std::size_t n, const ThreadPool::BlockFn& fn) {
 }
 
 void Scheduler::compute(RoundState& state, std::size_t capacity,
-                        const ProgramStep& step) {
+                        const ProgramStep& step, check::Monitor* monitor) {
   const std::size_t machines = state.num_machines();
   std::vector<Outbox>& out = state.front_outboxes();
+  if (monitor) {
+    // Checked execution: single-threaded by design, so contract violations
+    // are deterministic and reproduce without a thread schedule.
+    monitor->run_step(
+        step, 0, machines,
+        [&state](std::size_t m) { return state.inbox(m); }, out);
+    return;
+  }
   trace::Tracer& tracer = trace::Tracer::global();
   run_parallel(machines, [&](std::size_t begin, std::size_t end) {
     // One span per machine block: pool threads show up as their own trace

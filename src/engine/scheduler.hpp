@@ -48,6 +48,10 @@
 #include "engine/round_state.hpp"
 #include "engine/thread_pool.hpp"
 
+namespace arbor::check {
+class Monitor;  // check/monitor.hpp
+}  // namespace arbor::check
+
 namespace arbor::engine {
 
 /// Per-round commit hook: invoked once per round when the round is
@@ -79,8 +83,10 @@ class Scheduler {
 
  private:
   void run_parallel(std::size_t n, const ThreadPool::BlockFn& fn);
+  /// `monitor` non-null routes the phase through checked execution
+  /// (inline, single-threaded) instead of the parallel block loop.
   void compute(RoundState& state, std::size_t capacity,
-               const ProgramStep& step);
+               const ProgramStep& step, check::Monitor* monitor);
   RoundStats route(RoundState& state, std::size_t capacity,
                    std::size_t round_index, const std::string& step_name);
   void deliver(RoundState& state);

@@ -4,6 +4,7 @@
 #include <memory>
 #include <utility>
 
+#include "check/ownership.hpp"
 #include "net/registry.hpp"
 #include "net/wire.hpp"
 #include "util/assert.hpp"
@@ -64,8 +65,8 @@ struct PeelState {
 // itself a barrier — but the tag records the contract, not the accident.)
 engine::RoundProgram make_peel_program(std::shared_ptr<PeelState> st) {
   engine::RoundProgram program;
-  program.barrier([st](std::size_t m, const auto& inbox,
-                       mpc::Sender& send) {
+  program.barrier("peel.round", [st](std::size_t m, const auto& inbox,
+                                     mpc::Sender& send) {
     const std::size_t machines = st->machines;
     // Decrements from the previous pass: local neighbors of my peels...
     for (graph::VertexId v : st->peeled_prev[m]) {
@@ -108,6 +109,25 @@ engine::RoundProgram make_peel_program(std::shared_ptr<PeelState> st) {
     for (std::size_t dst = 0; dst < machines; ++dst)
       if (!outgoing[dst].empty()) send.send(dst, outgoing[dst]);
   });
+  // `round` is deliberately NOT declared: the continue callback advances
+  // it, which is legal exactly because every step is a barrier (checked
+  // execution only polices continue-callback writes against
+  // machine-independent steps).
+  auto own = std::make_shared<check::Ownership>();
+  own->range("degree", &st->degree,
+             [st](std::size_t m) {
+               const auto [lo, hi] = st->vertex_range(m);
+               return std::pair<std::size_t, std::size_t>{lo, hi};
+             })
+      .range("layer", &st->layer,
+             [st](std::size_t m) {
+               const auto [lo, hi] = st->vertex_range(m);
+               return std::pair<std::size_t, std::size_t>{lo, hi};
+             })
+      .slabs("peeled_prev", &st->peeled_prev)
+      .elems("peeled_now", &st->peeled_now)
+      .keep_alive(st);
+  program.owned(std::move(own));
   return program;
 }
 

@@ -4,6 +4,7 @@
 #include <memory>
 #include <utility>
 
+#include "check/ownership.hpp"
 #include "net/registry.hpp"
 #include "util/assert.hpp"
 
@@ -65,8 +66,10 @@ engine::RoundProgram make_broadcast_program(
   const std::size_t height = tree_height(st->machines, st->fanout);
   engine::RoundProgram program;
   for (std::size_t round = 0; round < height; ++round) {
-    program.independent([st, round](std::size_t m, const InboxView& inbox,
-                                    Sender& send) {
+    program.independent("broadcast.tree.level", [st, round](
+                                                    std::size_t m,
+                                                    const InboxView& inbox,
+                                                    Sender& send) {
       // Adopt the payload delivered by the previous level. Round 0 must
       // not look at the inbox: it may still hold traffic from whatever the
       // cluster ran before this program.
@@ -83,6 +86,9 @@ engine::RoundProgram make_broadcast_program(
       }
     });
   }
+  auto own = std::make_shared<check::Ownership>();
+  own->slabs("holds", &st->holds).elems("has", &st->has).keep_alive(st);
+  program.owned(std::move(own));
   return program;
 }
 
@@ -103,9 +109,10 @@ engine::RoundProgram make_converge_program(std::shared_ptr<ConvergeState> st) {
   const std::size_t height = tree_height(st->machines, st->fanout);
   engine::RoundProgram program;
   for (std::size_t round = 0; round < height; ++round) {
-    program.independent([st, round, height](std::size_t m,
-                                            const InboxView& inbox,
-                                            Sender& send) {
+    program.independent("converge.tree.level", [st, round, height](
+                                                   std::size_t m,
+                                                   const InboxView& inbox,
+                                                   Sender& send) {
       // Children of this machine report in round (height - depth - 1);
       // fold their sums in one round later. Round 0 has no converge
       // traffic yet — only possibly stale messages from an earlier
@@ -121,6 +128,9 @@ engine::RoundProgram make_converge_program(std::shared_ptr<ConvergeState> st) {
       }
     });
   }
+  auto own = std::make_shared<check::Ownership>();
+  own->elems("partial", &st->partial).keep_alive(st);
+  program.owned(std::move(own));
   return program;
 }
 

@@ -4,6 +4,7 @@
 #include <memory>
 #include <utility>
 
+#include "check/ownership.hpp"
 #include "net/registry.hpp"
 #include "net/wire.hpp"
 #include "util/assert.hpp"
@@ -113,8 +114,9 @@ engine::RoundProgram make_fetch_program(std::shared_ptr<FetchState> st) {
 
   // Step 1: each requester machine routes (u, slot, v) triples to the
   // machine hosting v's bundle — scanning only its own requester block.
-  program.independent([st, machines](std::size_t m, const auto&,
-                                     Sender& send) {
+  program.independent("fetch.route", [st, machines](std::size_t m,
+                                                    const auto&,
+                                                    Sender& send) {
     const auto& requests = *st->requests;
     std::vector<std::vector<Word>> outgoing(machines);
     const auto [u_lo, u_hi] = id_block_of(m, requests.size(), machines);
@@ -133,8 +135,9 @@ engine::RoundProgram make_fetch_program(std::shared_ptr<FetchState> st) {
 
   // Step 2: each owner machine serves every request in its inbox with a
   // (u, slot, length, payload...) record addressed to u's host machine.
-  program.independent([st, machines](std::size_t, const auto& inbox,
-                                     Sender& send) {
+  program.independent("fetch.serve", [st, machines](std::size_t,
+                                                    const auto& inbox,
+                                                    Sender& send) {
     const auto& bundles = *st->bundles;
     std::vector<std::vector<Word>> outgoing(machines);
     for (const auto& msg : inbox) {
@@ -156,7 +159,8 @@ engine::RoundProgram make_fetch_program(std::shared_ptr<FetchState> st) {
   // Step 3 (compute-only): each requester machine unpacks the served
   // copies into request order — delivered[u][slot] slots are owned by u's
   // host machine, so the assembly parallelizes across the cluster.
-  program.independent([st](std::size_t, const auto& inbox, Sender&) {
+  program.independent("fetch.unpack", [st](std::size_t, const auto& inbox,
+                                           Sender&) {
     for (const auto& msg : inbox) {
       std::size_t i = 0;
       while (i + 2 < msg.size()) {
@@ -171,6 +175,15 @@ engine::RoundProgram make_fetch_program(std::shared_ptr<FetchState> st) {
     }
   });
 
+  // delivered[u] — the only state the steps mutate — is owned by u's host
+  // machine (the same block mapping step 2 routes by).
+  auto own = std::make_shared<check::Ownership>();
+  own->nested("delivered", st->delivered,
+              [st, machines](std::size_t u) {
+                return owner_of(u, st->requests->size(), machines);
+              })
+      .keep_alive(st);
+  program.owned(std::move(own));
   return program;
 }
 

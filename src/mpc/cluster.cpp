@@ -1,6 +1,8 @@
 #include "mpc/cluster.hpp"
 
+#include "check/verify.hpp"
 #include "net/process_group.hpp"
+#include "net/registry.hpp"
 #include "trace/trace.hpp"
 #include "util/assert.hpp"
 
@@ -56,6 +58,19 @@ void Cluster::preload(std::size_t dst, std::span<const Word> payload) {
 }
 
 engine::ProgramStats Cluster::run_program(const RoundProgram& program) {
+  // Static verification before the first compute phase: a malformed
+  // program (null sink behind has_output, vote flag without a callback,
+  // unnamed distributable step, ...) fails here with a VerifyError quoting
+  // step and field, while the stack still points at the code that built
+  // it. Checked execution additionally cross-checks the spec against its
+  // registered worker-side factory — the rebuild every remote worker runs.
+  check::VerifyContext vctx;
+  vctx.machines = config_.num_machines;
+  vctx.capacity = config_.words_per_machine;
+  if (config_.execution.check && program.remote)
+    vctx.registry = &net::Registry::builtin();
+  check::verify_program(program, vctx);
+
   // Rounds are charged as they commit (caps validated, stats final; under
   // async overlap the delivery may still be in flight), so a program that
   // throws mid-way leaves the ledger reflecting exactly the rounds the

@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "check/ownership.hpp"
 #include "engine/records.hpp"
 #include "net/registry.hpp"
 #include "trace/trace.hpp"
@@ -413,10 +414,20 @@ engine::RoundProgram make_coordinator_sort_program(
 engine::RoundProgram make_sort_program(std::shared_ptr<SortState> st,
                                        SplitterStrategy strategy,
                                        bool bucket_sort_round) {
-  return strategy == SplitterStrategy::kTree
-             ? make_tree_sort_program(std::move(st), bucket_sort_round)
-             : make_coordinator_sort_program(std::move(st),
-                                             bucket_sort_round);
+  engine::RoundProgram program =
+      strategy == SplitterStrategy::kTree
+          ? make_tree_sort_program(st, bucket_sort_round)
+          : make_coordinator_sort_program(st, bucket_sort_round);
+  // Everything the steps mutate is machine-sliced: slabs[m] (sorted in
+  // place by the sample round), fine[m] (parsed splitters handed between
+  // m's own steps), result[m] (the bucket sort's output slot).
+  auto own = std::make_shared<check::Ownership>();
+  own->slabs("slabs", &st->slabs)
+      .slabs("fine", &st->fine)
+      .slabs("result", &st->result)
+      .keep_alive(st);
+  program.owned(std::move(own));
+  return program;
 }
 
 SplitterStrategy strategy_from_scalar(Word scalar) {

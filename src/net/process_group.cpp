@@ -13,6 +13,7 @@
 
 #include "net/worker.hpp"
 #include "util/assert.hpp"
+#include "util/env_knob.hpp"
 #include "util/hashing.hpp"
 
 namespace arbor::net {
@@ -21,11 +22,18 @@ namespace {
 
 constexpr int kConnectTimeoutMs = 30000;
 
+/// How long handle_oob waits for a failed worker's own final kError frame
+/// before settling for "hung up" as the diagnosis. Generous on purpose:
+/// when every worker of a checked group raises the same RaceError at once,
+/// the report can lag the first closure by a whole scheduling quantum on a
+/// loaded machine, and a named violation beats a bare lost-worker error.
+constexpr std::chrono::milliseconds kLastWordsGrace{2000};
+
 std::string resolve_worker_binary(const std::string& configured) {
   std::string path = configured;
   if (path.empty()) {
-    if (const char* env = std::getenv("ARBOR_WORKER_BIN"))
-      if (*env != '\0') path = env;
+    if (const auto env = util::env_knob("ARBOR_WORKER_BIN"))
+      path = std::string(*env);
   }
   if (path.empty()) {
     char exe[PATH_MAX];
@@ -116,6 +124,7 @@ void ProcessGroup::spawn_loopback() {
     wirings[w].capacity = options_.capacity;
     wirings[w].worker_threads = options_.transport.worker_threads;
     wirings[w].trace = options_.trace;
+    wirings[w].checked = options_.checked;
     wirings[w].hub = std::make_unique<FrameHub>(W + 1);
   }
   for (std::size_t w = 0; w < W; ++w) {
@@ -194,7 +203,8 @@ void ProcessGroup::spawn_tcp() {
                              static_cast<Word>(W), static_cast<Word>(w),
                              static_cast<Word>(
                                  options_.transport.worker_threads),
-                             static_cast<Word>(options_.trace)};
+                             static_cast<Word>(options_.trace),
+                             static_cast<Word>(options_.checked ? 1 : 0)};
     for (std::uint16_t p : ports) config.push_back(p);
     conns[w]->send(FrameType::kConfig, config);
   }
@@ -263,7 +273,7 @@ void ProcessGroup::handle_oob(const Event& event, std::size_t round) {
       const std::string detail = reader.str();
       if (lost < workers()) {
         std::optional<Event> own =
-            hub_->next_event_from(lost, std::chrono::milliseconds(250));
+            hub_->next_event_from(lost, kLastWordsGrace);
         if (own && !own->closed && own->frame.type == FrameType::kError)
           handle_oob(*own, round);
       }
@@ -288,7 +298,7 @@ void ProcessGroup::handle_oob(const Event& event, std::size_t round) {
     // capacity" beats "hung up" as a diagnosis; recurse only on an
     // actual kError frame so a bare closure cannot loop.
     const std::optional<Event> last = hub_->next_event_from(
-        event.source, std::chrono::milliseconds(250));
+        event.source, kLastWordsGrace);
     if (last && !last->closed && last->frame.type == FrameType::kError)
       handle_oob(*last, round);
     teardown();
@@ -529,6 +539,7 @@ std::unique_ptr<MultiProcessBackend> make_multiprocess_backend(
   options.machines = config.num_machines;
   options.capacity = config.words_per_machine;
   options.trace = config.trace.mode;
+  options.checked = config.execution.check;
   return std::make_unique<MultiProcessBackend>(options);
 }
 

@@ -48,6 +48,10 @@ struct GroupOptions {
   /// wiring) so workers record and ship telemetry, and gates the driver's
   /// own spans and its rank-ordered telemetry collection.
   trace::Mode trace = trace::Mode::kOff;
+  /// Checked execution (ExecutionPolicy::check): carried to every worker
+  /// so each block's compute runs under a check::Monitor; violations come
+  /// back as relayed InvariantErrors naming the step and machines.
+  bool checked = false;
 };
 
 class ProcessGroup {

@@ -1,5 +1,6 @@
 #include "net/registry.hpp"
 
+#include "check/selfcheck.hpp"
 #include "local/mpc_embedding.hpp"
 #include "mpc/broadcast.hpp"
 #include "mpc/bundle_fetch.hpp"
@@ -42,6 +43,10 @@ Registry& Registry::builtin() {
     mpc::register_bundle_fetch_program(r);
     local::register_embedded_peeling_program(r);
     register_storm_program(r);
+    // Deliberately-broken programs checked execution must reject — in the
+    // builtin registry so the stock arbor-worker can rebuild them and the
+    // negative tests cover the real remote code path (check/selfcheck.hpp).
+    check::register_selfcheck_programs(r);
     return r;
   }();
   return registry;

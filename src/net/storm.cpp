@@ -1,8 +1,10 @@
 #include "net/storm.hpp"
 
+#include <memory>
 #include <span>
 #include <utility>
 
+#include "check/ownership.hpp"
 #include "net/registry.hpp"
 #include "util/assert.hpp"
 #include "util/hashing.hpp"
@@ -16,8 +18,9 @@ engine::RoundProgram make_storm_program(std::shared_ptr<StormState> state) {
   ARBOR_CHECK(state->slabs.size() == state->machines);
   engine::RoundProgram program;
   for (std::size_t round = 0; round < state->rounds; ++round) {
-    program.independent([state, round](std::size_t m, const auto&,
-                                       engine::Sender& send) {
+    program.independent("net.storm.scatter", [state, round](
+                                                 std::size_t m, const auto&,
+                                                 engine::Sender& send) {
       const std::vector<Word>& slab = state->slabs[m];
       if (slab.empty()) return;
       for (std::size_t i = 0; i < state->batch; ++i) {
@@ -28,6 +31,11 @@ engine::RoundProgram make_storm_program(std::shared_ptr<StormState> state) {
       }
     });
   }
+  // The steps only read the slabs, but declaring them lets checked runs
+  // prove exactly that — any write would be a named violation.
+  auto own = std::make_shared<check::Ownership>();
+  own->slabs("slabs", &state->slabs).keep_alive(state);
+  program.owned(std::move(own));
   return program;
 }
 

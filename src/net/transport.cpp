@@ -344,6 +344,15 @@ std::optional<Event> FrameHub::sweep_interrupts(std::optional<Event> seed) {
   std::size_t best = 0;
   for (std::size_t i = 1; i < interrupts.size(); ++i)
     if (interrupts[i].source < interrupts[best].source) best = i;
+  // The losers go back to their source's stash, not on the floor: when
+  // two workers fail in the same sweep (one dies, a peer relays the
+  // loss), the dead worker's own kError is the better diagnosis, and the
+  // oob handler's grace wait recovers it from the stash. Its reader
+  // thread has already exited by then, so a dropped frame here would be
+  // gone for good.
+  for (std::size_t i = 0; i < interrupts.size(); ++i)
+    if (i != best && interrupts[i].source < slots_.size())
+      slots_[interrupts[i].source].stash.push_back(std::move(interrupts[i]));
   return std::move(interrupts[best]);
 }
 

@@ -1,9 +1,11 @@
 #include "net/worker.hpp"
 
 #include <cstdio>
+#include <memory>
 #include <optional>
 #include <string>
 
+#include "check/monitor.hpp"
 #include "engine/outbox.hpp"
 #include "engine/thread_pool.hpp"
 #include "net/registry.hpp"
@@ -121,13 +123,23 @@ class WorkerRuntime {
     };
   }
 
-  void compute_block(const engine::StepFn& step) {
+  void compute_block(const engine::ProgramStep& step,
+                     check::Monitor* monitor) {
+    if (monitor) {
+      // Checked compute is single-threaded by design: the Monitor's
+      // probe/replay machinery IS the schedule, so the pool stays idle.
+      monitor->run_step(
+          step, block_.first, block_.second,
+          [this](std::size_t m) { return engine::InboxView(inboxes_[m]); },
+          outboxes_);
+      return;
+    }
     const auto body = [&](std::size_t lo, std::size_t hi) {
       for (std::size_t i = lo; i < hi; ++i) {
         const std::size_t m = block_.first + i;
         outboxes_[m].clear();
         engine::Sender sender(m, w_.capacity, w_.machines, outboxes_[m]);
-        step(m, engine::InboxView(inboxes_[m]), sender);
+        step.fn(m, engine::InboxView(inboxes_[m]), sender);
       }
     };
     if (pool_)
@@ -276,6 +288,16 @@ class WorkerRuntime {
         inboxes_[m].append(msg);
     }
 
+    // Checked execution: one Monitor per program, built from the rebuilt
+    // program's Ownership declaration. RaceErrors it throws are
+    // InvariantErrors, so run_worker's relay ships them to the driver
+    // with the step/machine naming intact.
+    std::unique_ptr<check::Monitor> monitor;
+    if (w_.checked)
+      monitor =
+          std::make_unique<check::Monitor>(wp.program, w_.capacity,
+                                           w_.machines);
+
     trace::Span program_span = tracer_.span("net", "program " + frame.name);
     std::size_t executed = 0;  // rounds completed in this program
     std::size_t passes = 0;
@@ -285,7 +307,7 @@ class WorkerRuntime {
             tracer_.metrics_on() ? trace::now_ns() : 0;
         {
           trace::Span span = tracer_.span("net", "compute " + step.name);
-          compute_block(step.fn);
+          compute_block(step, monitor.get());
         }
         const auto [max_sent, max_received] =
             exchange(executed, frame.first_round + executed, step.name);
@@ -329,7 +351,16 @@ class WorkerRuntime {
       ARBOR_CHECK_MSG(reader.word() == passes, "pass decision out of order");
       more = reader.word() != 0;
       reader.expect_end();
-      if (more && wp.on_continue) wp.on_continue();
+      if (more && wp.on_continue) {
+        if (monitor) {
+          const auto before = monitor->hashes();
+          wp.on_continue();
+          monitor->expect_continue_clean(before,
+                                         "pass continuation (on_continue)");
+        } else {
+          wp.on_continue();
+        }
+      }
     }
 
     if (frame.has_output) {
@@ -427,6 +458,7 @@ int tcp_worker_main(std::uint16_t port, std::size_t rank) {
                     "config frame carries an unknown trace mode " +
                         std::to_string(trace_word));
     wiring.trace = static_cast<trace::Mode>(trace_word);
+    wiring.checked = reader.word() != 0;
     std::vector<std::uint16_t> ports(wiring.workers);
     for (std::uint16_t& p : ports)
       p = static_cast<std::uint16_t>(reader.word());

@@ -33,7 +33,10 @@ namespace arbor::net {
 /// Wire protocol version; driver and worker must agree exactly.
 /// v2: the config frame carries the group's trace mode and workers ship a
 /// kTelemetry frame after each program's inbox dump when tracing is on.
-inline constexpr std::uint64_t kProtocolVersion = 2;
+/// v3: the config frame carries a checked-execution flag word (after the
+/// trace word, before the ports) so remote programs run under the same
+/// model-race Monitor the driver's in-process scheduler uses.
+inline constexpr std::uint64_t kProtocolVersion = 3;
 
 /// FrameHub source ids: ranks 0..workers-1 are peers, `workers` is the
 /// driver.
@@ -64,6 +67,10 @@ struct WorkerWiring {
   /// when not off, the runtime records spans/metrics into its own tracer
   /// and ships them as a kTelemetry frame after every program.
   trace::Mode trace = trace::Mode::kOff;
+  /// Checked execution (the driver's ExecutionPolicy::check): the block's
+  /// compute runs through a check::Monitor and contract violations are
+  /// relayed to the driver as invariant errors.
+  bool checked = false;
   std::unique_ptr<FrameHub> hub;
 };
 

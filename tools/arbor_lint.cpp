@@ -1,0 +1,243 @@
+// arbor_lint: repo-local style wall (scripts/check.sh --lint).
+//
+// Walks the given source trees (default: src/) and enforces the three
+// rules the checker subsystem assumes but the compiler cannot:
+//
+//   1. no raw std::getenv outside util/env_knob.cpp — every ARBOR_* knob
+//      must go through the strict parser so a typo'd value fails the run
+//      instead of silently defaulting;
+//   2. no unnamed steps in files that build distributable programs — the
+//      program verifier rejects them at run time, this catches them at
+//      review time (a step added as `program.independent([...])` in a
+//      file that calls `distributable(` is flagged);
+//   3. no rand()/time() in library code — simulated machines must be
+//      deterministic; randomness comes from seeded util/rng, time from
+//      trace::now_ns.
+//
+// Comments and string/char literals are stripped before matching, so
+// documentation may mention the banned names freely. Exit status: 0 clean,
+// 1 violations (one "file:line: rule: detail" diagnostic per finding),
+// 2 usage/IO error.
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string detail;
+};
+
+/// Replace comments and string/char literal BODIES with spaces, keeping
+/// every newline so line numbers survive. Quotes themselves are kept (a
+/// stripped string literal reads `""`), which is exactly what the
+/// unnamed-step rule needs: the first non-space char after `(` is still
+/// `"` for a named step.
+std::string strip_comments_and_strings(const std::string& in) {
+  std::string out = in;
+  enum class St { kCode, kLineComment, kBlockComment, kString, kChar };
+  St st = St::kCode;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    const char next = i + 1 < in.size() ? in[i + 1] : '\0';
+    switch (st) {
+      case St::kCode:
+        if (c == '/' && next == '/') {
+          st = St::kLineComment;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          st = St::kBlockComment;
+          out[i] = ' ';
+        } else if (c == '"') {
+          st = St::kString;
+        } else if (c == '\'') {
+          st = St::kChar;
+        }
+        break;
+      case St::kLineComment:
+        if (c == '\n')
+          st = St::kCode;
+        else
+          out[i] = ' ';
+        break;
+      case St::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          st = St::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::kString:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n') {
+            if (i + 1 < in.size()) out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '"') {
+          st = St::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::kChar:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (i + 1 < in.size()) out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          st = St::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::size_t line_of(const std::string& text, std::size_t pos) {
+  return 1 + static_cast<std::size_t>(
+                 std::count(text.begin(), text.begin() + pos, '\n'));
+}
+
+bool identifier_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// True when the match at `pos` starts a fresh token: the preceding char
+/// is not part of an identifier or a member/scope path (so `runtime(`,
+/// `st->time(`, `clock::time(` never trip the `time(` rule).
+bool token_start(const std::string& text, std::size_t pos) {
+  if (pos == 0) return true;
+  const char prev = text[pos - 1];
+  if (identifier_char(prev) || prev == '.' || prev == ':') return false;
+  if (prev == '>' && pos >= 2 && text[pos - 2] == '-') return false;
+  return true;
+}
+
+std::size_t skip_ws(const std::string& text, std::size_t pos) {
+  while (pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[pos])))
+    ++pos;
+  return pos;
+}
+
+void scan_file(const fs::path& path, std::vector<Finding>& findings) {
+  std::ifstream in(path);
+  if (!in) {
+    findings.push_back({path.string(), 0, "io", "cannot read file"});
+    return;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = strip_comments_and_strings(buf.str());
+  const std::string name = path.filename().string();
+  const std::string file = path.string();
+
+  // Rule 1: raw getenv. util/env_knob.cpp is the one sanctioned caller.
+  if (name != "env_knob.cpp") {
+    for (const std::string& needle : {std::string("std::getenv"),
+                                      std::string("::getenv")}) {
+      for (std::size_t pos = text.find(needle); pos != std::string::npos;
+           pos = text.find(needle, pos + 1)) {
+        if (needle[0] != ':' && !token_start(text, pos)) continue;
+        if (needle[0] == ':' && pos > 0 &&
+            (identifier_char(text[pos - 1]) || text[pos - 1] == ':'))
+          continue;  // part of std::getenv (already reported) or a::b::getenv
+        findings.push_back(
+            {file, line_of(text, pos), "raw-getenv",
+             "use util::env_knob() so malformed knobs are rejected by name"});
+      }
+    }
+  }
+
+  // Rule 2: unnamed steps in distributable programs.
+  if (text.find("distributable(") != std::string::npos) {
+    for (const std::string& method :
+         {std::string(".independent("), std::string(".barrier(")}) {
+      for (std::size_t pos = text.find(method); pos != std::string::npos;
+           pos = text.find(method, pos + 1)) {
+        const std::size_t open = pos + method.size();
+        const std::size_t first = skip_ws(text, open);
+        if (first < text.size() && text[first] == '[')
+          findings.push_back(
+              {file, line_of(text, pos), "unnamed-step",
+               "distributable programs must name every step (the program "
+               "verifier rejects the default \"cluster.round\" label)"});
+      }
+    }
+  }
+
+  // Rule 3: nondeterminism. rand()/time() have no place in a simulated
+  // machine; srand is caught as a separate token for a clearer message.
+  for (const std::string& banned :
+       {std::string("rand("), std::string("srand("), std::string("time(")}) {
+    for (std::size_t pos = text.find(banned); pos != std::string::npos;
+         pos = text.find(banned, pos + 1)) {
+      if (!token_start(text, pos)) continue;
+      findings.push_back(
+          {file, line_of(text, pos), "nondeterminism",
+           banned.substr(0, banned.size() - 1) +
+               "() is banned in library code — use seeded util/rng or "
+               "trace::now_ns"});
+    }
+  }
+}
+
+bool source_file(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<fs::path> roots;
+  for (int i = 1; i < argc; ++i) roots.emplace_back(argv[i]);
+  if (roots.empty()) roots.emplace_back("src");
+
+  std::vector<Finding> findings;
+  for (const fs::path& root : roots) {
+    std::error_code ec;
+    if (fs::is_regular_file(root, ec)) {
+      scan_file(root, findings);
+      continue;
+    }
+    if (!fs::is_directory(root, ec)) {
+      std::cerr << "arbor_lint: no such file or directory: " << root.string()
+                << "\n";
+      return 2;
+    }
+    std::vector<fs::path> files;
+    for (auto it = fs::recursive_directory_iterator(root, ec);
+         it != fs::recursive_directory_iterator(); ++it)
+      if (it->is_regular_file() && source_file(it->path()))
+        files.push_back(it->path());
+    std::sort(files.begin(), files.end());
+    for (const fs::path& f : files) scan_file(f, findings);
+  }
+
+  for (const Finding& f : findings)
+    std::cerr << f.file << ":" << f.line << ": " << f.rule << ": " << f.detail
+              << "\n";
+  if (!findings.empty()) {
+    std::cerr << "arbor_lint: " << findings.size() << " violation"
+              << (findings.size() == 1 ? "" : "s") << "\n";
+    return 1;
+  }
+  return 0;
+}
