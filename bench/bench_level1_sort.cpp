@@ -9,6 +9,13 @@
 // drawn from a small range so ties dominate) and identical ledger totals;
 // the bench aborts on any disagreement.
 //
+// The distributed rows A/B the bulk route (ClusterConfig::
+// route_aggregation, ARBOR_ROUTE_AGGREGATION): "dist/serial/no-agg" runs
+// the per-record fallback, every other distributed row the aggregated
+// path. Metrics are forced on so each row also reports the p50 of the
+// sort's route rounds (round_us.sample_sort.tree.route), the hot path the
+// aggregation targets.
+//
 // Workload 2 (splitter A/B): the raw sample_sort_records at several
 // cluster widths, coordinator vs. splitter-tree strategy. Reports wall
 // time and the ledger's per-label traffic peaks — the coordinator's
@@ -25,6 +32,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <utility>
@@ -36,6 +44,7 @@
 #include "mpc/ledger.hpp"
 #include "mpc/primitives.hpp"
 #include "mpc/sample_sort.hpp"
+#include "trace/trace.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -45,7 +54,35 @@ using arbor::mpc::ExecutionPolicy;
 using arbor::mpc::MpcContext;
 using arbor::mpc::RoundLedger;
 using arbor::mpc::SplitterStrategy;
+using arbor::mpc::TransportConfig;
 using arbor::mpc::Word;
+
+/// Histogram samples observed after `skip` (a snapshot of the sample
+/// count taken before a run), so each bench row reports only its own
+/// rounds' latencies.
+std::vector<double> samples_since(const std::string& name, std::size_t skip) {
+  const auto hist = arbor::trace::Tracer::global().metrics().histogram(name);
+  if (!hist || hist->samples.size() <= skip) return {};
+  return {hist->samples.begin() + static_cast<std::ptrdiff_t>(skip),
+          hist->samples.end()};
+}
+
+std::size_t sample_count(const std::string& name) {
+  const auto hist = arbor::trace::Tracer::global().metrics().histogram(name);
+  return hist ? hist->samples.size() : 0;
+}
+
+std::string transport_name(const TransportConfig& t) {
+  switch (t.kind) {
+    case TransportConfig::Kind::kLoopback:
+      return "loopback:" + std::to_string(t.workers);
+    case TransportConfig::Kind::kTcp:
+      return "tcp:" + std::to_string(t.workers);
+    case TransportConfig::Kind::kInProcess:
+      break;
+  }
+  return "inprocess";
+}
 
 using Record = std::pair<std::uint64_t, std::uint64_t>;  // (key, payload)
 
@@ -155,51 +192,78 @@ int main(int argc, char** argv) {
               records, key_range, repeats, base.num_machines,
               base.words_per_machine, std::thread::hardware_concurrency());
 
+  // Metrics on for the whole run: each row's route-round latency p50 comes
+  // from the round_us.sample_sort.tree.route histogram the scheduler
+  // observes (purely observational — outputs stay bit-identical).
+  arbor::trace::Tracer::global().force_metrics(true);
+  const std::string kRouteHist = "round_us.sample_sort.tree.route";
+
   arbor::bench::JsonReport report("level1_sort");
   report.meta("records", records)
       .meta("key_range", key_range)
       .meta("repeats", repeats)
       .meta("machines", base.num_machines)
-      .meta("words_per_machine", base.words_per_machine);
+      .meta("words_per_machine", base.words_per_machine)
+      // Effective ARBOR_* knobs this run executed under, so a trajectory
+      // diff never has to guess the environment.
+      .meta("distributed_level1_knob",
+            arbor::mpc::distributed_level1_env_default())
+      .meta("transport_knob",
+            transport_name(arbor::mpc::transport_env_default()))
+      .meta("route_aggregation_knob",
+            arbor::mpc::route_aggregation_env_default());
 
   struct Config {
     const char* name;
     bool distributed;
+    bool aggregate;
     ExecutionPolicy policy;
   };
   const Config configs[] = {
-      {"central", false, ExecutionPolicy::serial()},
-      {"dist/serial", true, ExecutionPolicy::serial()},
-      {"dist/parallel(2)", true, ExecutionPolicy::parallel(2)},
-      {"dist/parallel(4)", true, ExecutionPolicy::parallel(4)},
-      {"dist/parallel(8)", true, ExecutionPolicy::parallel(8)},
+      {"central", false, true, ExecutionPolicy::serial()},
+      {"dist/serial/no-agg", true, false, ExecutionPolicy::serial()},
+      {"dist/serial", true, true, ExecutionPolicy::serial()},
+      {"dist/parallel(2)", true, true, ExecutionPolicy::parallel(2)},
+      {"dist/parallel(4)", true, true, ExecutionPolicy::parallel(4)},
+      {"dist/parallel(8)", true, true, ExecutionPolicy::parallel(8)},
   };
 
-  arbor::bench::Table table(
-      {"path", "ms", "Mrec/s", "speedup", "ledger_rounds"});
+  arbor::bench::Table table({"path", "ms", "Mrec/s", "speedup",
+                             "route_p50_us", "ledger_rounds"});
   Outcome central;
   double speedup_at_8 = 0;
+  double route_p50_agg = 0, route_p50_noagg = 0;
   for (const Config& config : configs) {
     ClusterConfig cfg = base;
     cfg.distributed_level1 = config.distributed;
+    cfg.route_aggregation = config.aggregate;
     cfg.execution = config.policy;
+    const std::size_t route_skip = sample_count(kRouteHist);
     const Outcome out = run_sort(input, cfg, repeats);
+    const arbor::bench::Percentiles route_us =
+        arbor::bench::percentiles(samples_since(kRouteHist, route_skip));
     if (!config.distributed) {
       central = out;
-    } else {
-      if (out.sorted != central.sorted ||
-          out.ledger_rounds != central.ledger_rounds) {
-        std::fprintf(stderr,
-                     "FATAL: %s disagrees with the central path "
-                     "(output/ledger mismatch)\n",
-                     config.name);
-        return 1;
-      }
-      if (config.policy.threads == 8) speedup_at_8 = central.secs / out.secs;
+    } else if (out.sorted != central.sorted ||
+               out.ledger_rounds != central.ledger_rounds) {
+      std::fprintf(stderr,
+                   "FATAL: %s disagrees with the central path "
+                   "(output/ledger mismatch)\n",
+                   config.name);
+      return 1;
     }
+    // Row-name lookups, never positional: the config table is reordered
+    // freely without silently zeroing the headline numbers.
+    if (std::strcmp(config.name, "dist/parallel(8)") == 0)
+      speedup_at_8 = central.secs / out.secs;
+    if (std::strcmp(config.name, "dist/serial") == 0)
+      route_p50_agg = route_us.p50;
+    if (std::strcmp(config.name, "dist/serial/no-agg") == 0)
+      route_p50_noagg = route_us.p50;
     table.add_row({config.name, arbor::bench::fmt(out.secs * 1e3, 1),
                    arbor::bench::fmt(records / out.secs / 1e6, 2),
                    arbor::bench::fmt(central.secs / out.secs, 2),
+                   arbor::bench::fmt(route_us.p50, 1),
                    arbor::bench::fmt(out.ledger_rounds)});
     report.row()
         .set("section", "level1")
@@ -207,17 +271,26 @@ int main(int argc, char** argv) {
         .set("backend", config.distributed ? "distributed" : "central")
         .set("variant", "level1")
         .set("threads", config.policy.effective_threads())
+        .set("route_aggregation", config.aggregate)
         .set("ms", out.secs * 1e3)
         .set("mrec_per_sec", records / out.secs / 1e6)
         .set("speedup_vs_central", central.secs / out.secs)
+        .set("route_us_p50", route_us.p50)
+        .set("route_us_p95", route_us.p95)
         .set("ledger_rounds", out.ledger_rounds);
   }
   table.print();
 
   std::printf("\nspeedup at parallel(8) vs central: %.2fx (target >= 1.5x "
-              "on multicore hardware)\n\n",
+              "on multicore hardware)\n",
               speedup_at_8);
-  report.meta("speedup_at_8", speedup_at_8);
+  std::printf("route round p50: %.1fus aggregated vs %.1fus per-record "
+              "(%.2fx)\n\n",
+              route_p50_agg, route_p50_noagg,
+              route_p50_agg > 0 ? route_p50_noagg / route_p50_agg : 0.0);
+  report.meta("speedup_at_8", speedup_at_8)
+      .meta("route_us_p50_agg", route_p50_agg)
+      .meta("route_us_p50_noagg", route_p50_noagg);
 
   // ---------------- coordinator vs. splitter tree at several widths
   const std::size_t ab_records = std::min<std::size_t>(records, 200'000);

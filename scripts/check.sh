@@ -6,10 +6,11 @@
 #   scripts/check.sh -DARBOR_WERROR=ON   # extra cmake args pass through
 #   scripts/check.sh --tsan              # ThreadSanitizer smoke stage only:
 #                                        # builds the 'tsan' preset and runs
-#                                        # engine_test + level0_programs_test
-#                                        # (the async scheduler's overlapped
-#                                        # deliver+compute must be provably
-#                                        # race-free)
+#                                        # engine_test, level0_programs_test,
+#                                        # level1_distributed_test, net_test,
+#                                        # trace_test, check_test (overlapped
+#                                        # deliver+compute AND pooled-context
+#                                        # reuse must be provably race-free)
 #   scripts/check.sh --mp                # multi-process smoke stage only:
 #                                        # driver + 2 local arbor-worker
 #                                        # processes over loopback TCP run
@@ -50,8 +51,9 @@ if [[ "${1:-}" == "--mp" ]]; then
   echo "== mp: DeterminismMatrix programs over tcp:2 (env override) =="
   ARBOR_TRANSPORT=tcp:2 ctest --test-dir build \
     -R 'DeterminismMatrix|RoundProgramReuse' --output-on-failure -j"${JOBS}"
-  echo "== mp: distributed Level-1 sorts over tcp:2 (each internal sort"
-  echo "       spawns its own 2-process worker group) =="
+  echo "== mp: distributed Level-1 sorts over tcp:2 (the context pools one"
+  echo "       live 2-process worker group that every internal sort reuses;"
+  echo "       DistributedSortPooling asserts zero respawns) =="
   ARBOR_TRANSPORT=tcp:2 ARBOR_DISTRIBUTED_LEVEL1=1 ctest --test-dir build \
     -R 'DistributedSort|DistributedAggregate|DistributedCount|PipelineEquivalence' \
     --output-on-failure -j"${JOBS}"
@@ -104,6 +106,22 @@ if [[ "${1:-}" == "--bench-smoke" ]]; then
       tail -20 "${smoke_dir}/${name}.out"
       exit 1
     }
+    if [[ "${name}" == "bench_level1_sort" ]]; then
+      # Route-aggregation A/B: run the sort bench with the knob forced each
+      # way (strict-parsed — a typo here fails loudly instead of silently
+      # benching the wrong path), so both the bulk span route and the
+      # per-record fallback stay exercised end to end.
+      for agg in on off; do
+        echo "== bench-smoke: ${name} (ARBOR_ROUTE_AGGREGATION=${agg}) =="
+        ARBOR_ROUTE_AGGREGATION="${agg}" "./build/${name}" 20000 512 1 \
+          --json "${smoke_dir}/${name}.agg-${agg}.json" \
+          > "${smoke_dir}/${name}.agg-${agg}.out" || {
+          echo "bench-smoke: ${name} (agg=${agg}) FAILED; last lines:"
+          tail -20 "${smoke_dir}/${name}.agg-${agg}.out"
+          exit 1
+        }
+      done
+    fi
   done
   echo "== bench-smoke: clean =="
   exit 0
@@ -135,12 +153,16 @@ if [[ "${1:-}" == "--tsan" ]]; then
   shift
   cmake --preset tsan "$@"
   cmake --build build-tsan -j"${JOBS}" \
-    --target engine_test level0_programs_test net_test trace_test \
-             check_test arbor-worker
+    --target engine_test level0_programs_test level1_distributed_test \
+             net_test trace_test check_test arbor-worker
   echo "== tsan: engine_test =="
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/engine_test
   echo "== tsan: level0_programs_test =="
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/level0_programs_test
+  echo "== tsan: level1_distributed_test (pooled-context reuse: live"
+  echo "         worker groups + retained arenas across repeated sorts"
+  echo "         must be race-free) =="
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/level1_distributed_test
   echo "== tsan: net_test (loopback transport threads + tcp groups) =="
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/net_test
   echo "== tsan: trace_test (traced programs: per-thread span buffers and"

@@ -64,9 +64,13 @@ class Engine {
     return pool_ ? pool_->size() : 1;
   }
 
-  /// Matching RoundState representation for this engine's policy.
+  /// Matching RoundState representation for this engine's policy: flat
+  /// word arenas everywhere except checked execution, which keeps the
+  /// nested per-message vectors of the original reference executor (the
+  /// representation the framework tests were written against, preserved
+  /// where determinism is being verified rather than speed measured).
   RoundState make_state(std::size_t machines) const {
-    return RoundState(machines, policy_.is_parallel());
+    return RoundState(machines, !policy_.check);
   }
 
   /// Execute a RoundProgram: every step is one synchronous round (capacity

@@ -1,11 +1,14 @@
 // How a cluster executes its synchronous rounds.
 //
-// serial() is the reference executor: machines step one after another on the
-// calling thread and inboxes are materialized as per-message vectors — the
-// exact semantics the framework tests were written against. parallel(k)
-// selects the engine: machines are partitioned across k worker threads and
-// messages move through flat word arenas with offset-based routing. Both
-// produce bit-identical inboxes and ledger totals (tests/engine_test.cpp).
+// serial() steps machines one after another on the calling thread in
+// strict three-phase rounds — the reference ORDER semantics the framework
+// tests were written against (its flat pool-less rounds ride the
+// scheduler's zero-copy route+deliver pass). parallel(k) partitions
+// machines across k worker threads and overlaps delivery with the next
+// compute where the program allows. checked() additionally keeps the
+// original nested per-message-vector inbox representation while the
+// Monitor verifies the step contracts. All modes produce bit-identical
+// inboxes and ledger totals (tests/engine_test.cpp).
 #pragma once
 
 #include <cstddef>

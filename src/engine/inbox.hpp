@@ -48,6 +48,22 @@ struct Inbox {
   }
 };
 
+/// One machine's received messages as spans into the sender arenas — the
+/// zero-copy inbox the scheduler's routing-table-free delivery produces.
+/// The spans alias the frozen outbox bank of the round that delivered
+/// them, so they stay valid for exactly one round (the banks alternate);
+/// the scheduler materializes them into flat Inboxes at program end, which
+/// is the only point anything outlives the round.
+struct ScatterInbox {
+  std::vector<std::span<const Word>> msgs;
+  std::size_t words = 0;  ///< total payload words across msgs
+
+  void clear() noexcept {
+    msgs.clear();
+    words = 0;
+  }
+};
+
 /// Read-only view of one message; converts to std::vector<Word> so code
 /// written against the vector-based inboxes keeps compiling.
 class MessageView {
@@ -85,11 +101,13 @@ class InboxView {
  public:
   InboxView() = default;
   explicit InboxView(const Inbox& flat) : flat_(&flat) {}
+  explicit InboxView(const ScatterInbox& scatter) : scatter_(&scatter) {}
   explicit InboxView(const std::vector<std::vector<Word>>& nested)
       : nested_(&nested) {}
 
   std::size_t size() const noexcept {
     if (flat_) return flat_->message_count();
+    if (scatter_) return scatter_->msgs.size();
     if (nested_) return nested_->size();
     return 0;
   }
@@ -98,6 +116,7 @@ class InboxView {
   MessageView operator[](std::size_t i) const {
     ARBOR_DCHECK(i < size());
     if (flat_) return MessageView(flat_->message(i));
+    if (scatter_) return MessageView(scatter_->msgs[i]);
     return MessageView(std::span<const Word>((*nested_)[i]));
   }
   MessageView front() const { return (*this)[0]; }
@@ -105,6 +124,7 @@ class InboxView {
   /// Total words across all messages.
   std::size_t total_words() const noexcept {
     if (flat_) return flat_->word_count();
+    if (scatter_) return scatter_->words;
     std::size_t total = 0;
     if (nested_)
       for (const auto& msg : *nested_) total += msg.size();
@@ -144,6 +164,7 @@ class InboxView {
 
  private:
   const Inbox* flat_ = nullptr;
+  const ScatterInbox* scatter_ = nullptr;
   const std::vector<std::vector<Word>>* nested_ = nullptr;
 };
 

@@ -14,9 +14,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <numeric>
+#include <span>
 #include <utility>
 #include <vector>
 
+#include "engine/outbox.hpp"
 #include "engine/types.hpp"
 #include "util/assert.hpp"
 
@@ -59,8 +61,12 @@ inline void stable_sort_records(std::vector<Word>& arena, std::size_t width,
   if (width == 2 && key_words == 2) {
     // Hot path for the Level-1 (key, index) records: packed pairs sort
     // without index indirection, and a full-record key makes ties
-    // byte-identical, so an unstable sort yields the same sequence.
-    std::vector<std::pair<Word, Word>> packed(n);
+    // byte-identical, so an unstable sort yields the same sequence. The
+    // scratch is thread-local because a wide cluster calls this once per
+    // simulated machine per round — tens of thousands of tiny sorts that
+    // would otherwise each pay an allocation.
+    static thread_local std::vector<std::pair<Word, Word>> packed;
+    packed.resize(n);
     for (std::size_t i = 0; i < n; ++i)
       packed[i] = {arena[2 * i], arena[2 * i + 1]};
     std::sort(packed.begin(), packed.end());
@@ -83,6 +89,138 @@ inline void stable_sort_records(std::vector<Word>& arena, std::size_t width,
     std::copy_n(arena.data() + order[i] * width, width,
                 sorted.data() + i * width);
   arena.swap(sorted);
+}
+
+/// Bucket boundaries of a KEY-SORTED record arena against a KEY-SORTED
+/// sequence of splitter keys, under the routing rule of the sample sorts
+/// (bucket of a record = count of splitters ≤ its key, like
+/// std::upper_bound). Returns `num_splitters + 2` record indices: bucket b
+/// occupies records [bounds[b], bounds[b+1]), bounds.front() == 0,
+/// bounds.back() == the record count. Duplicate splitters yield empty
+/// buckets between them; an empty splitter sequence leaves every record in
+/// bucket 0. One binary search per SPLITTER instead of one per RECORD —
+/// the monotone destination sequence of a sorted slab is what makes each
+/// bucket a single contiguous span.
+inline std::vector<std::size_t> partition_sorted_records(
+    std::span<const Word> arena, std::size_t width, std::size_t key_words,
+    std::span<const Word> splitters) {
+  ARBOR_CHECK(key_words > 0 && key_words <= width);
+  const std::size_t n = record_count(arena.size(), width);
+  const std::size_t k = record_count(splitters.size(), key_words);
+  std::vector<std::size_t> bounds(k + 2);
+  bounds[0] = 0;
+  for (std::size_t b = 1; b <= k; ++b) {
+    const Word* key = splitters.data() + (b - 1) * key_words;
+    // First record whose key ≥ splitter b−1: everything before it has
+    // fewer than b splitters ≤ its key. Sorted splitters make the
+    // boundaries monotone, so the search starts at the previous one.
+    std::size_t lo = bounds[b - 1];
+    std::size_t hi = n;
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (compare_keys(arena.data() + mid * width, key, key_words) < 0)
+        lo = mid + 1;
+      else
+        hi = mid;
+    }
+    bounds[b] = lo;
+  }
+  bounds[k + 1] = n;
+  return bounds;
+}
+
+/// First index in [lo, hi) satisfying the monotone predicate (false…true);
+/// hi when none does. Galloping doubles the probe gap from `lo` before the
+/// final binary search, so the cost is O(log distance-from-lo) rather than
+/// O(log (hi − lo)) — one comparison total when the answer IS `lo`.
+template <typename Pred>
+inline std::size_t gallop_lower(std::size_t lo, std::size_t hi, Pred pred) {
+  std::size_t step = 1;
+  while (lo < hi) {
+    std::size_t probe = lo + step - 1;
+    if (probe >= hi) probe = hi - 1;
+    if (pred(probe)) {
+      hi = probe;  // answer is in [lo, probe]
+      break;
+    }
+    lo = probe + 1;
+    step *= 2;
+  }
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (pred(mid))
+      hi = mid;
+    else
+      lo = mid + 1;
+  }
+  return lo;
+}
+
+/// Walk a key-sorted record slab bucket by bucket, invoking
+/// `fn(bucket, span)` once per NON-EMPTY bucket in ascending bucket order
+/// (bucket of a record = count of splitters ≤ its key, like
+/// std::upper_bound; records keep slab order inside a bucket). Walks the
+/// slab span by span instead of computing all k+2 fenceposts, and both
+/// searches gallop from the position the previous span established: a
+/// one-record slab whose bucket continues where the last span left off
+/// (the fine route of a wide cluster handles many such fragments) costs
+/// O(1) comparisons, not O(k) and not even O(log k) — this is what keeps
+/// the aggregated route ahead of the per-record one when slabs are far
+/// smaller than the bucket count.
+template <typename SpanFn>
+inline void for_each_bucket_span(std::span<const Word> slab, std::size_t width,
+                                 std::size_t key_words,
+                                 std::span<const Word> splitters, SpanFn&& fn) {
+  ARBOR_CHECK(key_words > 0 && key_words <= width);
+  const std::size_t n = record_count(slab.size(), width);
+  const std::size_t k = record_count(splitters.size(), key_words);
+  std::size_t i = 0;
+  std::size_t b = 0;  // lowest candidate bucket for record i
+  while (i < n) {
+    const Word* key = slab.data() + i * width;
+    // Bucket of record i = count of splitters ≤ its key; every splitter
+    // below b is already known to be ≤, so search only [b, k) — and the
+    // bucket is usually b itself or close to it, which the gallop turns
+    // into a comparison or two.
+    b = gallop_lower(b, k, [&](std::size_t s) {
+      return compare_keys(splitters.data() + s * key_words, key, key_words) >
+             0;
+    });
+    // End of bucket b's span: first record with key ≥ splitter b. Spans
+    // are short when buckets outnumber records, so gallop from i + 1.
+    std::size_t j = n;
+    if (b < k) {
+      const Word* split = splitters.data() + b * key_words;
+      j = gallop_lower(i + 1, n, [&](std::size_t r) {
+        return compare_keys(slab.data() + r * width, split, key_words) >= 0;
+      });
+    }
+    fn(b, slab.subspan(i * width, (j - i) * width));
+    i = j;
+    // Record j (if any) has key ≥ splitter b, so its bucket is at least
+    // b + 1 — the next search never revisits this bucket.
+    ++b;
+  }
+}
+
+/// Bulk route of a key-sorted record slab: emit each non-empty bucket as
+/// ONE contiguous message to `dst_of(bucket)`. Message destinations,
+/// contents, and emission order are identical to the per-record
+/// upper_bound + per-destination append buffers this replaces (records
+/// keep slab order inside a bucket, buckets are emitted in ascending index
+/// order, empty buckets send nothing) — so the two route implementations
+/// are interchangeable mid-protocol; only the per-record binary searches
+/// and the intermediate buffer copy are gone. Records move exactly once,
+/// slab → outbox arena.
+template <typename DstFn>
+inline void send_records(Sender& send, std::span<const Word> slab,
+                         std::size_t width, std::size_t key_words,
+                         std::span<const Word> splitters, DstFn&& dst_of) {
+  for_each_bucket_span(slab, width, key_words, splitters,
+                       [&send, &dst_of](std::size_t b,
+                                        std::span<const Word> span) {
+                         send.send(dst_of(b), span);
+                       });
 }
 
 /// Evenly-spaced sample of at most `max_samples` key prefixes from a

@@ -1,7 +1,8 @@
 // Per-cluster message state: inboxes, and double-buffered outboxes.
 //
-// The serial reference executor keeps inboxes as nested per-message vectors;
-// the engine keeps them as flat arenas. Both reuse storage across rounds.
+// Checked execution keeps inboxes as nested per-message vectors (the
+// original reference representation); everything else keeps them as flat
+// arenas. Both reuse storage across rounds.
 // Outboxes come in two banks: strict execution only ever touches the front
 // bank, while the scheduler's overlapped phase computes round r+1 into the
 // back bank while round r's delivery is still reading the front one (the
@@ -32,12 +33,16 @@ struct RoundState {
   std::size_t num_machines() const noexcept { return outbox_banks[0].size(); }
 
   InboxView inbox(std::size_t m) const {
-    return is_flat ? InboxView(flat_inboxes[m]) : InboxView(nested_inboxes[m]);
+    if (!is_flat) return InboxView(nested_inboxes[m]);
+    if (scatter_active) return InboxView(scatter_inboxes[m]);
+    return InboxView(flat_inboxes[m]);
   }
 
   /// Words currently queued in machine `m`'s inbox.
   std::size_t inbox_words(std::size_t m) const noexcept {
-    if (is_flat) return flat_inboxes[m].word_count();
+    if (is_flat)
+      return scatter_active ? scatter_inboxes[m].words
+                            : flat_inboxes[m].word_count();
     std::size_t total = 0;
     for (const auto& msg : nested_inboxes[m]) total += msg.size();
     return total;
@@ -55,10 +60,23 @@ struct RoundState {
                         " exceeded receive capacity: " +
                         std::to_string(queued) + " > " +
                         std::to_string(capacity) + " words in preload");
+    ARBOR_DCHECK(!scatter_active);  // programs materialize before returning
     if (is_flat)
       flat_inboxes[dst].append(payload);
     else
       nested_inboxes[dst].emplace_back(payload.begin(), payload.end());
+  }
+
+  /// Drop every queued message, keeping arena capacity (Inbox::clear
+  /// semantics) — the reset a pooled cluster performs between programs so
+  /// the next program neither re-reads a previous program's final inboxes
+  /// nor re-ships them as preinbox frames over the net/ transport. After
+  /// the first few programs a pooled steady state allocates nothing here.
+  void clear_inboxes() noexcept {
+    for (Inbox& inbox : flat_inboxes) inbox.clear();
+    for (ScatterInbox& inbox : scatter_inboxes) inbox.clear();
+    for (auto& inbox : nested_inboxes) inbox.clear();
+    scatter_active = false;
   }
 
   /// Outbox bank the current round's compute writes and the current round's
@@ -84,6 +102,14 @@ struct RoundState {
   void flip() noexcept { front = 1 - front; }
 
   std::vector<Inbox> flat_inboxes;
+  /// Zero-copy inboxes for the scheduler's routing-table-free delivery:
+  /// spans into the frozen outbox bank of the round that delivered them.
+  /// `scatter_active` selects which representation inbox(m) reads; the
+  /// scheduler materializes scatter contents into flat_inboxes (and drops
+  /// the flag) before a program returns, so everything outside a running
+  /// program only ever sees the flat representation.
+  std::vector<ScatterInbox> scatter_inboxes;
+  bool scatter_active = false;
   std::vector<std::vector<std::vector<Word>>> nested_inboxes;
   std::array<std::vector<Outbox>, 2> outbox_banks;
   std::size_t front = 0;

@@ -30,14 +30,25 @@ ProgramStats Scheduler::run(RoundState& state, std::size_t capacity,
     std::atomic<bool>& flag;
     ~Reset() { flag.store(false, std::memory_order_release); }
   } reset{in_program_};
+  // Zero-copy deliveries leave the final round's inboxes as spans into an
+  // outbox bank; everything outside a running program expects the flat
+  // representation, so materialize on every exit path (including a step
+  // throwing mid-program — the referenced bank is still frozen then).
+  struct Materialize {
+    Scheduler& scheduler;
+    RoundState& state;
+    ~Materialize() { scheduler.materialize_scatter(state); }
+  } materialize{*this, state};
 
-  // Overlap needs flat inboxes (the serial reference representation
-  // materializes per-message vectors on the calling thread) and the policy
-  // opt-in; barrier steps drop back to strict per step below. Checked
-  // execution forces strict phases: the Monitor replays steps under two
-  // machine orders, which a fused deliver+compute cannot interleave with.
-  const bool overlap =
-      state.is_flat && policy_.async_rounds && !policy_.check;
+  // Overlap needs flat inboxes, the parallel engine, and the policy
+  // opt-in; barrier steps drop back to strict per step below. The serial
+  // policy always runs strict rounds — its pool-less flat rounds take the
+  // fused route+deliver_direct pass instead, which beats overlap when
+  // there are no phase barriers to save. Checked execution forces strict
+  // phases: the Monitor replays steps under two machine orders, which a
+  // fused deliver+compute cannot interleave with.
+  const bool overlap = policy_.is_parallel() && state.is_flat &&
+                       policy_.async_rounds && !policy_.check;
 
   std::unique_ptr<check::Monitor> monitor;
   if (policy_.check)
@@ -57,15 +68,40 @@ ProgramStats Scheduler::run(RoundState& state, std::size_t capacity,
         compute(state, capacity, program.steps[i], monitor.get());
       }
       computed_ahead = false;
+      const ProgramStep* next =
+          i + 1 < program.steps.size() ? &program.steps[i + 1] : nullptr;
+      const bool fused =
+          overlap && next && next->kind == StepKind::kMachineIndependent;
+      // The destination-grouped routing table is only needed when delivery
+      // is partitioned by destination (parallel workers, the fused async
+      // phase) or materializes nested reference inboxes. Inline flat
+      // unchecked delivery fuses route and deliver into one source-major
+      // pass that skips both the table and the payload copy — the scatter
+      // inboxes alias the frozen bank.
+      const bool direct =
+          !fused && pool_ == nullptr && state.is_flat && !policy_.check;
+      if (direct) {
+        trace::Span span = tracer.span("engine", "route+deliver " + label);
+        const RoundStats round_stats = route_and_deliver_direct(
+            state, capacity, first_round_index + stats.rounds, label);
+        span.end();
+        ++stats.rounds;
+        if (on_round) on_round(round_stats);
+        if (tracer.metrics_on()) {
+          const double us =
+              static_cast<double>(trace::now_ns() - round_t0) / 1000.0;
+          tracer.metrics().observe("round_us", us);
+          tracer.metrics().observe("round_us." + label, us);
+        }
+        continue;
+      }
       RoundStats round_stats;
       {
         trace::Span span = tracer.span("engine", "route " + label);
-        round_stats = route(state, capacity, first_round_index + stats.rounds,
-                            label);
+        round_stats =
+            route(state, capacity, first_round_index + stats.rounds, label);
       }
-      const ProgramStep* next =
-          i + 1 < program.steps.size() ? &program.steps[i + 1] : nullptr;
-      if (overlap && next && next->kind == StepKind::kMachineIndependent) {
+      if (fused) {
         // Commit round i before the fused phase: its caps are validated and
         // its stats exact, and the strict executor would have charged it
         // before the next step's compute could throw — charging afterwards
@@ -200,9 +236,76 @@ RoundStats Scheduler::route(RoundState& state, std::size_t capacity,
   return stats;
 }
 
+RoundStats Scheduler::route_and_deliver_direct(RoundState& state,
+                                               std::size_t capacity,
+                                               std::size_t round_index,
+                                               const std::string& step_name) {
+  const std::size_t machines = state.num_machines();
+  const std::vector<Outbox>& outboxes = state.front_outboxes();
+  RoundStats stats;
+
+  // One source-major pass: count per-destination volume AND stage span
+  // references. Each destination sees its messages in (source asc, send
+  // order) — the counting-sorted order deliver() walks — but no payload
+  // word is copied and no routing table is built.
+  recv_words_.assign(machines, 0);
+  if (scatter_scratch_.size() != machines) scatter_scratch_.resize(machines);
+  for (ScatterInbox& in : scatter_scratch_) in.clear();
+  for (std::size_t src = 0; src < machines; ++src) {
+    const Outbox& out = outboxes[src];
+    stats.max_sent = std::max(stats.max_sent, out.word_count());
+    for (const Outbox::Msg& msg : out.msgs) {
+      recv_words_[msg.dst] += msg.length;
+      scatter_scratch_[msg.dst].msgs.push_back(
+          {out.words.data() + msg.offset, msg.length});
+    }
+  }
+
+  // Receiver-side cap: validated (with route()'s exact diagnostics) before
+  // any inbox state changes — on a violation the staged spans are simply
+  // discarded and the previous round's inboxes remain current.
+  for (std::size_t dst = 0; dst < machines; ++dst) {
+    ARBOR_CHECK_MSG(recv_words_[dst] <= capacity,
+                    "machine " + std::to_string(dst) +
+                        " exceeded receive capacity: " +
+                        std::to_string(recv_words_[dst]) + " > " +
+                        std::to_string(capacity) + " words in round " +
+                        std::to_string(round_index) +
+                        step_name_suffix(step_name));
+    stats.max_received = std::max(stats.max_received, recv_words_[dst]);
+    scatter_scratch_[dst].words = recv_words_[dst];
+  }
+
+  // Commit: the staged bank becomes the live inboxes. The spans alias the
+  // current front bank, which flips below so the next round's compute
+  // writes the other bank and the references stay valid for the round
+  // that reads them.
+  state.scatter_inboxes.swap(scatter_scratch_);
+  state.scatter_active = true;
+  state.back_outboxes();  // ensure the other bank is sized before flipping
+  state.flip();
+  return stats;
+}
+
+void Scheduler::materialize_scatter(RoundState& state) {
+  if (!state.scatter_active) return;
+  const std::size_t machines = state.num_machines();
+  for (std::size_t m = 0; m < machines; ++m) {
+    Inbox& in = state.flat_inboxes[m];
+    const ScatterInbox& sc = state.scatter_inboxes[m];
+    in.clear();
+    in.words.reserve(sc.words);
+    in.msgs.reserve(sc.msgs.size());
+    for (const std::span<const Word>& span : sc.msgs) in.append(span);
+  }
+  for (ScatterInbox& sc : state.scatter_inboxes) sc.clear();
+  state.scatter_active = false;
+}
+
 void Scheduler::deliver(RoundState& state) {
   const std::size_t machines = state.num_machines();
   const std::vector<Outbox>& outboxes = state.front_outboxes();
+  state.scatter_active = false;  // flat inboxes become current again
   // Copy payloads out of the source arenas into each destination's inbox.
   // Flat inboxes are filled in parallel (destinations are disjoint); the
   // nested reference representation materializes one vector per message on
@@ -245,6 +348,7 @@ void Scheduler::deliver_and_compute(RoundState& state, std::size_t capacity,
   // entering the parallel region.
   const std::vector<Outbox>& cur = state.front_outboxes();
   std::vector<Outbox>& nxt = state.back_outboxes();
+  state.scatter_active = false;  // flat inboxes become current again
   trace::Tracer& tracer = trace::Tracer::global();
   run_parallel(machines, [&](std::size_t begin, std::size_t end) {
     trace::Span span = tracer.span("engine", "block " + next_step.name);

@@ -7,13 +7,23 @@
 //   compute — machines are partitioned into contiguous blocks, one per
 //             worker thread; each machine's step function writes into its
 //             own flat Outbox (no sharing, no locks).
-//   route   — a single pass over the outbox records builds a routing table
-//             grouped by destination (a stable counting sort by dst), counts
-//             per-destination words, and validates the receiver-side traffic
-//             cap once per machine.
+//   route   — a single pass over the outbox records counts per-destination
+//             words, validates the receiver-side traffic cap once per
+//             machine, and builds a routing table grouped by destination
+//             (a stable counting sort by dst) for the phases that need
+//             destination-grouped access.
 //   deliver — destinations are partitioned across the workers; each worker
 //             copies the payloads for its destinations out of the source
 //             arenas into the destination Inbox arenas.
+//
+// Inline (pool-less) unchecked flat execution collapses route and deliver
+// into ONE source-major pass (route_and_deliver_direct) that skips the
+// routing table AND the payload copy: it counts volume, validates the caps,
+// and records span references into the frozen outbox bank (ScatterInbox);
+// the banks flip, and the next compute reads the spans where they lie — the
+// same (source asc, send order) delivery order with zero words moved. The
+// final round's spans are materialized into flat inboxes before run()
+// returns, so only the scheduler ever observes the scatter representation.
 //
 // Asynchronous overlap: when the NEXT step of the program is tagged
 // machine-independent (see program.hpp for the contract), the deliver phase
@@ -90,6 +100,23 @@ class Scheduler {
   RoundStats route(RoundState& state, std::size_t capacity,
                    std::size_t round_index, const std::string& step_name);
   void deliver(RoundState& state);
+  /// Routing-table-free zero-copy route+delivery for inline flat unchecked
+  /// rounds: ONE source-major pass counts per-destination volume and builds
+  /// span references into the frozen outbox bank (then flips banks so the
+  /// spans survive the next compute). Caps are validated — with route()'s
+  /// exact error text — before any inbox state changes, so a violating
+  /// round leaves the previous round's inboxes intact exactly like the
+  /// two-phase path. Delivery order is identical to deliver(): the
+  /// counting sort groups by destination but keeps (source asc, send
+  /// order) inside each group, which is exactly the order a single
+  /// source-major pass produces.
+  RoundStats route_and_deliver_direct(RoundState& state, std::size_t capacity,
+                                      std::size_t round_index,
+                                      const std::string& step_name);
+  /// Copy scatter-delivered spans into the flat inboxes and drop the
+  /// scatter flag; no-op when the last delivery already produced flat
+  /// inboxes. Runs on every program exit path.
+  void materialize_scatter(RoundState& state);
   void deliver_and_compute(RoundState& state, std::size_t capacity,
                            const ProgramStep& next_step);
 
@@ -111,6 +138,10 @@ class Scheduler {
   std::vector<std::size_t> route_begin_;  // per dst: first index into routes_
   std::vector<std::size_t> route_cursor_;
   std::vector<Route> routes_;
+  // Staging bank for route_and_deliver_direct: spans are collected here and
+  // swapped into the state only after the caps validate, so a cap violation
+  // leaves the previous round's inboxes untouched.
+  std::vector<ScatterInbox> scatter_scratch_;
 };
 
 }  // namespace arbor::engine

@@ -72,6 +72,22 @@ class Cluster {
   std::size_t capacity() const noexcept { return config_.words_per_machine; }
   std::size_t rounds_executed() const noexcept { return rounds_; }
   const engine::Engine& engine() const noexcept { return *engine_; }
+  const ClusterConfig& config() const noexcept { return config_; }
+
+  /// Repoint the ledger the next program's rounds are charged to. Exists
+  /// for pooled clusters (MpcContext's internal sort pool): one long-lived
+  /// cluster serves many sorts, each of which grounds its rounds on its
+  /// own short-lived ledger. Null detaches (rounds still execute, nothing
+  /// is charged) — callers must detach before their ledger dies.
+  void set_ledger(RoundLedger* ledger) noexcept { ledger_ = ledger; }
+
+  /// Reset for pooled reuse across programs: drop every queued inbox
+  /// message, keeping arena capacity. Without this a reused cluster would
+  /// hand the previous program's final inboxes to the next program's first
+  /// round — and the net/ transport would re-ship them as preinbox
+  /// frames. Outbox banks need no reset (every round clears its own), and
+  /// the round counter keeps accumulating (callers diff rounds_executed()).
+  void reset_inboxes() noexcept { state_.clear_inboxes(); }
 
   /// True when a multi-process backend is installed: distributable
   /// programs will execute across worker runtimes. Protocols use this to

@@ -57,4 +57,13 @@ TransportConfig transport_env_default() {
   return value;
 }
 
+bool route_aggregation_env_default() {
+  static const bool value = [] {
+    const auto env = util::env_knob("ARBOR_ROUTE_AGGREGATION");
+    if (!env) return true;
+    return parse_bool_flag(*env, "ARBOR_ROUTE_AGGREGATION");
+  }();
+  return value;
+}
+
 }  // namespace arbor::mpc

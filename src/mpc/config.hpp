@@ -83,6 +83,13 @@ bool distributed_level1_env_default();
 /// backend without touching every test's config literal.
 TransportConfig transport_env_default();
 
+/// Process-wide default for ClusterConfig::route_aggregation, read once
+/// from the ARBOR_ROUTE_AGGREGATION environment variable (strict boolean,
+/// see parse_bool_flag). Default ON; scripts/check.sh --bench-smoke runs
+/// the sort bench with the knob toggled both ways so the per-record
+/// fallback path stays exercised.
+bool route_aggregation_env_default();
+
 struct ClusterConfig {
   std::size_t num_machines = 0;
   std::size_t words_per_machine = 0;  ///< S
@@ -100,6 +107,18 @@ struct ClusterConfig {
   /// distributed can be diffed directly. Default off (or the
   /// ARBOR_DISTRIBUTED_LEVEL1 environment override).
   bool distributed_level1 = distributed_level1_env_default();
+
+  /// Route the sample sorts' record-movement rounds through the bulk
+  /// engine::send_records path: each machine radix-partitions its
+  /// key-sorted slab against the splitter vector (one binary search per
+  /// splitter, not per record) and ships every bucket as one contiguous
+  /// arena span — one coalesced wire frame per (src,dst) on the net/
+  /// transport. Off selects the per-record upper_bound + append-buffer
+  /// route. Outputs, ledger totals, and traffic words are bit-identical
+  /// either way (tests/level0_programs_test.cpp); this is a pure speed
+  /// knob kept for A/B benches. Default on (or the ARBOR_ROUTE_AGGREGATION
+  /// environment override).
+  bool route_aggregation = route_aggregation_env_default();
 
   /// Where this cluster's distributable RoundPrograms execute: in-process
   /// (default), or across worker runtimes behind the src/net/ transport

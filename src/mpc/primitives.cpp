@@ -32,35 +32,19 @@ constexpr std::size_t kTargetRecordsPerMachine = 2048;
 // tiebreaker spreads duplicates across splitter intervals.
 constexpr std::size_t kSamplesPerMachine = 32;
 
-}  // namespace
+// Shape of the internal cluster a Level-1 sort of n keys executes on; the
+// sizing rationale lives in the comments inside level1_sort_shape. The
+// shape is what the context's cluster pool is keyed by: two sorts with
+// equal (machines, words_per_machine) can share one cluster.
+struct SortShape {
+  ClusterConfig sort_cfg;
+  std::size_t model_s = 0;  ///< the model's S, for the grounding ledger
+  std::size_t samples = 0;  ///< splitter samples per machine
+};
 
-engine::Engine* MpcContext::ensure_engine() {
-  if (engine_ == nullptr) {
-    owned_engine_ = std::make_unique<engine::Engine>(config_.execution);
-    engine_ = owned_engine_.get();
-  }
-  return engine_;
-}
-
-RoundLedger* MpcContext::level1_sort_grounding() {
-  if (!grounding_ledger_) {
-    // Model-shaped: violations are counted against the model's S, however
-    // the execution cluster was provisioned.
-    grounding_ledger_ = std::make_unique<RoundLedger>(config_);
-  }
-  return grounding_ledger_.get();
-}
-
-std::vector<std::size_t> engine_sorted_order(const ClusterConfig& config,
-                                             engine::Engine* engine,
-                                             const std::vector<Word>& keys,
-                                             RoundLedger* grounding) {
+SortShape level1_sort_shape(const ClusterConfig& config, std::size_t n) {
   ARBOR_CHECK_MSG(config.num_machines > 0, "misconfigured cluster");
   const std::size_t model_s = config.words_per_machine;
-  const std::size_t n = keys.size();
-  std::vector<std::size_t> order(n);
-  std::iota(order.begin(), order.end(), 0);
-  if (n <= 1) return order;
 
   // Machines: enough for worker parallelism (kTargetRecordsPerMachine) and
   // enough that a slab plus routing slack fits the model's S, capped by
@@ -83,8 +67,8 @@ std::vector<std::size_t> engine_sorted_order(const ClusterConfig& config,
   // term — when the model config itself cannot hold the dataflow (S too
   // small for the routed slabs or for the √p·s splitter pools, which
   // happens for test configs whose min_words floor is tiny relative to
-  // the data); the grounding ledger below still measures every round
-  // against the model's S, so such runs are visible, not hidden.
+  // the data); the grounding ledger still measures every round against
+  // the model's S, so such runs are visible, not hidden.
   // Routing slack covers the worst-case bucket: a slab's share plus the
   // sampling granularity ⌈n/s⌉ (an adversarial key run shorter than one
   // sample gap on every machine draws no splitter, so up to n/s records
@@ -94,21 +78,27 @@ std::vector<std::size_t> engine_sorted_order(const ClusterConfig& config,
       4 * slab_words + MpcContext::div_ceil(n, samples) * kRecordWidth;
   const std::size_t splitter_slack =
       2 * (group * samples * kRecordWidth + 2);
-  ClusterConfig sort_cfg = config;
-  sort_cfg.num_machines = machines;
-  sort_cfg.words_per_machine =
+
+  SortShape shape;
+  shape.sort_cfg = config;
+  shape.sort_cfg.num_machines = machines;
+  shape.sort_cfg.words_per_machine =
       std::max(model_s, std::max(routing_slack, splitter_slack));
+  // Multi-process transports partition the sort across a worker group —
+  // worker runtimes do the compute, so the driver-side engine only moves
+  // frames and stays serial.
+  if (!config.transport.in_process())
+    shape.sort_cfg.execution = ExecutionPolicy::serial();
+  shape.model_s = model_s;
+  shape.samples = samples;
+  return shape;
+}
 
-  // The caller's primary ledger keeps the analytic ⌈log_S N⌉ charge —
-  // bit-identical to the central path — while the execution itself is no
-  // longer exempt: every round of the internal sort is charged to the
-  // model-shaped grounding ledger (per-step labels, traffic peaks,
-  // violations against the model's S).
-  RoundLedger sort_ledger(
-      ClusterConfig{machines, model_s, sort_cfg.execution});
-
-  // Contiguous initial distribution: machine m holds records
-  // [m·per, (m+1)·per).
+// Contiguous initial distribution of (key, original index) records:
+// machine m holds records [m·per, (m+1)·per).
+std::vector<std::vector<Word>> build_key_slabs(const std::vector<Word>& keys,
+                                               std::size_t machines) {
+  const std::size_t n = keys.size();
   const std::size_t per = MpcContext::div_ceil(n, machines);
   std::vector<std::vector<Word>> slabs(machines);
   for (std::size_t m = 0; m < machines; ++m) {
@@ -121,24 +111,14 @@ std::vector<std::size_t> engine_sorted_order(const ClusterConfig& config,
       slabs[m].push_back(static_cast<Word>(i));
     }
   }
+  return slabs;
+}
 
-  RecordSortResult sorted;
-  if (config.transport.in_process()) {
-    Cluster cluster(sort_cfg, &sort_ledger, engine);
-    sorted = sample_sort_records(cluster, std::move(slabs), kRecordWidth,
-                                 /*key_words=*/kRecordWidth, samples);
-  } else {
-    // Multi-process transports spawn a worker group per cluster, so the
-    // internal sort gets its own (the shared engine's machine count does
-    // not match). The driver-side engine only moves frames then — worker
-    // runtimes do the compute — so it stays serial.
-    sort_cfg.execution = ExecutionPolicy::serial();
-    Cluster cluster(sort_cfg, &sort_ledger);
-    sorted = sample_sort_records(cluster, std::move(slabs), kRecordWidth,
-                                 /*key_words=*/kRecordWidth, samples);
-  }
-  if (grounding) grounding->absorb_sequential(sort_ledger);
-
+// Read the stable-sort permutation off the sorted buckets: the index words
+// of the concatenated result slabs, in bucket-machine order.
+std::vector<std::size_t> unpack_order(const RecordSortResult& sorted,
+                                      std::size_t n) {
+  std::vector<std::size_t> order(n);
   std::size_t pos = 0;
   for (const auto& slab : sorted.slabs) {
     const std::size_t records = slab.size() / kRecordWidth;
@@ -147,6 +127,136 @@ std::vector<std::size_t> engine_sorted_order(const ClusterConfig& config,
   }
   ARBOR_CHECK_MSG(pos == n, "record sort lost or duplicated records");
   return order;
+}
+
+}  // namespace
+
+// Constructor and destructor out of line so the pooled Clusters
+// (forward-declared in the header) are destructible where Cluster is
+// complete — and, in the destructor, before owned_engine_, which the
+// in-process pool entries execute on (member order in the class).
+MpcContext::MpcContext(ClusterConfig config, RoundLedger* ledger,
+                       engine::Engine* engine)
+    : config_(config), ledger_(ledger), engine_(engine) {
+  ARBOR_CHECK(config.num_machines > 0 && config.words_per_machine > 0);
+}
+
+MpcContext::~MpcContext() = default;
+
+engine::Engine* MpcContext::ensure_engine() {
+  if (engine_ == nullptr) {
+    owned_engine_ = std::make_unique<engine::Engine>(config_.execution);
+    engine_ = owned_engine_.get();
+  }
+  return engine_;
+}
+
+RoundLedger* MpcContext::level1_sort_grounding() {
+  if (!grounding_ledger_) {
+    // Model-shaped: violations are counted against the model's S, however
+    // the execution cluster was provisioned.
+    grounding_ledger_ = std::make_unique<RoundLedger>(config_);
+  }
+  return grounding_ledger_.get();
+}
+
+std::vector<std::size_t> engine_sorted_order(const ClusterConfig& config,
+                                             engine::Engine* engine,
+                                             const std::vector<Word>& keys,
+                                             RoundLedger* grounding) {
+  const std::size_t n = keys.size();
+  if (n <= 1) {
+    ARBOR_CHECK_MSG(config.num_machines > 0, "misconfigured cluster");
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    return order;
+  }
+  const SortShape shape = level1_sort_shape(config, n);
+
+  // The caller's primary ledger keeps the analytic ⌈log_S N⌉ charge —
+  // bit-identical to the central path — while the execution itself is no
+  // longer exempt: every round of the internal sort is charged to the
+  // model-shaped grounding ledger (per-step labels, traffic peaks,
+  // violations against the model's S).
+  RoundLedger sort_ledger(ClusterConfig{shape.sort_cfg.num_machines,
+                                        shape.model_s,
+                                        shape.sort_cfg.execution});
+  std::vector<std::vector<Word>> slabs =
+      build_key_slabs(keys, shape.sort_cfg.num_machines);
+
+  RecordSortResult sorted;
+  if (config.transport.in_process()) {
+    Cluster cluster(shape.sort_cfg, &sort_ledger, engine);
+    sorted = sample_sort_records(cluster, std::move(slabs), kRecordWidth,
+                                 /*key_words=*/kRecordWidth, shape.samples);
+  } else {
+    // Multi-process transports spawn a worker group for this cluster (the
+    // shared engine's machine count does not match).
+    Cluster cluster(shape.sort_cfg, &sort_ledger);
+    sorted = sample_sort_records(cluster, std::move(slabs), kRecordWidth,
+                                 /*key_words=*/kRecordWidth, shape.samples);
+  }
+  if (grounding) grounding->absorb_sequential(sort_ledger);
+  return unpack_order(sorted, n);
+}
+
+std::vector<std::size_t> MpcContext::distributed_sorted_order(
+    const std::vector<Word>& keys) {
+  const std::size_t n = keys.size();
+  ARBOR_CHECK(n > 1);  // callers handle the trivial sizes
+  const SortShape shape = level1_sort_shape(config_, n);
+
+  // Pool lookup: same (machines, capacity) → same cluster. The pool stays
+  // tiny in practice (a pipeline's sorts cluster around a few data sizes),
+  // so a linear scan beats a map.
+  SortClusterSlot* slot = nullptr;
+  for (SortClusterSlot& s : sort_pool_)
+    if (s.machines == shape.sort_cfg.num_machines &&
+        s.words_per_machine == shape.sort_cfg.words_per_machine) {
+      slot = &s;
+      break;
+    }
+  if (slot != nullptr) {
+    // Reuse: the RoundState arenas keep their grown capacity and — over
+    // the loopback/tcp transport — the worker group stays alive; only the
+    // previous sort's final inboxes must go.
+    slot->cluster->reset_inboxes();
+    auto& tracer = trace::Tracer::global();
+    if (tracer.metrics_on()) tracer.metrics().add("engine.arena_reuse_hits", 1);
+  } else {
+    sort_pool_.push_back(
+        {shape.sort_cfg.num_machines, shape.sort_cfg.words_per_machine,
+         config_.transport.in_process()
+             ? std::make_unique<Cluster>(shape.sort_cfg, nullptr,
+                                         ensure_engine())
+             : std::make_unique<Cluster>(shape.sort_cfg, nullptr)});
+    slot = &sort_pool_.back();
+  }
+
+  // Ledger charging is per sort (see engine_sorted_order): attach a
+  // short-lived model-shaped ledger for this run and detach before it
+  // dies, whatever the program does. A sort that throws (transport
+  // failure) also evicts the pooled cluster — its state is unknown.
+  RoundLedger sort_ledger(ClusterConfig{shape.sort_cfg.num_machines,
+                                        shape.model_s,
+                                        shape.sort_cfg.execution});
+  slot->cluster->set_ledger(&sort_ledger);
+  RecordSortResult sorted;
+  try {
+    sorted = sample_sort_records(
+        *slot->cluster, build_key_slabs(keys, shape.sort_cfg.num_machines),
+        kRecordWidth, /*key_words=*/kRecordWidth, shape.samples);
+  } catch (...) {
+    for (auto it = sort_pool_.begin(); it != sort_pool_.end(); ++it)
+      if (&*it == slot) {
+        sort_pool_.erase(it);
+        break;
+      }
+    throw;
+  }
+  slot->cluster->set_ledger(nullptr);
+  level1_sort_grounding()->absorb_sequential(sort_ledger);
+  return unpack_order(sorted, n);
 }
 
 }  // namespace arbor::mpc

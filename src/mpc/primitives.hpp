@@ -43,6 +43,8 @@
 
 namespace arbor::mpc {
 
+class Cluster;
+
 /// Stable-sort permutation of `keys` computed by an engine-backed
 /// distributed record sort: order[i] is the original index of the i-th
 /// smallest key, equal keys in original order — exactly the permutation
@@ -50,7 +52,9 @@ namespace arbor::mpc {
 /// on an internal cluster sized by the model's S; every executed round is
 /// charged to `grounding` (a model-shaped ledger, may be null) with
 /// per-step labels and traffic peaks — see MpcContext::
-/// level1_sort_grounding(). Defined in primitives.cpp.
+/// level1_sort_grounding(). Builds a fresh internal cluster per call — the
+/// unpooled reference; MpcContext::sort_items_by_key goes through the
+/// context's cluster pool instead. Defined in primitives.cpp.
 std::vector<std::size_t> engine_sorted_order(const ClusterConfig& config,
                                              engine::Engine* engine,
                                              const std::vector<Word>& keys,
@@ -65,10 +69,13 @@ class MpcContext {
   /// on first use" (ensure_engine), so a pipeline and all its
   /// sub-contexts still end up on one pool.
   MpcContext(ClusterConfig config, RoundLedger* ledger,
-             engine::Engine* engine = nullptr)
-      : config_(config), ledger_(ledger), engine_(engine) {
-    ARBOR_CHECK(config.num_machines > 0 && config.words_per_machine > 0);
-  }
+             engine::Engine* engine = nullptr);
+
+  // Out of line (like the constructor): sort_pool_ holds Clusters,
+  // forward-declared here.
+  ~MpcContext();
+  MpcContext(MpcContext&&) = delete;
+  MpcContext& operator=(MpcContext&&) = delete;
 
   const ClusterConfig& config() const noexcept { return config_; }
   RoundLedger* ledger() const noexcept { return ledger_; }
@@ -178,8 +185,7 @@ class MpcContext {
       std::vector<Word> keys;
       keys.reserve(items.size());
       for (const T& item : items) keys.push_back(key_of(item));
-      const std::vector<std::size_t> order = engine_sorted_order(
-          config_, ensure_engine(), keys, level1_sort_grounding());
+      const std::vector<std::size_t> order = distributed_sorted_order(keys);
       std::vector<T> sorted;
       sorted.reserve(items.size());
       for (const std::size_t idx : order)
@@ -257,6 +263,23 @@ class MpcContext {
   }
 
  private:
+  /// engine_sorted_order through the context's cluster pool: internal sort
+  /// clusters are keyed by (machines, words_per_machine) and kept alive
+  /// across sorts, so repeated same-shape sorts reuse the RoundState
+  /// arenas at retained capacity — and, over the loopback/tcp transport,
+  /// the live worker group — instead of reallocating (respawning) per
+  /// sort. Each reuse bumps the engine.arena_reuse_hits metric when
+  /// metrics are on. Defined in primitives.cpp.
+  std::vector<std::size_t> distributed_sorted_order(
+      const std::vector<Word>& keys);
+
+  /// One pooled internal sort cluster (see distributed_sorted_order).
+  struct SortClusterSlot {
+    std::size_t machines;
+    std::size_t words_per_machine;
+    std::unique_ptr<Cluster> cluster;
+  };
+
   ClusterConfig config_;
   RoundLedger* ledger_;
   engine::Engine* engine_ = nullptr;  // external, or owned_engine_.get()
@@ -267,6 +290,9 @@ class MpcContext {
   std::unique_ptr<engine::Engine> owned_engine_;
   // Lazily built by level1_sort_grounding().
   std::unique_ptr<RoundLedger> grounding_ledger_;
+  // Declared last: pooled clusters may reference owned_engine_, so they
+  // must be destroyed before it.
+  std::vector<SortClusterSlot> sort_pool_;
 };
 
 }  // namespace arbor::mpc

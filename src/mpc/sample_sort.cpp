@@ -34,6 +34,11 @@ struct SortState {
   std::size_t record_width = 1;
   std::size_t key_words = 1;
   std::size_t samples_per_machine = 0;
+  /// Route rounds ship whole buckets as contiguous spans via
+  /// engine::send_records (ClusterConfig::route_aggregation) instead of
+  /// the per-record upper_bound + append-buffer path. Same messages, same
+  /// ledger charges — only the copy count differs.
+  bool aggregate_routes = true;
 };
 
 // ---------------------------------------------------------- tree topology
@@ -284,6 +289,18 @@ engine::RoundProgram make_tree_sort_program(std::shared_ptr<SortState> st,
                            packet.end());
 
         const auto& slab = st->slabs[m];
+        const auto spread_member = [&tree, m](std::size_t g) {
+          return tree.group_begin(g) + (m % tree.members(g));
+        };
+        if (st->aggregate_routes) {
+          // The slab is key-sorted (round 1), so each destination group's
+          // records are one contiguous span: partition once against the
+          // boundary splitters and ship bucket g as a single message.
+          engine::send_records(send, std::span<const Word>(slab), width, kw,
+                               std::span<const Word>(coarse, n_coarse * kw),
+                               spread_member);
+          return;
+        }
         const std::size_t records = slab.size() / width;
         // At most one destination per group (the spread member), so the
         // buffers are G-wide, not p-wide — wide clusters stay linear.
@@ -294,9 +311,7 @@ engine::RoundProgram make_tree_sort_program(std::shared_ptr<SortState> st,
           outgoing[g].insert(outgoing[g].end(), rec, rec + width);
         }
         for (std::size_t g = 0; g < tree.groups; ++g)
-          if (!outgoing[g].empty())
-            send.send(tree.group_begin(g) + (m % tree.members(g)),
-                      outgoing[g]);
+          if (!outgoing[g].empty()) send.send(spread_member(g), outgoing[g]);
       });
 
   // Round 6 — place every received record on its final bucket machine
@@ -312,6 +327,26 @@ engine::RoundProgram make_tree_sort_program(std::shared_ptr<SortState> st,
         const std::size_t n_fine = fine.size() / kw;
         const std::size_t g = tree.group_of(m);
         const std::size_t base = tree.group_begin(g);
+        if (st->aggregate_routes) {
+          // Each incoming message is a contiguous bucket of some sender's
+          // key-sorted slab (round 5), so it splits into spans against the
+          // fine splitters the same way a whole slab would; each span ships
+          // directly as one message (slab → outbox, no intermediate
+          // buffer). Message boundaries differ from the per-record path's
+          // one-frame-per-bucket shape, but each bucket machine still
+          // receives ITS records from any given sender in that sender's
+          // inbox order — every bucket is a distinct destination, so
+          // filtering a sender's emission sequence down to one receiver
+          // yields the same record sequence either way, and caps and
+          // ledger totals count payload words only.
+          for (const auto& msg : inbox)
+            engine::send_records(send, msg.span(), width, kw,
+                                 std::span<const Word>(fine),
+                                 [base](std::size_t local) {
+                                   return base + local;
+                                 });
+          return;
+        }
         // Placement is intra-group: buffers are members(g)-wide.
         std::vector<std::vector<Word>> outgoing(tree.members(g));
         for (const auto& msg : inbox) {
@@ -392,6 +427,14 @@ engine::RoundProgram make_coordinator_sort_program(
         const std::span<const Word> split = inbox.front().span();
         const std::size_t num_split = split.size() / kw;
         const auto& slab = st->slabs[m];
+        if (st->aggregate_routes) {
+          // The slab is key-sorted (step 1): bucket dst is one contiguous
+          // span, shipped whole. Empty splitter set → everything lands in
+          // bucket 0, exactly like the per-record rule.
+          engine::send_records(send, std::span<const Word>(slab), width, kw,
+                               split, [](std::size_t dst) { return dst; });
+          return;
+        }
         const std::size_t records = slab.size() / width;
         std::vector<std::vector<Word>> outgoing(machines);
         for (std::size_t i = 0; i < records; ++i) {
@@ -457,6 +500,7 @@ SampleSortResult sample_sort(Cluster& cluster,
   st->slabs = input;
   st->machines = machines;
   st->samples_per_machine = samples_per_machine;
+  st->aggregate_routes = cluster.config().route_aggregation;
 
   engine::RoundProgram program =
       make_sort_program(st, strategy, /*bucket_sort_round=*/false);
@@ -464,7 +508,8 @@ SampleSortResult sample_sort(Cluster& cluster,
     engine::RemoteSpec spec;
     spec.name = "mpc.sample_sort";
     spec.scalars = {static_cast<Word>(samples_per_machine),
-                    static_cast<Word>(strategy)};
+                    static_cast<Word>(strategy),
+                    static_cast<Word>(st->aggregate_routes ? 1 : 0)};
     spec.inputs = input;
     program.distributable(std::move(spec));
   }
@@ -504,6 +549,7 @@ RecordSortResult sample_sort_records(
   st->record_width = record_width;
   st->key_words = key_words;
   st->samples_per_machine = samples_per_machine;
+  st->aggregate_routes = cluster.config().route_aggregation;
   st->result.resize(machines);
 
   engine::RoundProgram program =
@@ -514,7 +560,8 @@ RecordSortResult sample_sort_records(
     spec.scalars = {static_cast<Word>(record_width),
                     static_cast<Word>(key_words),
                     static_cast<Word>(samples_per_machine),
-                    static_cast<Word>(strategy)};
+                    static_cast<Word>(strategy),
+                    static_cast<Word>(st->aggregate_routes ? 1 : 0)};
     spec.inputs = input;  // copy: the state takes the originals below
     spec.has_output = true;
     spec.output_sink = [st](std::size_t m, std::span<const Word> slab) {
@@ -534,11 +581,12 @@ RecordSortResult sample_sort_records(
 
 void register_sample_sort_programs(net::Registry& registry) {
   registry.add("mpc.sample_sort", [](const net::ProgramInputs& in) {
-    ARBOR_CHECK_MSG(in.scalars.size() == 2,
-                    "mpc.sample_sort expects 2 scalars");
+    ARBOR_CHECK_MSG(in.scalars.size() == 3,
+                    "mpc.sample_sort expects 3 scalars");
     auto st = std::make_shared<SortState>();
     st->machines = in.machines;
     st->samples_per_machine = static_cast<std::size_t>(in.scalars[0]);
+    st->aggregate_routes = in.scalars[2] != 0;
     st->slabs.resize(in.machines);
     for (std::size_t m = in.block_begin; m < in.block_end; ++m)
       st->slabs[m] = in.inputs[m - in.block_begin];
@@ -550,13 +598,14 @@ void register_sample_sort_programs(net::Registry& registry) {
   });
 
   registry.add("mpc.sample_sort_records", [](const net::ProgramInputs& in) {
-    ARBOR_CHECK_MSG(in.scalars.size() == 4,
-                    "mpc.sample_sort_records expects 4 scalars");
+    ARBOR_CHECK_MSG(in.scalars.size() == 5,
+                    "mpc.sample_sort_records expects 5 scalars");
     auto st = std::make_shared<SortState>();
     st->machines = in.machines;
     st->record_width = static_cast<std::size_t>(in.scalars[0]);
     st->key_words = static_cast<std::size_t>(in.scalars[1]);
     st->samples_per_machine = static_cast<std::size_t>(in.scalars[2]);
+    st->aggregate_routes = in.scalars[4] != 0;
     ARBOR_CHECK(st->record_width > 0 && st->key_words > 0 &&
                 st->key_words <= st->record_width);
     st->slabs.resize(in.machines);

@@ -91,6 +91,10 @@ ProcessGroup::ProcessGroup(GroupOptions options)
     teardown();
     throw;
   }
+  // Spawn counter: pooled clusters (MpcContext's internal sort pool) exist
+  // to keep this from incrementing once per sort.
+  auto& tracer = trace::Tracer::global();
+  if (tracer.metrics_on()) tracer.metrics().add("net.worker_groups_spawned", 1);
 }
 
 ProcessGroup::~ProcessGroup() {
@@ -481,6 +485,7 @@ engine::ProgramStats ProcessGroup::run(engine::RoundState& state,
     for (std::size_t m = begin; m < end; ++m) {
       const std::size_t num_msgs = reader.count();
       if (state.is_flat) {
+        state.scatter_active = false;  // write-back restores the flat form
         engine::Inbox& inbox = state.flat_inboxes[m];
         inbox.clear();
         for (std::size_t i = 0; i < num_msgs; ++i)

@@ -332,13 +332,17 @@ TEST(CheckedExecution, CleanSelfOwnedProgramPassesChecked) {
 /// reference, then under checked execution on {serial, parallel(2)} x
 /// {in-process, loopback:2, tcp:2}. The body captures its reference
 /// output on the first call and EXPECTs equality after — checked
-/// execution must change nothing observable.
+/// execution must change nothing observable. `route_aggregation` selects
+/// the sample sorts' bulk vs. per-record route in every cell (including
+/// the reference), so both paths can be driven through the full matrix.
 template <typename RunFn>
 void expect_checked_clean(const char* what, const RunFn& body,
                           std::size_t machines = 8,
-                          std::size_t capacity = 4096) {
+                          std::size_t capacity = 4096,
+                          bool route_aggregation = true) {
   {
     ClusterConfig cfg{machines, capacity};
+    cfg.route_aggregation = route_aggregation;
     mpc::Cluster cluster(cfg, nullptr);
     body(cluster, true);
   }
@@ -354,6 +358,7 @@ void expect_checked_clean(const char* what, const RunFn& body,
       ClusterConfig cfg{machines, capacity};
       cfg.execution = policy;
       cfg.transport = transport;
+      cfg.route_aggregation = route_aggregation;
       mpc::Cluster cluster(cfg, nullptr);
       body(cluster, false);
     }
@@ -416,6 +421,53 @@ TEST(CheckedMatrix, RecordSampleSort) {
         else
           EXPECT_EQ(result.slabs, reference);
       });
+}
+
+// The defaults above already drive the bulk route through the whole
+// checked matrix (route_aggregation defaults on); these two pin the
+// per-record fallback to the same standard, and cross-check that both
+// knob settings produce the identical slabs.
+TEST(CheckedMatrix, SampleSortTreeNoAggregation) {
+  const auto input = random_slabs(8, 48, 221);  // same seed as the bulk run
+  std::vector<std::vector<Word>> reference;
+  expect_checked_clean(
+      "sample_sort/no-agg",
+      [&](mpc::Cluster& cluster, bool first) {
+        const mpc::SampleSortResult result = sample_sort(cluster, input);
+        if (first)
+          reference = result.slabs;
+        else
+          EXPECT_EQ(result.slabs, reference);
+      },
+      8, 4096, /*route_aggregation=*/false);
+  // Against the aggregated route: same buckets, bit for bit.
+  ClusterConfig cfg{8, 4096};
+  cfg.route_aggregation = true;
+  mpc::Cluster cluster(cfg, nullptr);
+  EXPECT_EQ(sample_sort(cluster, input).slabs, reference);
+}
+
+TEST(CheckedMatrix, RecordSampleSortNoAggregation) {
+  util::SplitRng rng(223);
+  std::vector<std::vector<Word>> input(8);
+  std::size_t payload = 0;
+  for (auto& slab : input)
+    for (int r = 0; r < 24; ++r) {
+      slab.push_back(rng.next_below(8));
+      slab.push_back(payload++);
+    }
+  std::vector<std::vector<Word>> reference;
+  expect_checked_clean(
+      "sample_sort_records/no-agg",
+      [&](mpc::Cluster& cluster, bool first) {
+        const mpc::RecordSortResult result =
+            sample_sort_records(cluster, input, 2, 1);
+        if (first)
+          reference = result.slabs;
+        else
+          EXPECT_EQ(result.slabs, reference);
+      },
+      8, 4096, /*route_aggregation=*/false);
 }
 
 TEST(CheckedMatrix, BroadcastAndConverge) {

@@ -14,6 +14,7 @@
 #include "engine/engine.hpp"
 #include "engine/execution_policy.hpp"
 #include "engine/inbox.hpp"
+#include "engine/records.hpp"
 #include "engine/thread_pool.hpp"
 #include "graph/generators.hpp"
 #include "local/mpc_embedding.hpp"
@@ -126,6 +127,119 @@ TEST(Inbox, NestedViewAdaptsVectors) {
   EXPECT_EQ(view.total_words(), 3u);
   EXPECT_EQ(view[0], (std::vector<Word>{4, 5}));
   EXPECT_EQ(view[1][0], 6u);
+}
+
+// -------------------------------------------- record slabs & bulk routing
+
+// Count of splitter keys ≤ the record's key — the per-record bucket rule
+// (std::upper_bound semantics) the bulk partition must reproduce exactly.
+std::size_t bucket_of(std::span<const Word> splitters, std::size_t key_words,
+                      const Word* rec) {
+  const std::size_t k = splitters.size() / key_words;
+  std::size_t b = 0;
+  while (b < k && engine::compare_keys(splitters.data() + b * key_words, rec,
+                                       key_words) <= 0)
+    ++b;
+  return b;
+}
+
+TEST(Records, WidthOneSortFastPath) {
+  util::SplitRng rng(71);
+  std::vector<Word> slab;
+  for (std::size_t i = 0; i < 1000; ++i) slab.push_back(rng.next_below(50));
+  std::vector<Word> expected = slab;
+  std::sort(expected.begin(), expected.end());
+  engine::stable_sort_records(slab, /*width=*/1, /*key_words=*/1);
+  EXPECT_EQ(slab, expected);
+}
+
+TEST(Records, PartitionSortedMatchesPerRecordRule) {
+  util::SplitRng rng(72);
+  constexpr std::size_t kWidth = 2, kKeyWords = 2;
+  std::vector<Word> slab;
+  for (std::size_t i = 0; i < 500; ++i) {
+    slab.push_back(rng.next_below(40));  // heavy duplication
+    slab.push_back(rng.next_below(8));
+  }
+  engine::stable_sort_records(slab, kWidth, kKeyWords);
+  std::vector<Word> splitters;
+  for (const Word k : {5u, 5u, 17u, 30u}) {  // duplicate splitter included
+    splitters.push_back(k);
+    splitters.push_back(4);
+  }
+
+  const std::vector<std::size_t> bounds = engine::partition_sorted_records(
+      slab, kWidth, kKeyWords, splitters);
+  ASSERT_EQ(bounds.size(), 6u);  // k+2 fenceposts for k=4 splitters
+  EXPECT_EQ(bounds.front(), 0u);
+  EXPECT_EQ(bounds.back(), slab.size() / kWidth);
+  for (std::size_t b = 0; b + 1 < bounds.size(); ++b) {
+    EXPECT_LE(bounds[b], bounds[b + 1]);
+    for (std::size_t r = bounds[b]; r < bounds[b + 1]; ++r)
+      EXPECT_EQ(bucket_of(splitters, kKeyWords, slab.data() + r * kWidth), b)
+          << "record " << r;
+  }
+}
+
+TEST(Records, PartitionAllDuplicatesAndEmptySplitters) {
+  constexpr std::size_t kWidth = 2, kKeyWords = 1;
+  std::vector<Word> slab;
+  for (std::size_t i = 0; i < 64; ++i) {
+    slab.push_back(7);  // every key identical
+    slab.push_back(i);
+  }
+  // Splitters below, at, and above the key: bucket 1 (between the two 7s)
+  // must come out empty, everything lands in bucket 2 (> the last 7).
+  const std::vector<Word> splitters{3, 7, 7};
+  const std::vector<std::size_t> bounds = engine::partition_sorted_records(
+      slab, kWidth, kKeyWords, splitters);
+  ASSERT_EQ(bounds.size(), 5u);
+  EXPECT_EQ(bounds[0], 0u);   // bucket 0 (key < 3): empty
+  EXPECT_EQ(bounds[1], 0u);   // bucket 1 (3 ≤ key < 7): empty
+  EXPECT_EQ(bounds[2], 0u);   // bucket 2: empty — duplicate splitter
+  EXPECT_EQ(bounds[3], 0u);   // bucket 3 (key ≥ 7): keys equal a splitter
+  EXPECT_EQ(bounds[4], 64u);  // go above it, so everything lands here
+
+  // No splitters at all: the single bucket 0 takes the whole slab.
+  const std::vector<std::size_t> none = engine::partition_sorted_records(
+      slab, kWidth, kKeyWords, std::span<const Word>{});
+  ASSERT_EQ(none.size(), 2u);
+  EXPECT_EQ(none[0], 0u);
+  EXPECT_EQ(none[1], 64u);
+}
+
+// Bulk send_records must enqueue, per destination, exactly the payload the
+// per-record route would (width-1 records: the word sort's route shape).
+TEST(Records, SendRecordsMatchesPerRecordRouting) {
+  util::SplitRng rng(73);
+  constexpr std::size_t kMachines = 8;
+  std::vector<Word> slab;
+  for (std::size_t i = 0; i < 300; ++i) slab.push_back(rng.next_below(100));
+  std::sort(slab.begin(), slab.end());
+  std::vector<Word> splitters;
+  for (std::size_t b = 1; b < kMachines; ++b)
+    splitters.push_back(b * 100 / kMachines);
+
+  engine::Outbox bulk_out;
+  engine::Sender bulk(0, 4096, kMachines, bulk_out);
+  engine::send_records(bulk, std::span<const Word>(slab), 1, 1,
+                       std::span<const Word>(splitters),
+                       [](std::size_t b) { return b; });
+
+  std::vector<std::vector<Word>> expected(kMachines);
+  for (const Word w : slab)
+    expected[bucket_of(splitters, 1, &w)].push_back(w);
+
+  std::vector<std::vector<Word>> got(kMachines);
+  std::size_t last_dst = 0;
+  for (const auto& msg : bulk_out.msgs) {
+    EXPECT_GE(msg.dst, last_dst);  // ascending: one span per destination
+    last_dst = msg.dst;
+    const auto payload = bulk_out.payload(msg);
+    got[msg.dst].insert(got[msg.dst].end(), payload.begin(), payload.end());
+  }
+  EXPECT_EQ(got, expected);
+  EXPECT_EQ(bulk.words_sent(), slab.size());
 }
 
 // -------------------------------------------- delivery order determinism

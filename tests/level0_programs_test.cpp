@@ -338,6 +338,68 @@ TEST(RecordSampleSort, CoordinatorStrategyABaseline) {
   EXPECT_EQ(tree_flat, central_flat);
 }
 
+// The bulk send_records route (route_aggregation, default on) is a pure
+// speed knob: outputs AND ledger totals must be bit-identical to the
+// per-record fallback, for both splitter strategies, including the
+// all-duplicate-key input where every splitter collides.
+TEST(RecordSampleSort, RouteAggregationOnOffBitIdentical) {
+  util::SplitRng rng(23);
+  std::vector<std::vector<Word>> input(8);
+  std::size_t idx = 0;
+  for (auto& slab : input)
+    for (int r = 0; r < 24; ++r) {
+      slab.push_back(rng.next_below(8));  // heavy duplication
+      slab.push_back(idx++);
+    }
+  std::vector<std::vector<Word>> all_dup(8);
+  for (auto& slab : all_dup)
+    for (int r = 0; r < 16; ++r) {
+      slab.push_back(42);
+      slab.push_back(idx++);
+    }
+
+  for (const auto* slabs : {&input, &all_dup}) {
+    for (const SplitterStrategy strategy :
+         {SplitterStrategy::kTree, SplitterStrategy::kCoordinator}) {
+      ClusterConfig cfg{8, 8192};
+      cfg.route_aggregation = true;
+      RoundLedger on_ledger(cfg);
+      Cluster on_cluster(cfg, &on_ledger);
+      const RecordSortResult on =
+          sample_sort_records(on_cluster, *slabs, 2, 2, 8, strategy);
+
+      cfg.route_aggregation = false;
+      RoundLedger off_ledger(cfg);
+      Cluster off_cluster(cfg, &off_ledger);
+      const RecordSortResult off =
+          sample_sort_records(off_cluster, *slabs, 2, 2, 8, strategy);
+
+      EXPECT_EQ(on.slabs, off.slabs);
+      EXPECT_EQ(on.rounds, off.rounds);
+      EXPECT_EQ(on_ledger.total_rounds(), off_ledger.total_rounds());
+      EXPECT_EQ(on_ledger.traffic_words_by_label(),
+                off_ledger.traffic_words_by_label());
+      EXPECT_EQ(on_ledger.peak_round_traffic(),
+                off_ledger.peak_round_traffic());
+    }
+  }
+}
+
+// Same equivalence for the word sort (width-1 records through the same
+// route rounds, buckets read off the final inboxes).
+TEST(SampleSort, RouteAggregationOnOffBitIdentical) {
+  const auto input = random_slabs(16, 48, 29);
+  ClusterConfig cfg{16, 1024};
+  cfg.route_aggregation = true;
+  Cluster on_cluster(cfg, nullptr);
+  const SampleSortResult on = sample_sort(on_cluster, input);
+  cfg.route_aggregation = false;
+  Cluster off_cluster(cfg, nullptr);
+  const SampleSortResult off = sample_sort(off_cluster, input);
+  EXPECT_EQ(on.slabs, off.slabs);
+  EXPECT_EQ(on.rounds, off.rounds);
+}
+
 TEST(RecordSampleSort, RejectsRaggedArena) {
   const ClusterConfig cfg{2, 64};
   Cluster cluster(cfg, nullptr);

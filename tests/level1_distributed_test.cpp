@@ -15,6 +15,7 @@
 #include "graph/generators.hpp"
 #include "mpc/ledger.hpp"
 #include "mpc/primitives.hpp"
+#include "trace/trace.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 
@@ -190,9 +191,9 @@ TEST(DistributedSort, InternalSortChargedToModelShapedGroundingLedger) {
 }
 
 // The distributed Level-1 sorts also run over the multi-process transport:
-// each internal sort spawns its own worker group (machine counts are
-// data-dependent, so the shared engine's backend cannot serve them) and
-// stays bit-identical to the central path.
+// the context pools an internal sort cluster with its own worker group
+// (machine counts are data-dependent, so the shared engine's backend
+// cannot serve them) and stays bit-identical to the central path.
 TEST(DistributedSort, MatchesCentralOverLoopbackTransport) {
   util::SplitRng rng(52);
   std::vector<std::pair<std::uint32_t, std::uint64_t>> items;
@@ -222,6 +223,91 @@ TEST(DistributedSort, MatchesCentralOverLoopbackTransport) {
   EXPECT_EQ(distributed, central);
   expect_ledgers_identical(ledger, central_ledger);
   EXPECT_EQ(ctx.level1_sort_grounding()->total_rounds(), 7u);
+}
+
+// One MpcContext pools its internal sort clusters: the same Level-1 sort
+// run 5× reuses the first sort's cluster — RoundState arenas at retained
+// capacity (engine.arena_reuse_hits counts the reuses) and, over the
+// loopback transport, one worker group for all five sorts
+// (net.worker_groups_spawned stays at 1) — with bit-identical outputs
+// every repetition.
+TEST(DistributedSortPooling, ReusesArenasAndWorkerGroupAcrossSorts) {
+  trace::Tracer& tracer = trace::Tracer::global();
+  trace::ScopedMode guard(tracer, tracer.mode());
+  tracer.clear();
+
+  util::SplitRng rng(61);
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> items;
+  for (std::size_t i = 0; i < 20000; ++i)
+    items.emplace_back(static_cast<std::uint32_t>(rng.next_below(64)), i);
+
+  auto expected = items;
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+
+  ClusterConfig cfg{64, 4096};
+  cfg.distributed_level1 = true;
+  cfg.transport = mpc::TransportConfig::loopback(2);
+  cfg.trace = trace::TraceConfig{trace::Mode::kFull, ""};
+  RoundLedger ledger(cfg);
+  MpcContext ctx(cfg, &ledger);
+  for (int rep = 0; rep < 5; ++rep) {
+    auto sorted = items;
+    ctx.sort_items_by_key(
+        sorted, [](const auto& kv) { return MpcContext::word_key(kv.first); },
+        2, "sort");
+    EXPECT_EQ(sorted, expected) << "rep " << rep;
+  }
+
+  const auto hits = tracer.metrics().counter("engine.arena_reuse_hits");
+  ASSERT_TRUE(hits.has_value());
+  EXPECT_EQ(*hits, 4u);  // sorts 2..5 hit the slot sort 1 created
+  const auto spawns = tracer.metrics().counter("net.worker_groups_spawned");
+  ASSERT_TRUE(spawns.has_value());
+  EXPECT_EQ(*spawns, 1u);  // one worker group served every sort
+  // Grounding sees all five sorts, 7 rounds each, identically charged.
+  EXPECT_EQ(ctx.level1_sort_grounding()->total_rounds(), 35u);
+  tracer.clear();
+}
+
+// Pooling must not leak state between sorts of the same shape but
+// different contents: alternating inputs through one context matches the
+// central path on every repetition (a stale inbox or arena would corrupt
+// the second sort's buckets).
+TEST(DistributedSortPooling, AlternatingInputsStayIndependent) {
+  util::SplitRng rng(62);
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> a, b;
+  for (std::size_t i = 0; i < 20000; ++i) {
+    a.emplace_back(static_cast<std::uint32_t>(rng.next_below(64)), i);
+    b.emplace_back(static_cast<std::uint32_t>(63 - rng.next_below(64)), i);
+  }
+  const auto key = [](const auto& kv) {
+    return MpcContext::word_key(kv.first);
+  };
+  const auto central_sorted = [&](auto items) {
+    std::stable_sort(items.begin(), items.end(),
+                     [](const auto& x, const auto& y) {
+                       return x.first < y.first;
+                     });
+    return items;
+  };
+  const auto expected_a = central_sorted(a);
+  const auto expected_b = central_sorted(b);
+
+  ClusterConfig cfg{64, 4096};
+  cfg.distributed_level1 = true;
+  RoundLedger ledger(cfg);
+  MpcContext ctx(cfg, &ledger);
+  for (int rep = 0; rep < 3; ++rep) {
+    auto sa = a;
+    ctx.sort_items_by_key(sa, key, 2, "sort");
+    EXPECT_EQ(sa, expected_a) << "rep " << rep;
+    auto sb = b;
+    ctx.sort_items_by_key(sb, key, 2, "sort");
+    EXPECT_EQ(sb, expected_b) << "rep " << rep;
+  }
 }
 
 TEST(MpcContext, DivCeilRejectsZeroDivisor) {

@@ -322,6 +322,24 @@ TEST(EnvOverrides, BoolFlagsRejectUnknownValuesByName) {
                   "not a boolean flag");
 }
 
+// ARBOR_ROUTE_AGGREGATION goes through the same strict boolean parser:
+// "off" disables the bulk route for an A/B run, a typo fails loudly
+// instead of silently picking the default.
+TEST(EnvOverrides, RouteAggregationFlagIsStrict) {
+  EXPECT_TRUE(mpc::parse_bool_flag("on", "ARBOR_ROUTE_AGGREGATION"));
+  EXPECT_FALSE(mpc::parse_bool_flag("off", "ARBOR_ROUTE_AGGREGATION"));
+  expect_rejected(
+      [] { mpc::parse_bool_flag("fast", "ARBOR_ROUTE_AGGREGATION"); },
+      "ARBOR_ROUTE_AGGREGATION=\"fast\"");
+  // The config default is the knob's compiled-in default (on) when the
+  // variable is unset — and per-config overrides stay independent.
+  ClusterConfig cfg{2, 64};
+  cfg.route_aggregation = false;
+  EXPECT_FALSE(cfg.route_aggregation);
+  EXPECT_TRUE((ClusterConfig{2, 64}).route_aggregation ==
+              mpc::route_aggregation_env_default());
+}
+
 TEST(EnvOverrides, TransportFlagParsesKindsAndWorkerCounts) {
   EXPECT_EQ(mpc::parse_transport_flag("inprocess", "ARBOR_TRANSPORT"),
             TransportConfig{});
