@@ -25,9 +25,12 @@
 //
 // Results are also written as machine-readable JSON (default
 // BENCH_level1_sort.json, override with --json PATH) with backend +
-// variant fields, to seed the perf trajectory.
+// variant fields, to seed the perf trajectory. --report PATH additionally
+// writes the observatory RunReport log (per-label traffic vs. declared
+// analytic bounds) for scripts/check.sh --report's regression gate.
 //
 //   ./bench_level1_sort [records] [key_range] [repeats] [--json out.json]
+//                       [--report report.json]
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -44,6 +47,7 @@
 #include "mpc/ledger.hpp"
 #include "mpc/primitives.hpp"
 #include "mpc/sample_sort.hpp"
+#include "obs/report.hpp"
 #include "trace/trace.hpp"
 #include "util/rng.hpp"
 
@@ -54,7 +58,6 @@ using arbor::mpc::ExecutionPolicy;
 using arbor::mpc::MpcContext;
 using arbor::mpc::RoundLedger;
 using arbor::mpc::SplitterStrategy;
-using arbor::mpc::TransportConfig;
 using arbor::mpc::Word;
 
 /// Histogram samples observed after `skip` (a snapshot of the sample
@@ -70,18 +73,6 @@ std::vector<double> samples_since(const std::string& name, std::size_t skip) {
 std::size_t sample_count(const std::string& name) {
   const auto hist = arbor::trace::Tracer::global().metrics().histogram(name);
   return hist ? hist->samples.size() : 0;
-}
-
-std::string transport_name(const TransportConfig& t) {
-  switch (t.kind) {
-    case TransportConfig::Kind::kLoopback:
-      return "loopback:" + std::to_string(t.workers);
-    case TransportConfig::Kind::kTcp:
-      return "tcp:" + std::to_string(t.workers);
-    case TransportConfig::Kind::kInProcess:
-      break;
-  }
-  return "inprocess";
 }
 
 using Record = std::pair<std::uint64_t, std::uint64_t>;  // (key, payload)
@@ -163,6 +154,7 @@ StrategyOutcome run_strategy(const std::vector<std::vector<Word>>& slabs,
 int main(int argc, char** argv) {
   const std::string json_path =
       arbor::bench::take_json_flag(argc, argv, "BENCH_level1_sort.json");
+  const std::string report_path = arbor::bench::take_report_flag(argc, argv);
   const std::size_t records =
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1'000'000;
   const std::size_t key_range =
@@ -203,15 +195,8 @@ int main(int argc, char** argv) {
       .meta("key_range", key_range)
       .meta("repeats", repeats)
       .meta("machines", base.num_machines)
-      .meta("words_per_machine", base.words_per_machine)
-      // Effective ARBOR_* knobs this run executed under, so a trajectory
-      // diff never has to guess the environment.
-      .meta("distributed_level1_knob",
-            arbor::mpc::distributed_level1_env_default())
-      .meta("transport_knob",
-            transport_name(arbor::mpc::transport_env_default()))
-      .meta("route_aggregation_knob",
-            arbor::mpc::route_aggregation_env_default());
+      .meta("words_per_machine", base.words_per_machine);
+  // The effective ARBOR_* knobs are stamped uniformly by write_file.
 
   struct Config {
     const char* name;
@@ -353,5 +338,7 @@ int main(int argc, char** argv) {
   ab.print();
 
   if (!json_path.empty()) report.write_file(json_path);
+  if (!report_path.empty())
+    arbor::obs::ReportLog::global().write_json_file(report_path);
   return 0;
 }

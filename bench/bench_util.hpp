@@ -198,9 +198,12 @@ class JsonReport {
   }
 
   /// Write the report; prints where it went (or why it could not). Every
-  /// report is stamped with the trace/metrics summary first, so BENCH_*.json
-  /// trajectories always carry round-latency percentiles when available.
+  /// report is stamped with the effective ARBOR_* knobs and the
+  /// trace/metrics summary first, so BENCH_*.json trajectories always say
+  /// which environment they ran under and carry round-latency percentiles
+  /// when available.
   bool write_file(const std::string& path) {
+    stamp_env_knobs();
     stamp_trace_summary();
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (!f) {
@@ -215,9 +218,16 @@ class JsonReport {
   }
 
  private:
+  /// Effective ARBOR_* knob block: which transport, Level-1 sort path, and
+  /// route-aggregation setting the run executed under (the trace mode rides
+  /// in stamp_trace_summary). Stamped into EVERY report uniformly so a
+  /// trajectory diff never has to guess the environment.
+  void stamp_env_knobs();
+
   /// Trace/metrics summary block: the global tracer's mode plus the
-  /// "round_us" histogram's count and p50/p95/p99 when metrics were on
-  /// (ARBOR_TRACE=full or force_metrics) at any point in the run.
+  /// "round_us" histogram's count, dropped-sample tally, and p50/p95/p99
+  /// when metrics were on (ARBOR_TRACE=full or force_metrics) at any point
+  /// in the run.
   void stamp_trace_summary() {
     trace::Tracer& tracer = trace::Tracer::global();
     meta_.set("trace_mode", trace::mode_name(tracer.mode()));
@@ -225,6 +235,7 @@ class JsonReport {
     if (!hist) return;
     const Percentiles p = percentiles(hist->samples);
     meta_.set("round_us_count", static_cast<std::size_t>(hist->count));
+    meta_.set("round_us_dropped", static_cast<std::size_t>(hist->dropped()));
     meta_.set("round_us_p50", p.p50);
     meta_.set("round_us_p95", p.p95);
     meta_.set("round_us_p99", p.p99);
@@ -267,27 +278,62 @@ inline const char* backend_name(const mpc::ClusterConfig& cfg) {
   return cfg.execution.is_parallel() ? "parallel" : "serial";
 }
 
-/// Extract `--json PATH` (or `--json=PATH`) from argv, compacting argv so
-/// the benches' positional parsing is unaffected. Returns `fallback` when
-/// the flag is absent; an empty fallback means "no JSON output".
-inline std::string take_json_flag(int& argc, char** argv,
+/// Canonical transport tag for knob stamps and bench labels:
+/// "inprocess", "loopback:N", "tcp:N".
+inline std::string transport_name(const mpc::TransportConfig& t) {
+  switch (t.kind) {
+    case mpc::TransportConfig::Kind::kLoopback:
+      return "loopback:" + std::to_string(t.workers);
+    case mpc::TransportConfig::Kind::kTcp:
+      return "tcp:" + std::to_string(t.workers);
+    case mpc::TransportConfig::Kind::kInProcess:
+      break;
+  }
+  return "inprocess";
+}
+
+inline void JsonReport::stamp_env_knobs() {
+  meta_.set("transport_knob", transport_name(mpc::transport_env_default()));
+  meta_.set("distributed_level1_knob", mpc::distributed_level1_env_default());
+  meta_.set("route_aggregation_knob", mpc::route_aggregation_env_default());
+}
+
+/// Extract `FLAG PATH` (or `FLAG=PATH`) from argv, compacting argv so the
+/// benches' positional parsing is unaffected. Returns `fallback` when the
+/// flag is absent; an empty fallback means "no output".
+inline std::string take_path_flag(int& argc, char** argv, const char* flag,
                                   std::string fallback = {}) {
+  const std::size_t flag_len = std::strlen(flag);
   std::string path = std::move(fallback);
   int out = 1;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) {
+    if (std::strcmp(argv[i], flag) == 0) {
       if (i + 1 < argc)
         path = argv[++i];
       else  // consume the bare flag instead of leaking it as a positional
-        std::fprintf(stderr, "warning: --json needs a path, ignoring\n");
-    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
-      path = argv[i] + 7;
+        std::fprintf(stderr, "warning: %s needs a path, ignoring\n", flag);
+    } else if (std::strncmp(argv[i], flag, flag_len) == 0 &&
+               argv[i][flag_len] == '=') {
+      path = argv[i] + flag_len + 1;
     } else {
       argv[out++] = argv[i];
     }
   }
   argc = out;
   return path;
+}
+
+/// `--json PATH`: where to write the BENCH_*.json report.
+inline std::string take_json_flag(int& argc, char** argv,
+                                  std::string fallback = {}) {
+  return take_path_flag(argc, argv, "--json", std::move(fallback));
+}
+
+/// `--report PATH`: where to write the observatory RunReport log
+/// (obs::ReportLog::write_json_file) after the bench's programs ran.
+inline std::string take_report_flag(int& argc, char** argv,
+                                    std::string fallback = {}) {
+  return take_path_flag(argc, argv, "--report", std::move(fallback));
 }
 
 /// Owning (config, ledger, engine, context) bundle for one algorithm run.

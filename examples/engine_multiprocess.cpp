@@ -7,6 +7,7 @@
 //   ./engine_multiprocess                        # loopback:2 and tcp:2
 //   ./engine_multiprocess --transport tcp:4      # one specific transport
 //   ./engine_multiprocess 2000 8000 12           # n, m, rounds
+//   ./engine_multiprocess --report report.json   # observatory RunReport log
 //
 // The tcp runs exec the arbor-worker binary next to this one (override
 // with ARBOR_WORKER_BIN). Exit code 0 = every backend agreed.
@@ -19,12 +20,14 @@
 #include "bench_util.hpp"
 #include "engine_storm.hpp"
 #include "graph/generators.hpp"
+#include "obs/report.hpp"
 #include "util/rng.hpp"
 
 int main(int argc, char** argv) {
   using arbor::mpc::ClusterConfig;
   using arbor::mpc::TransportConfig;
 
+  const std::string report_path = arbor::bench::take_report_flag(argc, argv);
   std::vector<std::string> transports;
   std::vector<std::size_t> positional;
   for (int i = 1; i < argc; ++i) {
@@ -81,5 +84,7 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("\n%s\n", ok ? "all backends agree" : "BACKEND DISAGREEMENT");
+  if (!report_path.empty())
+    arbor::obs::ReportLog::global().write_json_file(report_path);
   return ok ? 0 : 1;
 }

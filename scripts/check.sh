@@ -35,7 +35,16 @@
 #   scripts/check.sh --lint              # style wall only: build and run
 #                                        # tools/arbor_lint over src/ (raw
 #                                        # getenv, unnamed distributable
-#                                        # steps, rand()/time())
+#                                        # steps, rand()/time(), registered
+#                                        # programs without CostModels)
+#   scripts/check.sh --report            # observatory stage only: run the
+#                                        # storm launcher and the distributed
+#                                        # Level-1 sort bench under
+#                                        # ARBOR_TRACE=full, validate the
+#                                        # bounds headroom in the RunReport
+#                                        # logs, and diff them against the
+#                                        # committed baselines/ documents
+#                                        # with tools/arbor_report
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -141,7 +150,8 @@ if [[ "${1:-}" == "--trace-smoke" ]]; then
   [[ -f "${trace_json}" ]] || { echo "no trace written at ${trace_json}"; exit 1; }
   echo "== trace-smoke: validating ${trace_json} =="
   ./build/trace-validate "${trace_json}" --min-events 10 --expect-pids 3 \
-    --expect "driver,worker 0,worker 1,compute,serialize,deliver"
+    --expect "driver,worker 0,worker 1,compute,serialize,deliver" \
+    --metrics "round_us"
   echo "== trace-smoke: trace_test (perturbation matrix + telemetry) =="
   ctest --test-dir build -R 'Trace|Metrics|Percentile' \
     --output-on-failure -j"${JOBS}"
@@ -188,6 +198,47 @@ if [[ "${1:-}" == "--asan" ]]; then
       "./build-asan/${t}"
   done
   echo "== asan: clean =="
+  exit 0
+fi
+
+if [[ "${1:-}" == "--report" ]]; then
+  shift
+  cmake -B build -S . "$@"
+  cmake --build build -j"${JOBS}" --target arbor-worker engine_multiprocess \
+    bench_level1_sort arbor_report trace-validate
+  report_dir="build/report"
+  mkdir -p "${report_dir}"
+
+  echo "== report: storm over loopback:2 + tcp:2 under ARBOR_TRACE=full =="
+  storm_trace="${report_dir}/storm_trace.json"
+  storm_report="${report_dir}/report_storm.json"
+  ARBOR_TRACE="full:${storm_trace}" \
+    ./build/engine_multiprocess --report "${storm_report}"
+  ./build/trace-validate "${storm_trace}" --min-events 10 --expect-pids 3 \
+    --metrics "round_us,cluster.rounds.net.storm.scatter"
+
+  echo "== report: distributed Level-1 sort bench under ARBOR_TRACE=full =="
+  sort_report="${report_dir}/report_level1_sort.json"
+  ARBOR_DISTRIBUTED_LEVEL1=1 ARBOR_TRACE=full \
+    ./build/bench_level1_sort 20000 512 1 \
+    --json "${report_dir}/BENCH_level1_sort.json" --report "${sort_report}" \
+    > "${report_dir}/bench_level1_sort.out" || {
+    echo "report: bench_level1_sort FAILED; last lines:"
+    tail -20 "${report_dir}/bench_level1_sort.out"
+    exit 1
+  }
+
+  echo "== report: rendering ${storm_report} =="
+  ./build/arbor_report show "${storm_report}"
+  echo "== report: rendering ${sort_report} =="
+  ./build/arbor_report show "${sort_report}"
+
+  echo "== report: regression gate vs. committed baselines/ =="
+  ./build/arbor_report diff baselines/report_storm.json "${storm_report}" \
+    --threshold 0.10
+  ./build/arbor_report diff baselines/report_level1_sort.json \
+    "${sort_report}" --threshold 0.10
+  echo "== report: clean =="
   exit 0
 fi
 

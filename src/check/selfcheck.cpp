@@ -6,6 +6,7 @@
 #include "check/monitor.hpp"
 #include "check/ownership.hpp"
 #include "net/registry.hpp"
+#include "obs/cost_model.hpp"
 #include "util/assert.hpp"
 
 namespace arbor::check {
@@ -41,6 +42,9 @@ engine::RoundProgram build_cross_write(std::shared_ptr<SelfCheckState> st) {
                             static_cast<engine::Word>(m + 1);
                       });
   program.owned(slots_ownership(st));
+  // The check.* programs are adversarial fixtures, not protocols with
+  // analytic claims — exempted from the CostModel requirement by name.
+  program.exempt_cost();
   return program;
 }
 
@@ -59,6 +63,7 @@ engine::RoundProgram build_order_dependent(
         send.send(m, std::vector<engine::Word>{peek});
       });
   program.owned(slots_ownership(st));
+  program.exempt_cost();
   return program;
 }
 
@@ -73,6 +78,7 @@ engine::RoundProgram build_shared_accumulator(
                     // machine 0's slot.
                     st->slots[0] += static_cast<engine::Word>(m + 1);
                   });
+  program.exempt_cost();
   return program;
 }
 
@@ -85,6 +91,26 @@ engine::RoundProgram build_continue_mutation(
         send.send(m, std::vector<engine::Word>{st->slots[m]});
       });
   program.owned(slots_ownership(st));
+  program.exempt_cost();
+  return program;
+}
+
+engine::RoundProgram build_underdeclared(std::shared_ptr<SelfCheckState> st) {
+  engine::RoundProgram program;
+  program.independent(
+      "check.underdeclared.step",
+      [st](std::size_t m, const engine::InboxView&, engine::Sender& send) {
+        // Contract-clean: writes nothing shared and sends only to itself —
+        // but moves 8 words against the single word its CostModel declares,
+        // so the post-run bound audit (not the race monitor) must reject it.
+        send.send(m, std::vector<engine::Word>(
+                         8, static_cast<engine::Word>(m + 1)));
+      });
+  program.owned(slots_ownership(st));
+  auto cost = std::make_shared<obs::CostModel>("check.underdeclared");
+  cost->bound("check.underdeclared.step", 1, 1,
+              "1 word/machine (deliberately under-declared)");
+  program.costed(std::move(cost));
   return program;
 }
 
@@ -112,6 +138,12 @@ engine::RoundProgram make_shared_accumulator_selfcheck(std::size_t machines) {
   engine::RoundProgram program =
       build_shared_accumulator(make_state(machines));
   attach_spec(program, "check.shared_accumulator");
+  return program;
+}
+
+engine::RoundProgram make_underdeclared_selfcheck(std::size_t machines) {
+  engine::RoundProgram program = build_underdeclared(make_state(machines));
+  attach_spec(program, "check.underdeclared");
   return program;
 }
 
@@ -155,6 +187,13 @@ void register_selfcheck_programs(net::Registry& registry) {
     auto st = make_state(in.machines);
     net::WorkerProgram out;
     out.program = build_shared_accumulator(st);
+    out.state = st;
+    return out;
+  });
+  registry.add("check.underdeclared", [](const net::ProgramInputs& in) {
+    auto st = make_state(in.machines);
+    net::WorkerProgram out;
+    out.program = build_underdeclared(st);
     out.state = st;
     return out;
   });

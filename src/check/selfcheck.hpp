@@ -39,6 +39,12 @@ engine::RoundProgram make_order_dependent_selfcheck(std::size_t machines);
 /// applies to every step kind, not just independent ones.
 engine::RoundProgram make_shared_accumulator_selfcheck(std::size_t machines);
 
+/// "check.underdeclared": a contract-CLEAN program (no race, no ownership
+/// violation) whose CostModel declares 1 word/machine while the step sends
+/// 8 — ground truth for the post-run bound audit: checked execution must
+/// reject it with a VerifyError naming "bound audit" on every backend.
+engine::RoundProgram make_underdeclared_selfcheck(std::size_t machines);
+
 /// "check.continue_mutation": a clean machine-independent step that reads
 /// slots[m], plus a repeat_while callback that mutates slots[0] between
 /// passes — exactly the "global aggregates updated between rounds" the

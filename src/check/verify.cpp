@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "net/registry.hpp"
+#include "obs/cost_model.hpp"
 
 namespace arbor::check {
 namespace {
@@ -100,6 +101,35 @@ void verify_spec(const engine::RoundProgram& program,
            std::to_string(spec.inputs[m].size()) +
            " words, over the per-machine budget S = " +
            std::to_string(context.capacity));
+
+  // Distributable programs carry the paper's per-round claims as data: a
+  // registered protocol must declare its analytic CostModel (or opt out by
+  // name — reserved for the adversarial check.* self-checks). The model's
+  // labels and the program's step labels must agree in both directions,
+  // or the post-run bound audit would silently skip steps.
+  if (!program.cost && !program.cost_exempt)
+    fail("program " + quoted(spec.name) +
+         ": no CostModel declared; attach the analytic bounds with "
+         "costed(...) or opt out explicitly with exempt_cost()");
+  if (program.cost) {
+    for (const engine::ProgramStep& step : program.steps)
+      if (program.cost->find(step.name) == nullptr)
+        fail("program " + quoted(spec.name) + ": step " + quoted(step.name) +
+             " has no declared bound in CostModel " +
+             quoted(program.cost->name()));
+    for (const obs::StepBound& bound : program.cost->bounds()) {
+      bool matched = false;
+      for (const engine::ProgramStep& step : program.steps)
+        if (step.name == bound.label) {
+          matched = true;
+          break;
+        }
+      if (!matched)
+        fail("program " + quoted(spec.name) + ": CostModel " +
+             quoted(program.cost->name()) + " declares a bound for " +
+             quoted(bound.label) + ", which names no step");
+    }
+  }
 }
 
 /// Deep rule: rebuild through the registered factory (the code path every

@@ -29,6 +29,10 @@ namespace arbor::check {
 class Ownership;  // check/ownership.hpp
 }  // namespace arbor::check
 
+namespace arbor::obs {
+class CostModel;  // obs/cost_model.hpp
+}  // namespace arbor::obs
+
 namespace arbor::engine {
 
 /// Step function: (machine id, messages received last round, sender).
@@ -146,6 +150,16 @@ struct RoundProgram {
   /// registrations, but have no up-front state map. Shared like `remote`
   /// and for the same reason.
   std::shared_ptr<check::Ownership> ownership;
+  /// Declared analytic cost model, set by costed() — per step label, the
+  /// words/machine and round-count bounds the run is audited against after
+  /// every Cluster::run_program (obs/cost_model.hpp). The program verifier
+  /// requires every distributable program to either declare one or opt out
+  /// explicitly with exempt_cost(). Shared like `remote`, same reason.
+  std::shared_ptr<const obs::CostModel> cost;
+  /// Explicit opt-out from the CostModel requirement, set by exempt_cost().
+  /// Reserved for programs whose traffic is intentionally unmodeled (the
+  /// adversarial check.* self-checks); real protocols declare bounds.
+  bool cost_exempt = false;
 
   RoundProgram& independent(StepFn fn) {
     steps.push_back({std::move(fn), StepKind::kMachineIndependent});
@@ -189,6 +203,19 @@ struct RoundProgram {
   /// step contracts against (check/ownership.hpp).
   RoundProgram& owned(std::shared_ptr<check::Ownership> declaration) {
     ownership = std::move(declaration);
+    return *this;
+  }
+
+  /// Attach the declared analytic cost model the post-run bound audit
+  /// checks measured traffic against (obs/cost_model.hpp).
+  RoundProgram& costed(std::shared_ptr<const obs::CostModel> model) {
+    cost = std::move(model);
+    return *this;
+  }
+
+  /// Explicitly opt out of the CostModel requirement (see `cost_exempt`).
+  RoundProgram& exempt_cost() {
+    cost_exempt = true;
     return *this;
   }
 

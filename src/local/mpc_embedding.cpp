@@ -7,6 +7,7 @@
 #include "check/ownership.hpp"
 #include "net/registry.hpp"
 #include "net/wire.hpp"
+#include "obs/cost_model.hpp"
 #include "util/assert.hpp"
 
 namespace arbor::local {
@@ -128,6 +129,16 @@ engine::RoundProgram make_peel_program(std::shared_ptr<PeelState> st) {
       .elems("peeled_now", &st->peeled_now)
       .keep_alive(st);
   program.owned(std::move(own));
+
+  // A pass ships one word per cross-machine edge incident to that pass's
+  // peels — graph-dependent, so only the model's S-cap applies. The pass
+  // count depends on the peeling schedule; the driver re-declares this
+  // bound with its max_rounds budget (workers take passes from the frame
+  // and never audit).
+  auto cost = std::make_shared<obs::CostModel>("local.embedded_peeling");
+  cost->bound("peel.round", obs::kWordsCapacity, 0,
+              "<= S (one word per cross-machine edge of this pass's peels)");
+  program.costed(std::move(cost));
   return program;
 }
 
@@ -185,6 +196,14 @@ EmbeddedPeelingResult embedded_threshold_peeling(const graph::Graph& g,
   };
 
   engine::RoundProgram program = make_peel_program(st);
+  {
+    // Driver side the pass budget is known: tighten the builder's
+    // open-ended round bound to the max_rounds the repeat_while enforces.
+    auto cost = std::make_shared<obs::CostModel>("local.embedded_peeling");
+    cost->bound("peel.round", obs::kWordsCapacity, max_rounds,
+                "<= S words; <= max_rounds passes (repeat_while budget)");
+    program.costed(std::move(cost));
+  }
   program.repeat_while(
       [st, decide](std::size_t passes) {
         std::size_t peeled = 0;

@@ -6,6 +6,7 @@
 
 #include "check/ownership.hpp"
 #include "net/registry.hpp"
+#include "obs/cost_model.hpp"
 #include "util/assert.hpp"
 
 namespace arbor::mpc {
@@ -89,6 +90,18 @@ engine::RoundProgram make_broadcast_program(
   auto own = std::make_shared<check::Ownership>();
   own->slabs("holds", &st->holds).elems("has", &st->has).keep_alive(st);
   program.owned(std::move(own));
+
+  // Per level, a holder fans at most `fanout` payload copies out and every
+  // node hears from its single parent — fanout·|payload| words per machine
+  // per round, for exactly `height` rounds. (Worker blocks that do not
+  // contain the root see an empty holds[root]; the bound audit is
+  // driver-side, where the payload is always present.)
+  const std::size_t payload = st->holds[st->root].size();
+  auto cost = std::make_shared<obs::CostModel>("mpc.broadcast_tree");
+  cost->bound("broadcast.tree.level", st->fanout * payload, height,
+              "fanout*|payload| per level, height = ceil(log_fanout p) "
+              "levels");
+  program.costed(std::move(cost));
   return program;
 }
 
@@ -131,6 +144,15 @@ engine::RoundProgram make_converge_program(std::shared_ptr<ConvergeState> st) {
   auto own = std::make_shared<check::Ownership>();
   own->elems("partial", &st->partial).keep_alive(st);
   program.owned(std::move(own));
+
+  // Per level, a node sends one single-word partial and a parent hears
+  // from at most `fanout` children — fanout words per machine per round,
+  // for exactly `height` rounds.
+  auto cost = std::make_shared<obs::CostModel>("mpc.converge_sum");
+  cost->bound("converge.tree.level", st->fanout, height,
+              "fanout one-word partials per level, height = "
+              "ceil(log_fanout p) levels");
+  program.costed(std::move(cost));
   return program;
 }
 

@@ -7,6 +7,7 @@
 #include "check/ownership.hpp"
 #include "net/registry.hpp"
 #include "net/wire.hpp"
+#include "obs/cost_model.hpp"
 #include "util/assert.hpp"
 
 namespace arbor::mpc {
@@ -184,6 +185,18 @@ engine::RoundProgram make_fetch_program(std::shared_ptr<FetchState> st) {
               })
       .keep_alive(st);
   program.owned(std::move(own));
+
+  // Route and serve are data-movement rounds (request triples, then the
+  // copies themselves) — bounded only by the machine capacity S; unpack is
+  // compute-only and must move exactly zero words.
+  auto cost = std::make_shared<obs::CostModel>("mpc.fetch_bundles");
+  cost->bound("fetch.route", obs::kWordsCapacity, 1,
+              "<= S (3 words per request triple)");
+  cost->bound("fetch.serve", obs::kWordsCapacity, 1,
+              "<= S (3-word header + bundle payload per copy)");
+  cost->bound("fetch.unpack", 0, 1,
+              "0 (machine-local assembly; moves no words)");
+  program.costed(std::move(cost));
   return program;
 }
 

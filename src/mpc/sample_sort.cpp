@@ -8,6 +8,7 @@
 #include "check/ownership.hpp"
 #include "engine/records.hpp"
 #include "net/registry.hpp"
+#include "obs/cost_model.hpp"
 #include "trace/trace.hpp"
 #include "util/assert.hpp"
 
@@ -470,6 +471,50 @@ engine::RoundProgram make_sort_program(std::shared_ptr<SortState> st,
       .slabs("result", &st->result)
       .keep_alive(st);
   program.owned(std::move(own));
+
+  // The paper's per-round claims, as data: every splitter-phase bound is a
+  // closed form of (p, s, key_words) the post-run audit checks against the
+  // measured per-label peaks. Route rounds move the data itself and are
+  // bounded only by the machine capacity S (kWordsCapacity resolves to S
+  // at audit time); bucket-sort rounds are compute-only and must move
+  // exactly zero words.
+  const std::size_t p = st->machines;
+  const std::size_t s = st->samples_per_machine;
+  const std::size_t kw = st->key_words;
+  auto cost = std::make_shared<obs::CostModel>(
+      bucket_sort_round ? "mpc.sample_sort_records" : "mpc.sample_sort");
+  if (strategy == SplitterStrategy::kTree) {
+    const SplitterTree tree = SplitterTree::over(p);
+    const std::size_t r = tree.group_size;
+    const std::size_t G = tree.groups;
+    // Pick/down packet: [n_coarse, n_fine | keys] — at most the G−1 group
+    // boundaries plus a group's r−1 interior splitters.
+    const std::size_t packet = 2 + (G + r - 2) * kw;
+    cost->bound("sample_sort.tree.up", r * s * kw, 2,
+                "r*s*kw (r = ceil(sqrt(p)) members' samples pooled at a "
+                "relay; the thinned relay->root hop is smaller)");
+    cost->bound("sample_sort.tree.pick", G * packet, 1,
+                "G*(2+(G+r-2)*kw) (root ships one boundary+interior packet "
+                "per relay)");
+    cost->bound("sample_sort.tree.down", r * packet, 1,
+                "r*(2+(G+r-2)*kw) (a relay fans its packet to <= r members)");
+    cost->bound("sample_sort.tree.route", obs::kWordsCapacity, 2,
+                "<= S (the data movement rounds: route + placement)");
+    if (bucket_sort_round)
+      cost->bound("sample_sort.tree.sort", 0, 1,
+                  "0 (machine-local bucket sort; moves no words)");
+  } else {
+    cost->bound("sample_sort.central.sample", p * s * kw, 1,
+                "p*s*kw (every machine's sample pooled at the coordinator)");
+    cost->bound("sample_sort.central.splitters", p * (p - 1) * kw, 1,
+                "p*(p-1)*kw (coordinator broadcasts p-1 splitter keys)");
+    cost->bound("sample_sort.central.route", obs::kWordsCapacity, 1,
+                "<= S (the data movement round)");
+    if (bucket_sort_round)
+      cost->bound("sample_sort.central.sort", 0, 1,
+                  "0 (machine-local bucket sort; moves no words)");
+  }
+  program.costed(std::move(cost));
   return program;
 }
 

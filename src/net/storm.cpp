@@ -6,6 +6,7 @@
 
 #include "check/ownership.hpp"
 #include "net/registry.hpp"
+#include "obs/cost_model.hpp"
 #include "util/assert.hpp"
 #include "util/hashing.hpp"
 
@@ -36,6 +37,16 @@ engine::RoundProgram make_storm_program(std::shared_ptr<StormState> state) {
   auto own = std::make_shared<check::Ownership>();
   own->slabs("slabs", &state->slabs).keep_alive(state);
   program.owned(std::move(own));
+
+  // Each machine scatters `batch` one-word messages; destinations are
+  // hashed, so the worst-case concentration is every machine's batch
+  // landing on one receiver — p*batch words, the exact adversarial bound.
+  auto cost = std::make_shared<obs::CostModel>("net.storm");
+  cost->bound("net.storm.scatter", state->machines * state->batch,
+              state->rounds,
+              "p*batch (hashed destinations; worst-case all batches "
+              "concentrate on one machine)");
+  program.costed(std::move(cost));
   return program;
 }
 

@@ -1,0 +1,36 @@
+#include "obs/cost_model.hpp"
+
+namespace arbor::obs {
+namespace {
+
+std::size_t ceil_log2(std::size_t n) {
+  std::size_t bits = 0;
+  for (std::size_t v = 1; v < n; v <<= 1) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+std::shared_ptr<const CostModel> pipeline_cost_model(std::size_t n) {
+  // Every analytic stage charges O(log n) rounds in the practical presets
+  // (peel loops, guess schedules, doubling fetches); constant-round stages
+  // (partitions, finalize) satisfy the same bound trivially. The constant
+  // is deliberately loose — the audit exists to catch asymptotic drift
+  // (a stage quietly turning Θ(n)), not to tune c.
+  const std::size_t log_n = ceil_log2(n < 2 ? 2 : n) + 1;
+  const std::size_t log_rounds = 32 * log_n;
+  auto model = std::make_shared<CostModel>("pipeline");
+  const char* labels[] = {
+      "layering.peel",     "color.measure_d",    "color.tail",
+      "color.estimate_k",  "color.vertex_partition",
+      "color.block_gather", "coreness.parallel_guesses",
+      "density_estimate",  "exponentiate.init",  "exponentiate.fetch",
+      "orient.estimate_k", "orient.finalize",    "orient.edge_partition",
+  };
+  for (const char* label : labels)
+    model->bound(label, kWordsCapacity, log_rounds,
+                 "<= S words/round, <= 32*(ceil(log2 n)+1) rounds");
+  return model;
+}
+
+}  // namespace arbor::obs

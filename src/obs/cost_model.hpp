@@ -1,0 +1,85 @@
+// Declared analytic cost models for RoundPrograms and pipeline stages.
+//
+// The paper states its guarantees per round: O(√p·s) words/machine for a
+// splitter round, slab traffic ≤ S, O(log n)-style round counts. A CostModel
+// carries those closed forms next to the program that implements them, as a
+// list of per-step-label bounds. Cluster::run_program audits every finished
+// run against the attached model (see obs/report.hpp): a measured peak above
+// the declared words/machine bound — headroom > 1.0 — is a named VerifyError
+// under ExecutionPolicy::checked() and a warning counter otherwise.
+//
+// Bounds are declared at program-build time, where (p, s, kw) are in scope,
+// so the formulas live in the protocol files (sample_sort.cpp, broadcast.cpp,
+// ...) rather than in a central table that would drift from the code.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace arbor::obs {
+
+/// Sentinel for StepBound::words: "bounded only by the model's per-machine
+/// memory S" — resolved against the cluster capacity at audit time, so
+/// builders that cannot see S (worker-side factories) can still declare the
+/// data-movement rounds honestly.
+inline constexpr std::size_t kWordsCapacity = static_cast<std::size_t>(-1);
+
+struct StepBound {
+  std::string label;
+  /// Declared peak words/machine for any single round charged under `label`
+  /// (max of sent and received). 0 means compute-only: the audit requires
+  /// the step to move no words at all. kWordsCapacity means "≤ S".
+  std::size_t words = 0;
+  /// Declared maximum number of rounds charged under `label` per program
+  /// run; 0 leaves the round count unchecked (data-dependent trip counts
+  /// declare it where the driver knows the cap, e.g. repeat_while limits).
+  std::size_t rounds = 0;
+  /// Human-readable closed form quoted in reports and violation messages,
+  /// e.g. "r*s*kw, r=⌈√p⌉".
+  std::string formula;
+};
+
+/// Resolve a declared words bound against the cluster capacity S.
+inline std::size_t resolve_words(const StepBound& bound,
+                                 std::size_t capacity) noexcept {
+  return bound.words == kWordsCapacity ? capacity : bound.words;
+}
+
+/// The analytic cost model of one program: a name (quoted in audits and
+/// RunReports) plus one StepBound per step label.
+class CostModel {
+ public:
+  explicit CostModel(std::string name) : name_(std::move(name)) {}
+
+  CostModel& bound(std::string label, std::size_t words, std::size_t rounds,
+                   std::string formula) {
+    bounds_.push_back(
+        StepBound{std::move(label), words, rounds, std::move(formula)});
+    return *this;
+  }
+
+  const std::string& name() const noexcept { return name_; }
+  const std::vector<StepBound>& bounds() const noexcept { return bounds_; }
+
+  const StepBound* find(std::string_view label) const noexcept {
+    for (const StepBound& b : bounds_)
+      if (b.label == label) return &b;
+    return nullptr;
+  }
+
+ private:
+  std::string name_;
+  std::vector<StepBound> bounds_;
+};
+
+/// Round bounds for the analytic layering/coloring/orientation pipeline
+/// stage labels MpcContext::charge attributes (layering.peel, color.*,
+/// orient.*, coreness.parallel_guesses, density_estimate, exponentiate.*).
+/// Each stage is O(log n) rounds with per-round traffic within the model's
+/// S cap; audit a pipeline ledger against it with audit_ledger_bounds.
+std::shared_ptr<const CostModel> pipeline_cost_model(std::size_t n);
+
+}  // namespace arbor::obs

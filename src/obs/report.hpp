@@ -1,0 +1,123 @@
+// Structured RunReports: one machine-readable document per executed
+// RoundProgram, joining the per-label round/traffic aggregates with the
+// program's declared CostModel (bound headroom per label), plus a global
+// keep-last-per-program log that tools/arbor_report renders and diffs.
+//
+// The per-label aggregates come from Cluster::run_program's commit hook,
+// which fires once per committed round on every backend with bit-identical
+// RoundStats — so a report's structural fields (rounds, peaks, totals,
+// bounds, headroom) are identical across {serial, parallel} policies and
+// {in-process, loopback, tcp} transports. structural_json() serializes
+// exactly that transport-independent subset; the full document adds the
+// backend name and arena high-water marks, and ReportLog::write_json_file
+// additionally joins the MetricsRegistry snapshot and per-worker telemetry.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/program.hpp"
+#include "obs/cost_model.hpp"
+
+namespace arbor::obs {
+
+/// Per-label usage accumulated by the run_program commit hook.
+struct LabelUsage {
+  std::string label;
+  std::size_t rounds = 0;
+  std::size_t peak_words = 0;   ///< max over rounds of max_traffic()
+  std::size_t total_words = 0;  ///< sum over rounds of max_traffic()
+};
+
+/// One label's measured usage joined with its declared bound.
+struct LabelReport {
+  std::string label;
+  std::size_t rounds = 0;
+  std::size_t peak_words = 0;
+  std::size_t total_words = 0;
+  bool bounded = false;         ///< the program's CostModel covers this label
+  std::size_t bound_words = 0;  ///< declared peak, resolved against capacity
+  std::size_t bound_rounds = 0; ///< declared round cap; 0 = unchecked
+  std::string formula;
+  /// peak_words / bound_words; a compute-only bound (0 words) that moved
+  /// words reports an effectively infinite headroom (clamped for JSON).
+  double headroom = 0.0;
+
+  bool violates_bound() const noexcept {
+    return bounded && (peak_words > bound_words ||
+                       (bound_rounds != 0 && rounds > bound_rounds));
+  }
+};
+
+/// The report for one executed program.
+struct RunReport {
+  std::string program;
+  std::string backend;
+  std::size_t machines = 0;
+  std::size_t capacity = 0;
+  /// High-water words retained in the cluster's inbox/outbox arenas after
+  /// the run (capacity, not size — what the pool actually holds).
+  std::size_t arena_words = 0;
+  std::vector<LabelReport> labels;
+
+  /// The transport/policy-independent subset, for determinism checks and
+  /// baseline diffs: program, machines, capacity, and every label's
+  /// rounds/peaks/bounds/headroom — no backend, no arena, no timing.
+  std::string structural_json() const;
+  /// Full single-report JSON object (structural fields + backend + arena).
+  void append_json(std::string& out) const;
+};
+
+/// Name a program reports under: its CostModel's name when declared, else
+/// its RemoteSpec registry key, else the first step's label.
+std::string program_name(const engine::RoundProgram& program);
+
+/// Join hook aggregates with the declared model into a RunReport.
+RunReport make_run_report(std::string program, std::string backend,
+                          std::size_t machines, std::size_t capacity,
+                          std::size_t arena_words,
+                          std::vector<LabelUsage> usage,
+                          const CostModel* cost);
+
+/// Audit a report against its (already joined) bounds. Any label with
+/// headroom > 1.0 — or more rounds than declared — raises a named
+/// check::VerifyError ("bound audit: ...") when `checked`, and bumps the
+/// obs.bound_violations counter otherwise. Returns the violation count.
+std::size_t enforce_bounds(const RunReport& report, bool checked);
+
+/// Audit a RoundLedger's per-label maps (the analytic pipeline charges)
+/// against a CostModel: labels absent from the model are ignored; returns
+/// one human-readable violation line per exceeded bound (empty = clean).
+std::vector<std::string> audit_ledger_bounds(
+    const std::map<std::string, std::size_t>& rounds_by_label,
+    const std::map<std::string, std::size_t>& peak_by_label,
+    const CostModel& model, std::size_t capacity);
+
+/// Process-global log of the most recent RunReport per program name
+/// (bounded memory: a pooled bench running thousands of internal sorts
+/// keeps one entry per distinct program, in first-seen order).
+class ReportLog {
+ public:
+  static ReportLog& global();
+
+  void record(RunReport report);
+  std::optional<RunReport> last(std::string_view program) const;
+  std::vector<RunReport> snapshot() const;
+  void clear();
+
+  /// Write the full observatory document: every logged report, the
+  /// MetricsRegistry snapshot (counters + histograms with dropped-sample
+  /// counts), and each absorbed worker's last-seen telemetry.
+  void write_json_file(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<RunReport> reports_;
+};
+
+}  // namespace arbor::obs

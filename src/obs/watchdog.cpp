@@ -1,0 +1,254 @@
+#include "obs/watchdog.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <chrono>
+#include <cstdio>
+
+#include "trace/trace.hpp"
+#include "util/env_knob.hpp"
+
+namespace arbor::obs {
+namespace {
+
+/// Trailing rounds the median is computed over.
+constexpr std::size_t kRecentRounds = 32;
+
+/// Driver spans quoted in a stall dump.
+constexpr std::size_t kDumpSpans = 8;
+
+double strict_factor(std::string_view digits, std::string_view what,
+                     std::string_view value) {
+  double factor = 0.0;
+  const auto [end, ec] =
+      std::from_chars(digits.data(), digits.data() + digits.size(), factor);
+  if (ec != std::errc{} || end != digits.data() + digits.size())
+    util::reject_knob(what, value, "stall factor is not a number");
+  if (factor < 1.0)
+    util::reject_knob(what, value, "stall factor must be >= 1");
+  return factor;
+}
+
+/// Everything a stall dump quotes, copied out under the watchdog lock so
+/// the actual stderr writes (and Tracer calls) run unlocked.
+struct StallInfo {
+  std::string program;
+  std::string label;
+  std::size_t round = 0;
+  double elapsed_ms = 0.0;
+  double median_ms = 0.0;
+  double threshold_ms = 0.0;
+  double factor = 0.0;
+};
+
+void dump_stall(const StallInfo& stall) {
+  std::fprintf(stderr,
+               "[watchdog][driver] stall: program \"%s\" step \"%s\" round "
+               "%zu has run %.1f ms (trailing median %.1f ms, threshold "
+               "%.1f ms, factor %.1f)\n",
+               stall.program.c_str(), stall.label.c_str(), stall.round,
+               stall.elapsed_ms, stall.median_ms, stall.threshold_ms,
+               stall.factor);
+  trace::Tracer& tracer = trace::Tracer::global();
+  tracer.metrics().add("obs.watchdog.stalls", 1);
+  const std::int64_t now = trace::now_ns();
+  for (const trace::TelemetrySpan& span : tracer.recent_spans(kDumpSpans))
+    std::fprintf(stderr,
+                 "[watchdog][driver] recent span: %s/%s tid=%llu dur=%.3f ms "
+                 "ended %.1f ms ago\n",
+                 span.category.c_str(), span.name.c_str(),
+                 static_cast<unsigned long long>(span.tid),
+                 static_cast<double>(span.dur_ns) / 1e6,
+                 static_cast<double>(now - span.start_ns - span.dur_ns) / 1e6);
+  const std::vector<trace::WorkerNote> notes = tracer.worker_notes();
+  if (notes.empty()) {
+    std::fprintf(stderr,
+                 "[watchdog][driver] no worker telemetry absorbed yet "
+                 "(in-process run, or no worker has reached a program end)\n");
+    return;
+  }
+  for (const trace::WorkerNote& note : notes)
+    std::fprintf(stderr,
+                 "[watchdog][worker %llu] last seen: %llu spans shipped, "
+                 "%llu counters, latest span \"%s\" ended %.1f ms ago\n",
+                 static_cast<unsigned long long>(note.pid == 0 ? 0
+                                                               : note.pid - 1),
+                 static_cast<unsigned long long>(note.spans),
+                 static_cast<unsigned long long>(note.counters),
+                 note.last_span.c_str(),
+                 static_cast<double>(now - note.last_end_ns) / 1e6);
+}
+
+}  // namespace
+
+WatchdogConfig parse_watchdog_flag(std::string_view value,
+                                   std::string_view what) {
+  const auto [head, arg] = util::split_knob(value);
+  WatchdogConfig cfg;
+  if (head == "off") {
+    if (arg) util::reject_knob(what, value, "the off mode takes no arguments");
+    return cfg;
+  }
+  if (head != "on")
+    util::reject_knob(what, value,
+                      "not a watchdog mode (use off or on[:factor[:floor_ms]])");
+  cfg.enabled = true;
+  if (!arg) return cfg;
+  const auto [factor_digits, floor_digits] = util::split_knob(*arg);
+  cfg.factor = strict_factor(factor_digits, what, value);
+  if (floor_digits)
+    cfg.floor_ms = static_cast<std::uint64_t>(util::parse_count_knob(
+        *floor_digits, "stall floor (ms)", 1, 1u << 30, what, value));
+  return cfg;
+}
+
+WatchdogConfig watchdog_env_default() {
+  static const WatchdogConfig value = [] {
+    const auto env = util::env_knob("ARBOR_WATCHDOG");
+    if (!env) return WatchdogConfig{};
+    return parse_watchdog_flag(*env, "ARBOR_WATCHDOG");
+  }();
+  return value;
+}
+
+Watchdog::Watchdog() {
+  // Touch the global tracer first so it outlives this watchdog: stall
+  // dumps read it from the monitor thread, which must be joined (in our
+  // destructor) while the tracer is still alive.
+  trace::Tracer::global();
+}
+
+Watchdog::~Watchdog() { stop_thread(); }
+
+Watchdog& Watchdog::global() {
+  static Watchdog* dog = [] {
+    static Watchdog instance;
+    instance.configure(watchdog_env_default());
+    return &instance;
+  }();
+  return *dog;
+}
+
+void Watchdog::configure(WatchdogConfig config) {
+  stop_thread();
+  {
+    std::lock_guard lock(mu_);
+    config_ = config;
+  }
+  enabled_.store(config.enabled, std::memory_order_relaxed);
+  if (config.enabled) start_thread();
+}
+
+WatchdogConfig Watchdog::config() const {
+  std::lock_guard lock(mu_);
+  return config_;
+}
+
+void Watchdog::start_thread() {
+  std::lock_guard lock(mu_);
+  if (monitor_.joinable()) return;
+  stop_ = false;
+  monitor_ = std::thread([this] { monitor_loop(); });
+}
+
+void Watchdog::stop_thread() {
+  {
+    std::lock_guard lock(mu_);
+    if (!monitor_.joinable()) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  monitor_.join();
+  std::lock_guard lock(mu_);
+  stop_ = false;
+  monitor_ = std::thread();
+}
+
+void Watchdog::begin_program(const engine::RoundProgram& program,
+                             std::string name) {
+  std::lock_guard lock(mu_);
+  active_ = true;
+  program_ = std::move(name);
+  labels_.clear();
+  labels_.reserve(program.steps.size());
+  for (const engine::ProgramStep& step : program.steps)
+    labels_.push_back(step.name);
+  round_index_ = 0;
+  round_start_ns_ = trace::now_ns();
+  flagged_ = false;
+  recent_ms_.clear();
+  recent_next_ = 0;
+}
+
+void Watchdog::end_program() {
+  std::lock_guard lock(mu_);
+  active_ = false;
+}
+
+void Watchdog::commit_round() {
+  std::lock_guard lock(mu_);
+  const std::int64_t now = trace::now_ns();
+  const double dur_ms = static_cast<double>(now - round_start_ns_) / 1e6;
+  if (recent_ms_.size() < kRecentRounds) {
+    recent_ms_.push_back(dur_ms);
+  } else {
+    recent_ms_[recent_next_] = dur_ms;
+    recent_next_ = (recent_next_ + 1) % kRecentRounds;
+  }
+  ++round_index_;
+  round_start_ns_ = now;
+  flagged_ = false;
+}
+
+void Watchdog::monitor_loop() {
+  std::unique_lock lock(mu_);
+  while (!stop_) {
+    const auto poll = std::chrono::milliseconds(
+        std::max<std::uint64_t>(10, config_.floor_ms / 4));
+    cv_.wait_for(lock, poll);
+    if (stop_) break;
+    if (!active_ || flagged_) continue;
+    const double elapsed_ms =
+        static_cast<double>(trace::now_ns() - round_start_ns_) / 1e6;
+    std::vector<double> sorted = recent_ms_;
+    std::sort(sorted.begin(), sorted.end());
+    const double median_ms =
+        sorted.empty() ? 0.0 : sorted[sorted.size() / 2];
+    const double threshold_ms =
+        std::max(static_cast<double>(config_.floor_ms),
+                 config_.factor * median_ms);
+    if (elapsed_ms <= threshold_ms) continue;
+    flagged_ = true;
+    stalls_.fetch_add(1, std::memory_order_relaxed);
+    StallInfo stall;
+    stall.program = program_;
+    stall.label =
+        labels_.empty() ? "?" : labels_[round_index_ % labels_.size()];
+    stall.round = round_index_;
+    stall.elapsed_ms = elapsed_ms;
+    stall.median_ms = median_ms;
+    stall.threshold_ms = threshold_ms;
+    stall.factor = config_.factor;
+    lock.unlock();
+    dump_stall(stall);
+    lock.lock();
+  }
+}
+
+Watchdog::ProgramScope::ProgramScope(Watchdog& dog,
+                                     const engine::RoundProgram& program,
+                                     std::string name) {
+  if (!dog.enabled()) return;
+  dog_ = &dog;
+  dog_->begin_program(program, std::move(name));
+}
+
+Watchdog::ProgramScope::~ProgramScope() {
+  if (dog_ != nullptr) dog_->end_program();
+}
+
+void Watchdog::ProgramScope::round_committed() {
+  if (dog_ != nullptr) dog_->commit_round();
+}
+
+}  // namespace arbor::obs

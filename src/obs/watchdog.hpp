@@ -1,0 +1,123 @@
+// Driver-side stall watchdog: a monitor thread that flags any round
+// running longer than k× the trailing-median round time.
+//
+// Distributed rounds hang for reasons the driver cannot see from inside the
+// blocked recv — a worker wedged in a syscall, a lost frame, a peer
+// swapping. The watchdog gives the operator a signal before the transport's
+// own failure detection (or the operator's patience) times out: when a
+// round exceeds max(floor_ms, factor × median of the last rounds), it dumps
+// the stalled program/step/round, the driver's most recent spans, and every
+// absorbed worker's last-seen telemetry to stderr, each line rank-prefixed
+// ("[watchdog][driver]", "[watchdog][worker 0]"). One dump per round — a
+// slow round is flagged once, not spammed.
+//
+// OFF by default; the knob is strictly parsed from ARBOR_WATCHDOG:
+//
+//   ARBOR_WATCHDOG=off | on[:factor[:floor_ms]]     (default factor 8,
+//                                                    floor 100 ms)
+//
+// Cost when disabled: Cluster::run_program constructs a no-op ProgramScope
+// (one relaxed atomic load); no thread exists.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "engine/program.hpp"
+
+namespace arbor::obs {
+
+struct WatchdogConfig {
+  bool enabled = false;
+  double factor = 8.0;        ///< stall threshold multiple of the median
+  std::uint64_t floor_ms = 100;  ///< never flag rounds shorter than this
+
+  friend bool operator==(const WatchdogConfig&,
+                         const WatchdogConfig&) = default;
+};
+
+/// Strict parse of "off|on[:factor[:floor_ms]]" (ARBOR_WATCHDOG); unknown
+/// values are rejected by name with the canonical knob message shape.
+WatchdogConfig parse_watchdog_flag(std::string_view value,
+                                   std::string_view what);
+
+/// Process-wide default, read once from the ARBOR_WATCHDOG variable.
+WatchdogConfig watchdog_env_default();
+
+class Watchdog {
+ public:
+  /// The process-wide watchdog, configured from ARBOR_WATCHDOG on first
+  /// touch. Cluster::run_program scopes every program through it.
+  static Watchdog& global();
+
+  Watchdog();
+  ~Watchdog();
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Swap the config; starts the monitor thread when enabling, stops it
+  /// when disabling (tests toggle this directly).
+  void configure(WatchdogConfig config);
+  WatchdogConfig config() const;
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Rounds flagged as stalled since process start (monotonic).
+  std::uint64_t stalls_flagged() const noexcept {
+    return stalls_.load(std::memory_order_relaxed);
+  }
+
+  /// RAII lifetime of one program under watch: construction arms the
+  /// monitor with the program's name and step labels, round_committed()
+  /// closes the running round's timer, destruction disarms. A no-op when
+  /// the watchdog is disabled at construction.
+  class ProgramScope {
+   public:
+    ProgramScope(Watchdog& dog, const engine::RoundProgram& program,
+                 std::string name);
+    ~ProgramScope();
+    ProgramScope(const ProgramScope&) = delete;
+    ProgramScope& operator=(const ProgramScope&) = delete;
+
+    void round_committed();
+
+   private:
+    Watchdog* dog_ = nullptr;
+  };
+
+ private:
+  void begin_program(const engine::RoundProgram& program, std::string name);
+  void end_program();
+  void commit_round();
+  void monitor_loop();
+  void start_thread();
+  void stop_thread();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> stalls_{0};
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  WatchdogConfig config_;
+  bool stop_ = false;
+  std::thread monitor_;
+
+  // Armed-program state, all under mu_.
+  bool active_ = false;
+  std::string program_;
+  std::vector<std::string> labels_;   ///< step labels, one per program round
+  std::size_t round_index_ = 0;
+  std::int64_t round_start_ns_ = 0;
+  bool flagged_ = false;              ///< current round already dumped
+  std::vector<double> recent_ms_;     ///< trailing round durations (ring)
+  std::size_t recent_next_ = 0;
+};
+
+}  // namespace arbor::obs

@@ -1,6 +1,7 @@
 #include "trace/json_check.hpp"
 
 #include <cctype>
+#include <cstdlib>
 
 namespace arbor::trace {
 
@@ -171,8 +172,243 @@ class Checker {
   JsonCheckResult result_{false, 0, ""};
 };
 
+// The parser mirrors the checker's grammar walk but builds the tree; the
+// two stay separate because the checker is hot-path-adjacent (trace-smoke
+// validates multi-megabyte traces) and must not pay for tree allocation.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonParseResult run() {
+    JsonParseResult out;
+    skip_ws();
+    if (!value(out.value)) {
+      out.offset = result_.offset;
+      out.error = result_.error;
+      return out;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      out.offset = pos_;
+      out.error = "trailing characters after value";
+      return out;
+    }
+    out.ok = true;
+    return out;
+  }
+
+ private:
+  bool fail(const std::string& error) {
+    if (result_.error.empty()) result_ = {false, pos_, error};
+    return false;
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  void skip_ws() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                      peek() == '\r'))
+      ++pos_;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word)
+      return fail("bad literal");
+    pos_ += word.size();
+    return true;
+  }
+
+  static void append_utf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  bool string(std::string& out) {
+    if (eof() || peek() != '"') return fail("expected string");
+    ++pos_;
+    while (!eof() && peek() != '"') {
+      if (peek() == '\\') {
+        ++pos_;
+        if (eof()) return fail("unterminated escape");
+        const char e = peek();
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              ++pos_;
+              if (eof() ||
+                  !std::isxdigit(static_cast<unsigned char>(peek())))
+                return fail("bad unicode escape");
+              const char h = peek();
+              code = code * 16 +
+                     static_cast<unsigned>(
+                         h <= '9' ? h - '0' : (h | 0x20) - 'a' + 10);
+            }
+            append_utf8(out, code);
+            break;
+          }
+          default: return fail("bad escape");
+        }
+      } else if (static_cast<unsigned char>(peek()) < 0x20) {
+        return fail("raw control character in string");
+      } else {
+        out.push_back(peek());
+      }
+      ++pos_;
+    }
+    if (eof()) return fail("unterminated string");
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    if (eof() || !std::isdigit(static_cast<unsigned char>(peek())))
+      return fail("bad number");
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek())))
+        return fail("bad number fraction");
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek())))
+        return fail("bad number exponent");
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    out.kind = JsonValue::Kind::kNumber;
+    out.number =
+        std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
+                    nullptr);
+    return true;
+  }
+
+  bool value(JsonValue& out) {
+    if (++depth_ > kMaxDepth) return fail("nesting too deep");
+    struct Depth {
+      std::size_t& d;
+      ~Depth() { --d; }
+    } depth_guard{depth_};
+    skip_ws();
+    if (eof()) return fail("unexpected end of input");
+    switch (peek()) {
+      case '{': return object(out);
+      case '[': return array(out);
+      case '"':
+        out.kind = JsonValue::Kind::kString;
+        return string(out.string);
+      case 't':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = true;
+        return literal("true");
+      case 'f':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = false;
+        return literal("false");
+      case 'n':
+        out.kind = JsonValue::Kind::kNull;
+        return literal("null");
+      default: return number(out);
+    }
+  }
+
+  bool object(JsonValue& out) {
+    out.kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!string(key)) return false;
+      skip_ws();
+      if (eof() || peek() != ':') return fail("expected ':' in object");
+      ++pos_;
+      JsonValue member;
+      if (!value(member)) return false;
+      out.object.emplace_back(std::move(key), std::move(member));
+      skip_ws();
+      if (eof()) return fail("unterminated object");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool array(JsonValue& out) {
+    out.kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      JsonValue element;
+      if (!value(element)) return false;
+      out.array.push_back(std::move(element));
+      skip_ws();
+      if (eof()) return fail("unterminated array");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  static constexpr std::size_t kMaxDepth = 256;
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
+  JsonCheckResult result_{false, 0, ""};
+};
+
 }  // namespace
 
+const JsonValue* JsonValue::find(std::string_view key) const {
+  for (const auto& [name, member] : object)
+    if (name == key) return &member;
+  return nullptr;
+}
+
 JsonCheckResult check_json(std::string_view text) { return Checker(text).run(); }
+
+JsonParseResult parse_json(std::string_view text) { return Parser(text).run(); }
 
 }  // namespace arbor::trace

@@ -10,6 +10,8 @@
 #include <cstddef>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace arbor::trace {
 
@@ -21,5 +23,32 @@ struct JsonCheckResult {
 
 /// Validate that `text` is exactly one JSON value (plus whitespace).
 JsonCheckResult check_json(std::string_view text);
+
+/// Parsed JSON value — the DOM behind tools/arbor_report's structural
+/// diff. Object members keep document order (the writers emit
+/// deterministic documents, so order is meaningful in a diff).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  /// First member named `key`, or nullptr (objects only).
+  const JsonValue* find(std::string_view key) const;
+};
+
+struct JsonParseResult {
+  bool ok = false;
+  std::size_t offset = 0;  ///< byte offset of the defect when !ok
+  std::string error;       ///< empty when ok
+  JsonValue value;
+};
+
+/// Parse exactly one JSON value (plus whitespace) into a JsonValue tree.
+/// Same grammar and limits as check_json.
+JsonParseResult parse_json(std::string_view text);
 
 }  // namespace arbor::trace

@@ -144,11 +144,14 @@ std::string MetricsRegistry::report() const {
   for (const auto& [name, hist] : histograms_) {
     std::vector<double> sorted = hist.samples;
     std::sort(sorted.begin(), sorted.end());
-    char line[160];
+    const std::uint64_t dropped =
+        hist.count > hist.samples.size() ? hist.count - hist.samples.size() : 0;
+    char line[200];
     std::snprintf(line, sizeof(line),
-                  " count=%" PRIu64 " sum=%.3f p50=%.3f p95=%.3f p99=%.3f",
+                  " count=%" PRIu64 " sum=%.3f p50=%.3f p95=%.3f p99=%.3f"
+                  " dropped=%" PRIu64,
                   hist.count, hist.sum, percentile(sorted, 50.0),
-                  percentile(sorted, 95.0), percentile(sorted, 99.0));
+                  percentile(sorted, 95.0), percentile(sorted, 99.0), dropped);
     os << name << line << "\n";
   }
   return os.str();
@@ -298,8 +301,48 @@ void Tracer::absorb(const TelemetryBlob& blob, std::uint64_t pid) {
     foreign_.reserve(foreign_.size() + blob.spans.size());
     for (const TelemetrySpan& span : blob.spans)
       foreign_.push_back({span, pid});
+    // Last-seen note per worker lane, for the stall watchdog's dump.
+    WorkerNote& note = worker_notes_[pid];
+    note.pid = pid;
+    note.spans += blob.spans.size();
+    note.counters = blob.counters.size();
+    for (const TelemetrySpan& span : blob.spans) {
+      const std::int64_t end_ns = span.start_ns + span.dur_ns;
+      if (end_ns >= note.last_end_ns) {
+        note.last_end_ns = end_ns;
+        note.last_span = span.name;
+      }
+    }
   }
   metrics_.merge(blob.counters, blob.histograms);
+}
+
+std::vector<WorkerNote> Tracer::worker_notes() const {
+  std::lock_guard lock(registry_mu_);
+  std::vector<WorkerNote> notes;
+  notes.reserve(worker_notes_.size());
+  for (const auto& [pid, note] : worker_notes_) notes.push_back(note);
+  return notes;
+}
+
+std::vector<TelemetrySpan> Tracer::recent_spans(std::size_t max) const {
+  std::vector<TelemetrySpan> spans;
+  {
+    std::lock_guard lock(registry_mu_);
+    for (const auto& buffer : buffers_) {
+      std::lock_guard buf_lock(buffer->mu);
+      const std::size_t take =
+          buffer->spans.size() < max ? buffer->spans.size() : max;
+      spans.insert(spans.end(), buffer->spans.end() - take,
+                   buffer->spans.end());
+    }
+  }
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const TelemetrySpan& a, const TelemetrySpan& b) {
+                     return a.start_ns + a.dur_ns > b.start_ns + b.dur_ns;
+                   });
+  if (spans.size() > max) spans.resize(max);
+  return spans;
 }
 
 std::size_t Tracer::span_count() const {
@@ -320,6 +363,7 @@ void Tracer::clear() {
       buffer->spans.clear();
     }
     foreign_.clear();
+    worker_notes_.clear();
   }
   metrics_.clear();
 }
@@ -447,7 +491,7 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
     write_fixed3(os, percentile(sorted, 95.0));
     os << ",\"p99\":";
     write_fixed3(os, percentile(sorted, 99.0));
-    os << "}";
+    os << ",\"dropped\":" << snap.dropped() << "}";
   }
   os << "}}}\n";
 }

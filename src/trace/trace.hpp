@@ -95,6 +95,12 @@ struct HistogramSnapshot {
   std::uint64_t count = 0;  ///< exact, even past the sample cap
   double sum = 0.0;         ///< exact, even past the sample cap
   std::vector<double> samples;  ///< first kMaxHistogramSamples observations
+
+  /// Observations past the retained-sample cap: percentiles were computed
+  /// over `samples` only, so a nonzero dropped() flags them as truncated.
+  std::uint64_t dropped() const noexcept {
+    return count > samples.size() ? count - samples.size() : 0;
+  }
 };
 
 /// Observations kept per histogram for percentile estimation; count and
@@ -156,6 +162,17 @@ struct TelemetryBlob {
   bool empty() const noexcept {
     return counters.empty() && histograms.empty() && spans.empty();
   }
+};
+
+/// What the driver last saw from one absorbed worker: retained by
+/// Tracer::absorb so the stall watchdog (obs/watchdog.hpp) can dump each
+/// worker's last-seen telemetry when a round hangs.
+struct WorkerNote {
+  std::uint64_t pid = 0;        ///< process lane (worker rank r = pid r+1)
+  std::uint64_t spans = 0;      ///< spans absorbed from this worker, total
+  std::uint64_t counters = 0;   ///< distinct counters in its last blob
+  std::string last_span;        ///< name of the latest-ending span shipped
+  std::int64_t last_end_ns = 0; ///< that span's end time (driver clock base)
 };
 
 class Tracer;
@@ -240,6 +257,11 @@ class Tracer {
 
   /// Recorded spans, local + absorbed (tests).
   std::size_t span_count() const;
+  /// Last-seen telemetry per absorbed worker, pid-ascending (watchdog dump).
+  std::vector<WorkerNote> worker_notes() const;
+  /// The most recently closed local (driver-side) spans, latest first, at
+  /// most `max` — the in-flight state a stall dump quotes.
+  std::vector<TelemetrySpan> recent_spans(std::size_t max) const;
   /// Drop all spans and metrics (tests, bench row isolation).
   void clear();
 
@@ -278,6 +300,7 @@ class Tracer {
   mutable std::mutex registry_mu_;  ///< guards buffers_, foreign_, path_
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
   std::vector<ForeignSpan> foreign_;
+  std::map<std::uint64_t, WorkerNote> worker_notes_;
   std::string path_;
   MetricsRegistry metrics_;
 };

@@ -196,6 +196,7 @@ TEST(ProgramVerifier, FactoryRebuildCrossChecked) {
   // A spec naming an unregistered program fails the lookup by name.
   engine::RoundProgram unknown;
   unknown.barrier("spec.step", noop_step());
+  unknown.exempt_cost();  // fixtures probe the rebuild rules, not bounds
   engine::RemoteSpec spec;
   spec.name = "check.no_such_program";
   unknown.distributable(std::move(spec));
@@ -207,6 +208,7 @@ TEST(ProgramVerifier, FactoryRebuildCrossChecked) {
   // "net.storm.scatter"; claim a different name on the driver side.
   engine::RoundProgram drift;
   drift.independent("net.storm.renamed", noop_step());
+  drift.exempt_cost();
   engine::RemoteSpec storm_spec;
   storm_spec.name = "net.storm";
   // batch 16, ONE round: the factory builds one scatter step per round,

@@ -12,7 +12,12 @@
 //      file that calls `distributable(` is flagged);
 //   3. no rand()/time() in library code — simulated machines must be
 //      deterministic; randomness comes from seeded util/rng, time from
-//      trace::now_ns.
+//      trace::now_ns;
+//   4. every file registering a distributable program (`registry.add(`)
+//      must attach an analytic CostModel (`costed(`) or opt out explicitly
+//      (`exempt_cost(`) — the program verifier enforces this per program
+//      at run time, this catches a registration file that never even
+//      references the bound machinery at review time.
 //
 // Comments and string/char literals are stripped before matching, so
 // documentation may mention the banned names freely. Exit status: 0 clean,
@@ -180,6 +185,18 @@ void scan_file(const fs::path& path, std::vector<Finding>& findings) {
                "verifier rejects the default \"cluster.round\" label)"});
       }
     }
+  }
+
+  // Rule 4: registered programs carry their analytic bounds. A file that
+  // registers worker-side factories but never touches costed()/
+  // exempt_cost() ships programs the bound audit cannot see.
+  if (text.find("registry.add(") != std::string::npos &&
+      text.find(".costed(") == std::string::npos &&
+      text.find(".exempt_cost(") == std::string::npos) {
+    findings.push_back(
+        {file, line_of(text, text.find("registry.add(")), "no-cost-model",
+         "registered programs must declare analytic bounds with costed() "
+         "or opt out explicitly with exempt_cost()"});
   }
 
   // Rule 3: nondeterminism. rand()/time() have no place in a simulated

@@ -2,14 +2,18 @@
 // --trace-smoke).
 //
 //   trace-validate FILE [--min-events N] [--expect label,label,...]
-//                       [--expect-pids N]
+//                       [--expect-pids N] [--metrics name,name,...]
 //
 // Validates that FILE is well-formed JSON (src/trace/json_check.hpp — a
 // real parse, not a grep), contains a traceEvents array with at least N
 // complete ("ph": "X") events, mentions every --expect label in some
 // event name, and carries process-name metadata for at least N distinct
-// lanes (--expect-pids: driver + workers). Exit 0 on success; prints the
-// first failure and exits 1 otherwise.
+// lanes (--expect-pids: driver + workers). A file with ZERO complete
+// spans is rejected by name even when --min-events would allow it — an
+// empty trace means the tracer never armed, which is the silent failure
+// this tool exists to catch. --metrics asserts the file embeds a metrics
+// block naming each given counter/histogram. Exit 0 on success; prints
+// the first failure and exits 1 otherwise.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,9 +29,21 @@ namespace {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s FILE [--min-events N] [--expect l1,l2,...] "
-               "[--expect-pids N]\n",
+               "[--expect-pids N] [--metrics n1,n2,...]\n",
                argv0);
   std::exit(2);
+}
+
+void split_list(const std::string& list, std::vector<std::string>& out) {
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t comma = list.find(',', start);
+    const std::string item = list.substr(
+        start, comma == std::string::npos ? comma : comma - start);
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
 }
 
 std::size_t count_occurrences(const std::string& text,
@@ -46,22 +62,16 @@ int main(int argc, char** argv) {
   std::size_t min_events = 1;
   std::size_t expect_pids = 0;
   std::vector<std::string> expect_labels;
+  std::vector<std::string> expect_metrics;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--min-events") == 0 && i + 1 < argc) {
       min_events = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--expect-pids") == 0 && i + 1 < argc) {
       expect_pids = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--expect") == 0 && i + 1 < argc) {
-      std::string labels = argv[++i];
-      std::size_t start = 0;
-      while (start <= labels.size()) {
-        const std::size_t comma = labels.find(',', start);
-        const std::string label = labels.substr(
-            start, comma == std::string::npos ? comma : comma - start);
-        if (!label.empty()) expect_labels.push_back(label);
-        if (comma == std::string::npos) break;
-        start = comma + 1;
-      }
+      split_list(argv[++i], expect_labels);
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      split_list(argv[++i], expect_metrics);
     } else if (path.empty() && argv[i][0] != '-') {
       path = argv[i];
     } else {
@@ -91,6 +101,13 @@ int main(int argc, char** argv) {
     return 1;
   }
   const std::size_t events = count_occurrences(body, "\"ph\":\"X\"");
+  if (events == 0) {
+    std::fprintf(stderr,
+                 "trace-validate: %s contains zero complete spans — the "
+                 "tracer never armed or nothing ran under it\n",
+                 path.c_str());
+    return 1;
+  }
   if (events < min_events) {
     std::fprintf(stderr,
                  "trace-validate: %s has %zu complete events, expected >= %zu\n",
@@ -108,6 +125,23 @@ int main(int argc, char** argv) {
     if (body.find(label) == std::string::npos) {
       std::fprintf(stderr, "trace-validate: %s never mentions \"%s\"\n",
                    path.c_str(), label.c_str());
+      return 1;
+    }
+  }
+  if (!expect_metrics.empty() &&
+      body.find("\"metrics\"") == std::string::npos) {
+    std::fprintf(stderr,
+                 "trace-validate: %s embeds no metrics block (was the run "
+                 "traced with metrics on?)\n",
+                 path.c_str());
+    return 1;
+  }
+  for (const std::string& metric : expect_metrics) {
+    if (body.find("\"" + metric + "\"") == std::string::npos) {
+      std::fprintf(stderr,
+                   "trace-validate: %s records no counter/histogram named "
+                   "\"%s\"\n",
+                   path.c_str(), metric.c_str());
       return 1;
     }
   }
