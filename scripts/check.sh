@@ -130,6 +130,19 @@ if [[ "${1:-}" == "--bench-smoke" ]]; then
           exit 1
         }
       done
+      # Merge-path A/B: both the k-way merge of sorted inbox runs and the
+      # wholesale re-sort baseline stay exercised end to end (the bench
+      # itself aborts if either path's output disagrees with central).
+      for merge in on off; do
+        echo "== bench-smoke: ${name} (ARBOR_MERGE_PATH=${merge}) =="
+        ARBOR_MERGE_PATH="${merge}" "./build/${name}" 20000 512 1 \
+          --json "${smoke_dir}/${name}.merge-${merge}.json" \
+          > "${smoke_dir}/${name}.merge-${merge}.out" || {
+          echo "bench-smoke: ${name} (merge=${merge}) FAILED; last lines:"
+          tail -20 "${smoke_dir}/${name}.merge-${merge}.out"
+          exit 1
+        }
+      done
     fi
   done
   echo "== bench-smoke: clean =="
@@ -167,7 +180,9 @@ if [[ "${1:-}" == "--tsan" ]]; then
              net_test trace_test check_test arbor-worker
   echo "== tsan: engine_test =="
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/engine_test
-  echo "== tsan: level0_programs_test =="
+  echo "== tsan: level0_programs_test (DeterminismMatrix's parallel(4)"
+  echo "         rows drive the worker-staged zero-copy direct scatter:"
+  echo "         concurrent per-destination span staging must be race-free) =="
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/level0_programs_test
   echo "== tsan: level1_distributed_test (pooled-context reuse: live"
   echo "         worker groups + retained arenas across repeated sorts"

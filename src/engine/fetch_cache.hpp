@@ -1,0 +1,96 @@
+// Delegate-style read cache for repeated fetch payloads (Grappa
+// delegate::read / reset_cache is the exemplar).
+//
+// Multi-pass programs (repeat_while peeling, broadcast trees) rebuild and
+// re-ship payloads that are byte-identical from pass to pass: a peeled
+// vertex's neighbor split is consulted once when it peels and again one
+// pass later when its decrements apply; a broadcast holder re-sends the
+// same immutable slab to every child on every level. The FetchCache
+// memoizes those builds per run and per machine, keyed by
+// (step label, source machine, caller key) and validated by a
+// caller-supplied epoch.
+//
+// Invalidation contract: the epoch is the caller's promise about the
+// owning slab. State a program never declares in its Ownership is
+// immutable for the program's duration (the checked-execution contract),
+// so a constant epoch is correct for it; state the owner legally writes
+// must bump the epoch with the write, or the entry goes stale. Checked
+// execution polices the promise: every cache hit re-runs the build
+// function and rejects the entry — naming the step and machine — if the
+// rebuilt payload differs from the cached words. The cache is reset at
+// program start, so entries never outlive the run that built them.
+//
+// Thread safety: slots are per machine and a machine is only ever touched
+// by the worker thread that owns its block, so no locking is needed —
+// the same sharding argument the outboxes rely on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/types.hpp"
+#include "util/hashing.hpp"
+
+namespace arbor::engine {
+
+/// Per-run, per-machine memo of fetch payloads. Owned by the scheduler
+/// (in-process) or the worker runtime (net/) and wired into Senders via a
+/// FetchContext only when the program opts in (RoundProgram::fetch_cache).
+class FetchCache {
+ public:
+  struct Entry {
+    std::uint64_t epoch = 0;
+    std::vector<Word> words;
+    bool valid = false;
+  };
+
+  /// Drop every entry and hit count; called at program start so no entry
+  /// outlives the run that built it.
+  void reset(std::size_t machines) { slots_.assign(machines, {}); }
+
+  Entry& entry(std::size_t machine, std::uint64_t key) {
+    return slots_[machine].entries[key];
+  }
+
+  void count_hit(std::size_t machine) noexcept { ++slots_[machine].hits; }
+
+  /// Total hits across machines — flushed into the
+  /// `engine.fetch_cache_hits` metric at program end.
+  std::size_t total_hits() const noexcept {
+    std::size_t total = 0;
+    for (const Slot& slot : slots_) total += slot.hits;
+    return total;
+  }
+
+ private:
+  struct Slot {
+    std::unordered_map<std::uint64_t, Entry> entries;
+    std::size_t hits = 0;
+  };
+  std::vector<Slot> slots_;
+};
+
+/// Salt mixed into every cache key so entries are scoped to their step
+/// label — the "(step label, source, epoch)" key of the design.
+inline std::uint64_t fetch_step_salt(std::string_view step_name) noexcept {
+  std::uint64_t h = util::mix64(step_name.size());
+  for (const char c : step_name)
+    h = util::hash_combine(h, static_cast<std::uint64_t>(c));
+  return h;
+}
+
+/// How a Sender resolves fetch() calls this round. A null cache means
+/// caching is off: every fetch rebuilds, which is the bit-identical A/B
+/// baseline. `verify` (checked execution) rebuilds on every hit and
+/// rejects stale entries.
+struct FetchContext {
+  FetchCache* cache = nullptr;
+  std::uint64_t step_salt = 0;
+  const std::string* step_name = nullptr;
+  bool verify = false;
+};
+
+}  // namespace arbor::engine

@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "engine/inbox.hpp"
 #include "engine/outbox.hpp"
 #include "engine/types.hpp"
 #include "util/assert.hpp"
@@ -154,6 +155,222 @@ inline std::size_t gallop_lower(std::size_t lo, std::size_t hi, Pred pred) {
       lo = mid + 1;
   }
   return lo;
+}
+
+namespace merge_detail {
+
+/// Stable two-way merge of sorted record runs: `a` is the earlier-source
+/// run, so ties take from `a` (`cmp(b, a) < 0` is the only case that takes
+/// from `b`). Writes exactly the combined word count at `out` and returns
+/// the write head one past it. `kFixedWidth` (when non-zero) lets hot
+/// record shapes compile to an unrolled copy instead of a runtime-width
+/// loop — the caller must pass the same value as `width`.
+template <std::size_t kFixedWidth, typename Cmp>
+inline Word* merge_two_runs(const Word* a, const Word* a_end, const Word* b,
+                            const Word* b_end, std::size_t width, Cmp cmp,
+                            Word* out) {
+  const std::size_t w = kFixedWidth != 0 ? kFixedWidth : width;
+  while (a != a_end && b != b_end) {
+    const bool take_b = cmp(b, a) < 0;
+    const Word* s = take_b ? b : a;
+    if constexpr (kFixedWidth != 0) {
+      for (std::size_t i = 0; i < kFixedWidth; ++i) out[i] = s[i];
+    } else {
+      for (std::size_t i = 0; i < w; ++i) out[i] = s[i];
+    }
+    out += w;
+    (take_b ? b : a) += w;
+  }
+  out = std::copy(a, a_end, out);
+  return std::copy(b, b_end, out);
+}
+
+/// Bottom-up cascade of stable two-way merges: adjacent runs pair up
+/// level by level (⌈log₂ k⌉ levels), ping-ponging between two scratch
+/// buffers, with the final level writing straight into `out` (which the
+/// caller has already reserved — no reallocation races with the scratch
+/// reads). Pairing ADJACENT runs keeps the left operand the earlier
+/// source at every level, so tie-to-`a` two-way merges compose into the
+/// global earliest-run tie-break — bit-identical to std::stable_sort of
+/// the concatenation. Each record moves once per level through tight
+/// sequential loops; against the alternative heap-of-cursors this trades
+/// 2·log k indirect comparator calls per record for log k direct ones,
+/// which is what lets the merge beat a re-sort at the pipeline's shapes.
+/// Requires `count >= 2` non-empty runs totalling `total` words.
+template <typename MergeTwo>
+inline void merge_runs_cascade(const std::span<const Word>* runs,
+                               std::size_t count, std::size_t total,
+                               MergeTwo merge_two, std::vector<Word>& out) {
+  const std::size_t base = out.size();
+  if (count == 2) {
+    out.resize(base + total);
+    merge_two(runs[0].data(), runs[0].data() + runs[0].size(),
+              runs[1].data(), runs[1].data() + runs[1].size(),
+              out.data() + base);
+    return;
+  }
+  static thread_local std::vector<Word> ping, pong;
+  static thread_local std::vector<std::size_t> cuts, next_cuts;
+  ping.resize(total);
+  cuts.clear();
+  Word* w = ping.data();
+  for (std::size_t i = 0; i + 1 < count; i += 2) {
+    cuts.push_back(static_cast<std::size_t>(w - ping.data()));
+    w = merge_two(runs[i].data(), runs[i].data() + runs[i].size(),
+                  runs[i + 1].data(), runs[i + 1].data() + runs[i + 1].size(),
+                  w);
+  }
+  if (count % 2 != 0) {
+    cuts.push_back(static_cast<std::size_t>(w - ping.data()));
+    w = std::copy(runs[count - 1].data(),
+                  runs[count - 1].data() + runs[count - 1].size(), w);
+  }
+  cuts.push_back(total);
+  while (cuts.size() - 1 > 2) {
+    const std::size_t n = cuts.size() - 1;
+    pong.resize(total);
+    next_cuts.clear();
+    Word* d = pong.data();
+    for (std::size_t i = 0; i + 1 < n; i += 2) {
+      next_cuts.push_back(static_cast<std::size_t>(d - pong.data()));
+      d = merge_two(ping.data() + cuts[i], ping.data() + cuts[i + 1],
+                    ping.data() + cuts[i + 1], ping.data() + cuts[i + 2], d);
+    }
+    if (n % 2 != 0) {
+      next_cuts.push_back(static_cast<std::size_t>(d - pong.data()));
+      d = std::copy(ping.data() + cuts[n - 1], ping.data() + cuts[n], d);
+    }
+    next_cuts.push_back(total);
+    ping.swap(pong);
+    cuts.swap(next_cuts);
+  }
+  out.resize(base + total);
+  merge_two(ping.data() + cuts[0], ping.data() + cuts[1],
+            ping.data() + cuts[1], ping.data() + cuts[2], out.data() + base);
+}
+
+}  // namespace merge_detail
+
+/// Stable k-way merge of key-sorted record runs, appended to `out`. Ties
+/// across runs resolve to the EARLIEST run (and records keep their order
+/// within a run), so the result is bit-identical to std::stable_sort of
+/// the runs' concatenation in run order — which is why the sort pipeline
+/// can swap its concat-then-re-sort sites for this merge without moving a
+/// byte on the wire: inbox delivery order (source machine ascending, send
+/// order within a source) IS the run order the old stable sort preserved.
+/// Empty runs and empty run lists are fine; each run must be a whole
+/// number of records and key-sorted.
+inline void merge_sorted_runs(std::span<const std::span<const Word>> runs,
+                              std::size_t width, std::size_t key_words,
+                              std::vector<Word>& out) {
+  ARBOR_CHECK(key_words > 0 && key_words <= width);
+  static thread_local std::vector<std::span<const Word>> live;
+  live.clear();
+  std::size_t total = 0;
+  for (const std::span<const Word>& run : runs) {
+    if (record_count(run.size(), width) == 0) continue;
+    live.push_back(run);
+    total += run.size();
+  }
+  out.reserve(out.size() + total);
+  if (live.empty()) return;
+  if (live.size() == 1) {
+    out.insert(out.end(), live[0].begin(), live[0].end());
+    return;
+  }
+  if (total < 4 * width * live.size()) {
+    // Adaptive cutoff: runs average under four records, so there is no
+    // sorted structure worth exploiting — a merge would pay its ⌈log₂ k⌉
+    // levels to discover what a sort finds directly. Concatenate in run
+    // order and stable-sort, which is the merge's own specification
+    // (earliest-run tie-break == concatenation order under a stable
+    // sort), so the output is bit-identical either way.
+    static thread_local std::vector<Word> pooled;
+    std::vector<Word>& dst = out.empty() ? out : pooled;
+    dst.clear();
+    dst.reserve(total);
+    for (const std::span<const Word>& run : live)
+      dst.insert(dst.end(), run.begin(), run.end());
+    stable_sort_records(dst, width, key_words);
+    if (&dst != &out) out.insert(out.end(), dst.begin(), dst.end());
+    return;
+  }
+  if (width == 1 && key_words == 1) {
+    // Word runs (the Level-0 word sort): single-word compare and copy.
+    merge_detail::merge_runs_cascade(
+        live.data(), live.size(), total,
+        [](const Word* a, const Word* a_end, const Word* b,
+           const Word* b_end, Word* d) {
+          return merge_detail::merge_two_runs<1>(
+              a, a_end, b, b_end, 1,
+              [](const Word* x, const Word* y) {
+                return *x < *y ? -1 : (*x > *y ? 1 : 0);
+              },
+              d);
+        },
+        out);
+    return;
+  }
+  if (width == 2 && key_words == 2) {
+    // The Level-1 record shape (two-word packed keys): unrolled copies
+    // and an inline two-word compare, mirroring stable_sort_records'
+    // packed fast path so the merge stays ahead of the re-sort it
+    // replaces.
+    merge_detail::merge_runs_cascade(
+        live.data(), live.size(), total,
+        [](const Word* a, const Word* a_end, const Word* b,
+           const Word* b_end, Word* d) {
+          return merge_detail::merge_two_runs<2>(
+              a, a_end, b, b_end, 2,
+              [](const Word* x, const Word* y) {
+                if (x[0] != y[0]) return x[0] < y[0] ? -1 : 1;
+                return x[1] < y[1] ? -1 : (x[1] > y[1] ? 1 : 0);
+              },
+              d);
+        },
+        out);
+    return;
+  }
+  merge_detail::merge_runs_cascade(
+      live.data(), live.size(), total,
+      [width, key_words](const Word* a, const Word* a_end, const Word* b,
+                         const Word* b_end, Word* d) {
+        return merge_detail::merge_two_runs<0>(
+            a, a_end, b, b_end, width,
+            [key_words](const Word* x, const Word* y) {
+              return compare_keys(x, y, key_words);
+            },
+            d);
+      },
+      out);
+}
+
+/// Merge a machine's inbox — every message a key-sorted run — into `out`.
+/// Message order is delivery order (source ascending, send order), so the
+/// result equals stable-sorting the concatenated inbox: the drop-in
+/// replacement for the pool-then-re-sort pattern.
+inline void merge_sorted_inbox(const InboxView& inbox, std::size_t width,
+                               std::size_t key_words, std::vector<Word>& out) {
+  const std::size_t total = inbox.total_words();
+  if (out.empty() && total < 4 * width * inbox.size()) {
+    // The inbox's runs average under four records (the bucket-placement
+    // shape: one tiny span per sender) — merge_sorted_runs would take its
+    // adaptive concat-and-sort cutoff anyway, so gather straight from the
+    // messages and skip building the span list twice.
+    out.reserve(total);
+    for (std::size_t i = 0; i < inbox.size(); ++i) {
+      const std::span<const Word> span = inbox[i].span();
+      out.insert(out.end(), span.begin(), span.end());
+    }
+    stable_sort_records(out, width, key_words);
+    return;
+  }
+  static thread_local std::vector<std::span<const Word>> runs;
+  runs.clear();
+  runs.reserve(inbox.size());
+  for (std::size_t i = 0; i < inbox.size(); ++i)
+    runs.push_back(inbox[i].span());
+  merge_sorted_runs(runs, width, key_words, out);
 }
 
 /// Walk a key-sorted record slab bucket by bucket, invoking

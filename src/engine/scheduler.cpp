@@ -10,6 +10,25 @@
 
 namespace arbor::engine {
 
+namespace {
+
+/// Largest round volume (front-bank words) the async scheduler still fuses
+/// into one deliver+compute phase. Fusing saves a phase barrier but pays a
+/// payload copy per delivered word; the zero-copy direct scatter pays one
+/// fixed routing pass and copies nothing. Small rounds (splitter
+/// exchanges, votes) are barrier-dominated and keep fusing; bulk route
+/// rounds are copy-dominated and go direct — which is what erases the
+/// parallel-policy route-round penalty on the Level-1 sort.
+constexpr std::size_t kFuseMaxRouteWords = 16384;
+
+std::size_t front_bank_words(const std::vector<Outbox>& outboxes) {
+  std::size_t total = 0;
+  for (const Outbox& out : outboxes) total += out.word_count();
+  return total;
+}
+
+}  // namespace
+
 ProgramStats Scheduler::run(RoundState& state, std::size_t capacity,
                             std::size_t first_round_index,
                             const RoundProgram& program,
@@ -55,6 +74,11 @@ ProgramStats Scheduler::run(RoundState& state, std::size_t capacity,
     monitor = std::make_unique<check::Monitor>(program, capacity,
                                                state.num_machines());
 
+  // Programs opt into the delegate-style read cache; entries never outlive
+  // the run that built them.
+  FetchCache* fetch_cache = program.fetch_cache ? &fetch_cache_ : nullptr;
+  if (fetch_cache) fetch_cache->reset(state.num_machines());
+
   trace::Tracer& tracer = trace::Tracer::global();
 
   ProgramStats stats;
@@ -65,21 +89,26 @@ ProgramStats Scheduler::run(RoundState& state, std::size_t capacity,
       const std::int64_t round_t0 = tracer.metrics_on() ? trace::now_ns() : 0;
       if (!computed_ahead) {
         trace::Span span = tracer.span("engine", "compute " + label);
-        compute(state, capacity, program.steps[i], monitor.get());
+        compute(state, capacity, program.steps[i], monitor.get(), fetch_cache);
       }
       computed_ahead = false;
       const ProgramStep* next =
           i + 1 < program.steps.size() ? &program.steps[i + 1] : nullptr;
-      const bool fused =
-          overlap && next && next->kind == StepKind::kMachineIndependent;
-      // The destination-grouped routing table is only needed when delivery
-      // is partitioned by destination (parallel workers, the fused async
-      // phase) or materializes nested reference inboxes. Inline flat
-      // unchecked delivery fuses route and deliver into one source-major
-      // pass that skips both the table and the payload copy — the scatter
-      // inboxes alias the frozen bank.
-      const bool direct =
-          !fused && pool_ == nullptr && state.is_flat && !policy_.check;
+      // Fusing delivery with the next compute only pays off while the
+      // delivered volume is barrier-dominated; past the threshold the
+      // zero-copy direct scatter wins (see kFuseMaxRouteWords). The choice
+      // is execution-only — deliveries are byte-identical either way.
+      const bool fused = overlap && next &&
+                         next->kind == StepKind::kMachineIndependent &&
+                         front_bank_words(state.front_outboxes()) <=
+                             kFuseMaxRouteWords;
+      // Flat unchecked delivery fuses route and deliver into a zero-copy
+      // scatter pass — source-major and routing-table-free when inline,
+      // table-then-parallel-staging under a pool — so the scatter inboxes
+      // alias the frozen bank in every policy. The strict two-phase path
+      // remains for the fused async phase and the nested (checked)
+      // representation.
+      const bool direct = !fused && state.is_flat && !policy_.check;
       if (direct) {
         trace::Span span = tracer.span("engine", "route+deliver " + label);
         const RoundStats round_stats = route_and_deliver_direct(
@@ -115,7 +144,7 @@ ProgramStats Scheduler::run(RoundState& state, std::size_t capacity,
           // span, a barrier, then a compute span.
           trace::Span span =
               tracer.span("engine", "deliver+compute " + next->name);
-          deliver_and_compute(state, capacity, *next);
+          deliver_and_compute(state, capacity, *next, fetch_cache);
         }
         state.flip();  // the fused compute's bank becomes next round's front
         computed_ahead = true;
@@ -152,6 +181,12 @@ ProgramStats Scheduler::run(RoundState& state, std::size_t capacity,
     if (!more) break;
     if (stats.passes >= program.max_passes) break;
   }
+  if (fetch_cache && tracer.metrics_on()) {
+    const std::size_t hits = fetch_cache->total_hits();
+    if (hits > 0)
+      tracer.metrics().add("engine.fetch_cache_hits",
+                           static_cast<std::uint64_t>(hits));
+  }
   return stats;
 }
 
@@ -163,15 +198,18 @@ void Scheduler::run_parallel(std::size_t n, const ThreadPool::BlockFn& fn) {
 }
 
 void Scheduler::compute(RoundState& state, std::size_t capacity,
-                        const ProgramStep& step, check::Monitor* monitor) {
+                        const ProgramStep& step, check::Monitor* monitor,
+                        FetchCache* fetch_cache) {
   const std::size_t machines = state.num_machines();
   std::vector<Outbox>& out = state.front_outboxes();
+  const FetchContext fetch{fetch_cache, fetch_step_salt(step.name), &step.name,
+                           policy_.check};
   if (monitor) {
     // Checked execution: single-threaded by design, so contract violations
     // are deterministic and reproduce without a thread schedule.
     monitor->run_step(
         step, 0, machines,
-        [&state](std::size_t m) { return state.inbox(m); }, out);
+        [&state](std::size_t m) { return state.inbox(m); }, out, fetch);
     return;
   }
   trace::Tracer& tracer = trace::Tracer::global();
@@ -181,7 +219,7 @@ void Scheduler::compute(RoundState& state, std::size_t capacity,
     trace::Span span = tracer.span("engine", "block " + step.name);
     for (std::size_t m = begin; m < end; ++m) {
       out[m].clear();  // keeps arena capacity from previous rounds
-      Sender sender(m, capacity, machines, out[m]);
+      Sender sender(m, capacity, machines, out[m], fetch);
       step.fn(m, state.inbox(m), sender);
     }
   });
@@ -202,12 +240,17 @@ RoundStats Scheduler::route(RoundState& state, std::size_t capacity,
   std::size_t total_msgs = 0;
   for (std::size_t src = 0; src < machines; ++src) {
     const Outbox& out = outboxes[src];
-    stats.max_sent = std::max(stats.max_sent, out.word_count());
     total_msgs += out.msgs.size();
+    // Sent volume is the sum of message lengths, not the arena size: a
+    // sender that aliases one arena payload under several messages must
+    // still be charged per message sent.
+    std::size_t sent = 0;
     for (const Outbox::Msg& msg : out.msgs) {
+      sent += msg.length;
       recv_words_[msg.dst] += msg.length;
       recv_msgs_[msg.dst] += 1;
     }
+    stats.max_sent = std::max(stats.max_sent, sent);
   }
 
   // Receiver-side cap: validated once per machine, naming the offender.
@@ -242,6 +285,37 @@ RoundStats Scheduler::route_and_deliver_direct(RoundState& state,
                                                const std::string& step_name) {
   const std::size_t machines = state.num_machines();
   const std::vector<Outbox>& outboxes = state.front_outboxes();
+
+  if (pool_ != nullptr) {
+    // Parallel zero-copy scatter: route() groups the outbox records by
+    // destination and validates the receiver caps — with the exact strict
+    // error text, before any inbox mutation — then worker threads convert
+    // each destination's route entries into span references concurrently.
+    // Destinations are disjoint across threads, so the staging is
+    // lock-free, and still no payload word moves.
+    RoundStats stats = route(state, capacity, round_index, step_name);
+    if (scatter_scratch_.size() != machines) scatter_scratch_.resize(machines);
+    run_parallel(machines, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t dst = begin; dst < end; ++dst) {
+        ScatterInbox& sc = scatter_scratch_[dst];
+        sc.clear();
+        sc.msgs.reserve(recv_msgs_[dst]);
+        for (std::size_t r = route_begin_[dst]; r < route_begin_[dst + 1];
+             ++r) {
+          const Route& route = routes_[r];
+          sc.msgs.push_back(
+              {outboxes[route.src].words.data() + route.offset, route.length});
+        }
+        sc.words = recv_words_[dst];
+      }
+    });
+    state.scatter_inboxes.swap(scatter_scratch_);
+    state.scatter_active = true;
+    state.back_outboxes();  // ensure the other bank is sized before flipping
+    state.flip();
+    return stats;
+  }
+
   RoundStats stats;
 
   // One source-major pass: count per-destination volume AND stage span
@@ -253,12 +327,14 @@ RoundStats Scheduler::route_and_deliver_direct(RoundState& state,
   for (ScatterInbox& in : scatter_scratch_) in.clear();
   for (std::size_t src = 0; src < machines; ++src) {
     const Outbox& out = outboxes[src];
-    stats.max_sent = std::max(stats.max_sent, out.word_count());
+    std::size_t sent = 0;  // Σ msg lengths, like route() — see there
     for (const Outbox::Msg& msg : out.msgs) {
+      sent += msg.length;
       recv_words_[msg.dst] += msg.length;
       scatter_scratch_[msg.dst].msgs.push_back(
           {out.words.data() + msg.offset, msg.length});
     }
+    stats.max_sent = std::max(stats.max_sent, sent);
   }
 
   // Receiver-side cap: validated (with route()'s exact diagnostics) before
@@ -341,7 +417,8 @@ void Scheduler::deliver(RoundState& state) {
 }
 
 void Scheduler::deliver_and_compute(RoundState& state, std::size_t capacity,
-                                    const ProgramStep& next_step) {
+                                    const ProgramStep& next_step,
+                                    FetchCache* fetch_cache) {
   const std::size_t machines = state.num_machines();
   // The front bank is frozen (round r's routed outboxes); the fused compute
   // writes the back bank. Materialize the back bank on this thread before
@@ -349,6 +426,8 @@ void Scheduler::deliver_and_compute(RoundState& state, std::size_t capacity,
   const std::vector<Outbox>& cur = state.front_outboxes();
   std::vector<Outbox>& nxt = state.back_outboxes();
   state.scatter_active = false;  // flat inboxes become current again
+  const FetchContext fetch{fetch_cache, fetch_step_salt(next_step.name),
+                           &next_step.name, policy_.check};
   trace::Tracer& tracer = trace::Tracer::global();
   run_parallel(machines, [&](std::size_t begin, std::size_t end) {
     trace::Span span = tracer.span("engine", "block " + next_step.name);
@@ -367,7 +446,7 @@ void Scheduler::deliver_and_compute(RoundState& state, std::size_t capacity,
       // complete even though other machines' deliveries may still be in
       // flight (the machine-independent contract makes this sufficient).
       nxt[m].clear();
-      Sender sender(m, capacity, machines, nxt[m]);
+      Sender sender(m, capacity, machines, nxt[m], fetch);
       next_step.fn(m, InboxView(in), sender);
     }
   });

@@ -16,14 +16,19 @@
 //             copies the payloads for its destinations out of the source
 //             arenas into the destination Inbox arenas.
 //
-// Inline (pool-less) unchecked flat execution collapses route and deliver
-// into ONE source-major pass (route_and_deliver_direct) that skips the
-// routing table AND the payload copy: it counts volume, validates the caps,
-// and records span references into the frozen outbox bank (ScatterInbox);
-// the banks flip, and the next compute reads the spans where they lie — the
-// same (source asc, send order) delivery order with zero words moved. The
-// final round's spans are materialized into flat inboxes before run()
-// returns, so only the scheduler ever observes the scatter representation.
+// Unchecked flat execution collapses route and deliver into a zero-copy
+// pass (route_and_deliver_direct) that skips the payload copy entirely: it
+// counts volume, validates the caps, and records span references into the
+// frozen outbox bank (ScatterInbox); the banks flip, and the next compute
+// reads the spans where they lie — the same (source asc, send order)
+// delivery order with zero words moved. Pool-less (serial) rounds do it in
+// ONE source-major pass with no routing table; parallel rounds first build
+// the destination-grouped routing table (route(), which also validates the
+// receiver caps with the exact strict-path error text before any inbox
+// mutation), then stage each destination's spans from worker threads —
+// destinations are disjoint, so the staging is lock-free. The final
+// round's spans are materialized into flat inboxes before run() returns,
+// so only the scheduler ever observes the scatter representation.
 //
 // Asynchronous overlap: when the NEXT step of the program is tagged
 // machine-independent (see program.hpp for the contract), the deliver phase
@@ -54,6 +59,7 @@
 #include <vector>
 
 #include "engine/execution_policy.hpp"
+#include "engine/fetch_cache.hpp"
 #include "engine/program.hpp"
 #include "engine/round_state.hpp"
 #include "engine/thread_pool.hpp"
@@ -95,21 +101,28 @@ class Scheduler {
   void run_parallel(std::size_t n, const ThreadPool::BlockFn& fn);
   /// `monitor` non-null routes the phase through checked execution
   /// (inline, single-threaded) instead of the parallel block loop.
+  /// `fetch_cache` non-null wires the per-run FetchCache into the step's
+  /// Senders (the program opted in via RoundProgram::fetch_cache).
   void compute(RoundState& state, std::size_t capacity,
-               const ProgramStep& step, check::Monitor* monitor);
+               const ProgramStep& step, check::Monitor* monitor,
+               FetchCache* fetch_cache);
   RoundStats route(RoundState& state, std::size_t capacity,
                    std::size_t round_index, const std::string& step_name);
   void deliver(RoundState& state);
-  /// Routing-table-free zero-copy route+delivery for inline flat unchecked
-  /// rounds: ONE source-major pass counts per-destination volume and builds
-  /// span references into the frozen outbox bank (then flips banks so the
-  /// spans survive the next compute). Caps are validated — with route()'s
-  /// exact error text — before any inbox state changes, so a violating
-  /// round leaves the previous round's inboxes intact exactly like the
-  /// two-phase path. Delivery order is identical to deliver(): the
-  /// counting sort groups by destination but keeps (source asc, send
-  /// order) inside each group, which is exactly the order a single
-  /// source-major pass produces.
+  /// Zero-copy route+delivery for flat unchecked rounds: count
+  /// per-destination volume, validate the caps, and stage span references
+  /// into the frozen outbox bank (then flip banks so the spans survive the
+  /// next compute). Pool-less execution does it in ONE source-major pass
+  /// with no routing table; under a pool, route() builds the
+  /// destination-grouped table (and validates the caps) first and worker
+  /// threads stage the spans sharded by destination — disjoint
+  /// destinations, so lock-free. Caps are validated — with route()'s exact
+  /// error text — before any inbox state changes, so a violating round
+  /// leaves the previous round's inboxes intact exactly like the two-phase
+  /// path. Delivery order is identical to deliver(): the counting sort
+  /// groups by destination but keeps (source asc, send order) inside each
+  /// group, which is exactly the order a single source-major pass
+  /// produces.
   RoundStats route_and_deliver_direct(RoundState& state, std::size_t capacity,
                                       std::size_t round_index,
                                       const std::string& step_name);
@@ -118,7 +131,8 @@ class Scheduler {
   /// inboxes. Runs on every program exit path.
   void materialize_scatter(RoundState& state);
   void deliver_and_compute(RoundState& state, std::size_t capacity,
-                           const ProgramStep& next_step);
+                           const ProgramStep& next_step,
+                           FetchCache* fetch_cache);
 
   ExecutionPolicy policy_;
   ThreadPool* pool_;  // null => phases run inline
@@ -142,6 +156,10 @@ class Scheduler {
   // swapped into the state only after the caps validate, so a cap violation
   // leaves the previous round's inboxes untouched.
   std::vector<ScatterInbox> scatter_scratch_;
+  // Per-run delegate-style read cache (engine/fetch_cache.hpp); reset at
+  // the start of every program that opts in (RoundProgram::fetch_cache)
+  // and flushed into the engine.fetch_cache_hits metric at program end.
+  FetchCache fetch_cache_;
 };
 
 }  // namespace arbor::engine

@@ -90,6 +90,18 @@ TransportConfig transport_env_default();
 /// fallback path stays exercised.
 bool route_aggregation_env_default();
 
+/// Process-wide default for ClusterConfig::merge_path, read once from the
+/// ARBOR_MERGE_PATH environment variable (strict boolean, see
+/// parse_bool_flag). Default ON; scripts/check.sh --bench-smoke runs the
+/// sort bench with the knob toggled both ways so the re-sort baseline
+/// stays exercised.
+bool merge_path_env_default();
+
+/// Process-wide default for ClusterConfig::fetch_cache, read once from the
+/// ARBOR_FETCH_CACHE environment variable (strict boolean, see
+/// parse_bool_flag). Default ON.
+bool fetch_cache_env_default();
+
 struct ClusterConfig {
   std::size_t num_machines = 0;
   std::size_t words_per_machine = 0;  ///< S
@@ -119,6 +131,26 @@ struct ClusterConfig {
   /// knob kept for A/B benches. Default on (or the ARBOR_ROUTE_AGGREGATION
   /// environment override).
   bool route_aggregation = route_aggregation_env_default();
+
+  /// Replace the sort pipeline's concat-then-re-sort sites (relay/root/
+  /// coordinator sample pools, the final bucket assembly) with the
+  /// engine's stable k-way merge of the per-source sorted runs the inbox
+  /// already delivers (engine::merge_sorted_runs). Ties resolve to the
+  /// earliest source run, which is exactly what std::stable_sort of the
+  /// concatenation preserved — outputs, fingerprints, and ledger totals
+  /// are bit-identical either way (tests/level0_programs_test.cpp); this
+  /// is a pure speed knob kept for A/B benches. Default on (or the
+  /// ARBOR_MERGE_PATH environment override).
+  bool merge_path = merge_path_env_default();
+
+  /// Serve repeated Sender::fetch()/send_fetched() payloads (peeling's
+  /// neighbor splits, broadcast fan-out slabs) from the executor's
+  /// per-run FetchCache instead of rebuilding them every pass
+  /// (engine/fetch_cache.hpp). Message bytes and boundaries are identical
+  /// with the cache on or off — a pure speed knob; checked execution
+  /// verifies every hit against a rebuild. Default on (or the
+  /// ARBOR_FETCH_CACHE environment override).
+  bool fetch_cache = fetch_cache_env_default();
 
   /// Where this cluster's distributable RoundPrograms execute: in-process
   /// (default), or across worker runtimes behind the src/net/ transport

@@ -40,6 +40,16 @@ struct SortState {
   /// the per-record upper_bound + append-buffer path. Same messages, same
   /// ledger charges — only the copy count differs.
   bool aggregate_routes = true;
+  /// Replace the concat-then-re-sort sites with engine::merge_sorted_inbox
+  /// (ClusterConfig::merge_path). The sample pools are ALWAYS mergeable —
+  /// every pool message is a sorted sample (sample_record_keys of a sorted
+  /// slab, or a re-sorted relay pool) — so those sites gate on merge_path
+  /// alone. The final bucket assembly is mergeable only when the route
+  /// rounds shipped contiguous sorted spans, so it gates on merge_path AND
+  /// aggregate_routes (the per-record path sends unsorted concatenations).
+  /// Bit-identical either way: delivery order is run order, and the merge
+  /// breaks ties to the earliest run exactly like the stable re-sort did.
+  bool merge_path = true;
 };
 
 // ---------------------------------------------------------- tree topology
@@ -124,12 +134,34 @@ std::vector<Word> pool_inbox(const engine::InboxView& inbox) {
   return pool;
 }
 
+// Key-sorted sample pool of an inbox. Every pool message is a sorted run
+// (an evenly-spaced sample of a sorted slab, or a relay's re-thinned
+// sorted pool), so the merge path k-way merges the runs in delivery order;
+// the baseline concatenates and stable-re-sorts, which yields the same
+// words (merge ties resolve to the earliest run — exactly what the stable
+// sort preserved).
+std::vector<Word> sorted_pool(const engine::InboxView& inbox, std::size_t kw,
+                              bool merge_path) {
+  if (merge_path) {
+    std::vector<Word> pool;
+    engine::merge_sorted_inbox(inbox, kw, kw, pool);
+    return pool;
+  }
+  std::vector<Word> pool = pool_inbox(inbox);
+  engine::stable_sort_records(pool, kw, kw);
+  return pool;
+}
+
 // Final compute-only round of the record sorts (either strategy): each
-// bucket machine concatenates its routed records and key-sorts them into
-// its result slot — inside a round so the engine spreads the final sorts
-// across its workers, and under the async scheduler overlapping the last
-// route round's delivery. Each step writes only its own preallocated
-// result slab, honouring the concurrency contract.
+// bucket machine assembles its routed records into its result slot, sorted
+// — inside a round so the engine spreads the final sorts across its
+// workers, and under the async scheduler overlapping the last route
+// round's delivery. Each step writes only its own preallocated result
+// slab, honouring the concurrency contract. Under merge_path AND
+// aggregate_routes the routed messages are contiguous sorted spans of
+// senders' key-sorted slabs, so the slab is a k-way merge instead of a
+// concat-and-re-sort; the per-record route ships unsorted concatenations,
+// so it always takes the re-sort.
 void append_bucket_sort_step(engine::RoundProgram& program, std::string name,
                              std::shared_ptr<SortState> st) {
   const std::size_t width = st->record_width;
@@ -138,6 +170,10 @@ void append_bucket_sort_step(engine::RoundProgram& program, std::string name,
       std::move(name),
       [st, width, kw](std::size_t m, const auto& inbox, Sender&) {
         auto& slab = st->result[m];
+        if (st->merge_path && st->aggregate_routes) {
+          engine::merge_sorted_inbox(inbox, width, kw, slab);
+          return;
+        }
         slab.reserve(inbox.total_words());
         for (const auto& msg : inbox)
           slab.insert(slab.end(), msg.begin(), msg.end());
@@ -204,8 +240,7 @@ engine::RoundProgram make_tree_sort_program(std::shared_ptr<SortState> st,
       "sample_sort.tree.up",
       [st, tree, kw](std::size_t m, const auto& inbox, Sender& send) {
         if (!tree.is_relay(m)) return;
-        std::vector<Word> pool = pool_inbox(inbox);
-        engine::stable_sort_records(pool, kw, kw);
+        const std::vector<Word> pool = sorted_pool(inbox, kw, st->merge_path);
         const std::vector<Word> thinned = engine::sample_record_keys(
             pool, kw, kw, st->samples_per_machine);
         if (!thinned.empty()) send.send(0, thinned);
@@ -221,8 +256,7 @@ engine::RoundProgram make_tree_sort_program(std::shared_ptr<SortState> st,
       [st, tree, machines, kw](std::size_t m, const auto& inbox,
                                Sender& send) {
         if (m != 0) return;
-        std::vector<Word> pool = pool_inbox(inbox);
-        engine::stable_sort_records(pool, kw, kw);
+        const std::vector<Word> pool = sorted_pool(inbox, kw, st->merge_path);
         const std::vector<Word> chosen =
             pick_splitters(pool, machines, kw);
         for (std::size_t g = 0; g < tree.groups; ++g) {
@@ -409,8 +443,7 @@ engine::RoundProgram make_coordinator_sort_program(
       "sample_sort.central.splitters",
       [st, machines, kw](std::size_t m, const auto& inbox, Sender& send) {
         if (m != 0) return;
-        std::vector<Word> pool = pool_inbox(inbox);
-        engine::stable_sort_records(pool, kw, kw);
+        const std::vector<Word> pool = sorted_pool(inbox, kw, st->merge_path);
         const std::vector<Word> chosen =
             pick_splitters(pool, machines, kw);
         for (std::size_t dst = 0; dst < machines; ++dst)
@@ -546,6 +579,7 @@ SampleSortResult sample_sort(Cluster& cluster,
   st->machines = machines;
   st->samples_per_machine = samples_per_machine;
   st->aggregate_routes = cluster.config().route_aggregation;
+  st->merge_path = cluster.config().merge_path;
 
   engine::RoundProgram program =
       make_sort_program(st, strategy, /*bucket_sort_round=*/false);
@@ -554,7 +588,8 @@ SampleSortResult sample_sort(Cluster& cluster,
     spec.name = "mpc.sample_sort";
     spec.scalars = {static_cast<Word>(samples_per_machine),
                     static_cast<Word>(strategy),
-                    static_cast<Word>(st->aggregate_routes ? 1 : 0)};
+                    static_cast<Word>(st->aggregate_routes ? 1 : 0),
+                    static_cast<Word>(st->merge_path ? 1 : 0)};
     spec.inputs = input;
     program.distributable(std::move(spec));
   }
@@ -566,6 +601,13 @@ SampleSortResult sample_sort(Cluster& cluster,
   SampleSortResult result;
   result.slabs.resize(machines);
   for (std::size_t m = 0; m < machines; ++m) {
+    // Same gate as the bucket-sort round: aggregated route messages are
+    // sorted word spans, mergeable; per-record messages are not. Words
+    // have a total order, so merge vs. sort is trivially bit-identical.
+    if (st->merge_path && st->aggregate_routes) {
+      engine::merge_sorted_inbox(cluster.inbox(m), 1, 1, result.slabs[m]);
+      continue;
+    }
     for (const auto& msg : cluster.inbox(m))
       result.slabs[m].insert(result.slabs[m].end(), msg.begin(), msg.end());
     std::sort(result.slabs[m].begin(), result.slabs[m].end());
@@ -595,6 +637,7 @@ RecordSortResult sample_sort_records(
   st->key_words = key_words;
   st->samples_per_machine = samples_per_machine;
   st->aggregate_routes = cluster.config().route_aggregation;
+  st->merge_path = cluster.config().merge_path;
   st->result.resize(machines);
 
   engine::RoundProgram program =
@@ -606,7 +649,8 @@ RecordSortResult sample_sort_records(
                     static_cast<Word>(key_words),
                     static_cast<Word>(samples_per_machine),
                     static_cast<Word>(strategy),
-                    static_cast<Word>(st->aggregate_routes ? 1 : 0)};
+                    static_cast<Word>(st->aggregate_routes ? 1 : 0),
+                    static_cast<Word>(st->merge_path ? 1 : 0)};
     spec.inputs = input;  // copy: the state takes the originals below
     spec.has_output = true;
     spec.output_sink = [st](std::size_t m, std::span<const Word> slab) {
@@ -626,12 +670,13 @@ RecordSortResult sample_sort_records(
 
 void register_sample_sort_programs(net::Registry& registry) {
   registry.add("mpc.sample_sort", [](const net::ProgramInputs& in) {
-    ARBOR_CHECK_MSG(in.scalars.size() == 3,
-                    "mpc.sample_sort expects 3 scalars");
+    ARBOR_CHECK_MSG(in.scalars.size() == 4,
+                    "mpc.sample_sort expects 4 scalars");
     auto st = std::make_shared<SortState>();
     st->machines = in.machines;
     st->samples_per_machine = static_cast<std::size_t>(in.scalars[0]);
     st->aggregate_routes = in.scalars[2] != 0;
+    st->merge_path = in.scalars[3] != 0;
     st->slabs.resize(in.machines);
     for (std::size_t m = in.block_begin; m < in.block_end; ++m)
       st->slabs[m] = in.inputs[m - in.block_begin];
@@ -643,14 +688,15 @@ void register_sample_sort_programs(net::Registry& registry) {
   });
 
   registry.add("mpc.sample_sort_records", [](const net::ProgramInputs& in) {
-    ARBOR_CHECK_MSG(in.scalars.size() == 5,
-                    "mpc.sample_sort_records expects 5 scalars");
+    ARBOR_CHECK_MSG(in.scalars.size() == 6,
+                    "mpc.sample_sort_records expects 6 scalars");
     auto st = std::make_shared<SortState>();
     st->machines = in.machines;
     st->record_width = static_cast<std::size_t>(in.scalars[0]);
     st->key_words = static_cast<std::size_t>(in.scalars[1]);
     st->samples_per_machine = static_cast<std::size_t>(in.scalars[2]);
     st->aggregate_routes = in.scalars[4] != 0;
+    st->merge_path = in.scalars[5] != 0;
     ARBOR_CHECK(st->record_width > 0 && st->key_words > 0 &&
                 st->key_words <= st->record_width);
     st->slabs.resize(in.machines);

@@ -123,22 +123,26 @@ class WorkerRuntime {
     };
   }
 
-  void compute_block(const engine::ProgramStep& step,
-                     check::Monitor* monitor) {
+  void compute_block(const engine::ProgramStep& step, check::Monitor* monitor,
+                     engine::FetchCache* fetch_cache) {
+    const engine::FetchContext fetch{fetch_cache,
+                                     engine::fetch_step_salt(step.name),
+                                     &step.name, w_.checked};
     if (monitor) {
       // Checked compute is single-threaded by design: the Monitor's
       // probe/replay machinery IS the schedule, so the pool stays idle.
       monitor->run_step(
           step, block_.first, block_.second,
           [this](std::size_t m) { return engine::InboxView(inboxes_[m]); },
-          outboxes_);
+          outboxes_, fetch);
       return;
     }
     const auto body = [&](std::size_t lo, std::size_t hi) {
       for (std::size_t i = lo; i < hi; ++i) {
         const std::size_t m = block_.first + i;
         outboxes_[m].clear();
-        engine::Sender sender(m, w_.capacity, w_.machines, outboxes_[m]);
+        engine::Sender sender(m, w_.capacity, w_.machines, outboxes_[m],
+                              fetch);
         step.fn(m, engine::InboxView(inboxes_[m]), sender);
       }
     };
@@ -237,9 +241,16 @@ class WorkerRuntime {
     for (OutboxFrameView& view : views)
       deliver_outbox_msgs(view, inboxes_, block_.first, block_.second);
 
+    // Sent volume is the sum of message lengths, not the arena size — the
+    // same accounting the in-process scheduler's route phase uses, so
+    // ledger totals agree even for senders that alias arena payloads.
     std::size_t max_sent = 0;
-    for (std::size_t m = block_.first; m < block_.second; ++m)
-      max_sent = std::max(max_sent, outboxes_[m].word_count());
+    for (std::size_t m = block_.first; m < block_.second; ++m) {
+      std::size_t sent = 0;
+      for (const engine::Outbox::Msg& msg : outboxes_[m].msgs)
+        sent += msg.length;
+      max_sent = std::max(max_sent, sent);
+    }
     deliver_span.end();
     if (metrics) {
       const std::int64_t done = trace::now_ns();
@@ -298,6 +309,13 @@ class WorkerRuntime {
           std::make_unique<check::Monitor>(wp.program, w_.capacity,
                                            w_.machines);
 
+    // Programs opt into the delegate-style read cache (the factory read the
+    // flag from its scalars); reset per program so entries never outlive
+    // the run that built them.
+    engine::FetchCache* fetch_cache =
+        wp.program.fetch_cache ? &fetch_cache_ : nullptr;
+    if (fetch_cache) fetch_cache->reset(w_.machines);
+
     trace::Span program_span = tracer_.span("net", "program " + frame.name);
     std::size_t executed = 0;  // rounds completed in this program
     std::size_t passes = 0;
@@ -307,7 +325,7 @@ class WorkerRuntime {
             tracer_.metrics_on() ? trace::now_ns() : 0;
         {
           trace::Span span = tracer_.span("net", "compute " + step.name);
-          compute_block(step, monitor.get());
+          compute_block(step, monitor.get(), fetch_cache);
         }
         const auto [max_sent, max_received] =
             exchange(executed, frame.first_round + executed, step.name);
@@ -363,6 +381,13 @@ class WorkerRuntime {
       }
     }
 
+    if (fetch_cache && tracer_.metrics_on()) {
+      const std::size_t hits = fetch_cache->total_hits();
+      if (hits > 0)
+        tracer_.metrics().add("engine.fetch_cache_hits",
+                              static_cast<std::uint64_t>(hits));
+    }
+
     if (frame.has_output) {
       std::vector<Word> payload;
       for (std::size_t m = block_.first; m < block_.second; ++m) {
@@ -392,6 +417,9 @@ class WorkerRuntime {
   std::vector<engine::Inbox> inboxes_;
   std::vector<engine::Outbox> outboxes_;
   std::optional<engine::ThreadPool> pool_;
+  /// Per-program delegate-style read cache (engine/fetch_cache.hpp),
+  /// mirroring the in-process scheduler's.
+  engine::FetchCache fetch_cache_;
   /// Runtime-local tracer (NOT the process-global one): loopback runtimes
   /// share the driver's address space, so a per-runtime instance keeps
   /// worker spans out of the driver's buffers until they arrive the same

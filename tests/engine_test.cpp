@@ -242,6 +242,113 @@ TEST(Records, SendRecordsMatchesPerRecordRouting) {
   EXPECT_EQ(bulk.words_sent(), slab.size());
 }
 
+// ------------------------------------------------- stable k-way merge
+
+// The contract: merge_sorted_runs == std::stable_sort of the runs'
+// concatenation in run order (engine::stable_sort_records is exactly
+// that). Every test below compares against this reference.
+std::vector<Word> merge_reference(const std::vector<std::vector<Word>>& runs,
+                                  std::size_t width, std::size_t key_words) {
+  std::vector<Word> all;
+  for (const auto& run : runs) all.insert(all.end(), run.begin(), run.end());
+  engine::stable_sort_records(all, width, key_words);
+  return all;
+}
+
+std::vector<Word> merge_runs(const std::vector<std::vector<Word>>& runs,
+                             std::size_t width, std::size_t key_words) {
+  std::vector<std::span<const Word>> spans(runs.begin(), runs.end());
+  std::vector<Word> out;
+  engine::merge_sorted_runs(spans, width, key_words, out);
+  return out;
+}
+
+TEST(RecordMerge, RaggedRunCountsIncludingEmptyRuns) {
+  // 0 runs, 1 run, and k runs with empties interleaved all merge clean.
+  EXPECT_TRUE(merge_runs({}, 2, 1).empty());
+  EXPECT_EQ(merge_runs({{3, 10, 5, 11}}, 2, 1),
+            (std::vector<Word>{3, 10, 5, 11}));
+  const std::vector<std::vector<Word>> ragged{
+      {}, {4, 20}, {}, {1, 30, 4, 31, 9, 32}, {2, 40}, {}};
+  EXPECT_EQ(merge_runs(ragged, 2, 1), merge_reference(ragged, 2, 1));
+  EXPECT_EQ(merge_runs(ragged, 2, 1),
+            (std::vector<Word>{1, 30, 2, 40, 4, 20, 4, 31, 9, 32}));
+}
+
+TEST(RecordMerge, DuplicateKeysResolveToEarliestRun) {
+  // Three runs of identical keys, payload = run id: stability demands the
+  // output interleave run 0's records before run 1's before run 2's at
+  // every tied key — exactly the stable sort of the concatenation.
+  std::vector<std::vector<Word>> runs(3);
+  for (std::size_t r = 0; r < runs.size(); ++r)
+    for (const Word key : {5u, 5u, 8u}) {
+      runs[r].push_back(key);
+      runs[r].push_back(r);
+    }
+  const std::vector<Word> merged = merge_runs(runs, 2, 1);
+  EXPECT_EQ(merged, merge_reference(runs, 2, 1));
+  EXPECT_EQ(merged,
+            (std::vector<Word>{5, 0, 5, 0, 5, 1, 5, 1, 5, 2, 5, 2,
+                               8, 0, 8, 1, 8, 2}));
+}
+
+TEST(RecordMerge, WidthOneFastPathMatchesSort) {
+  util::SplitRng rng(74);
+  std::vector<std::vector<Word>> runs(5);
+  for (auto& run : runs) {
+    for (std::size_t i = 0; i < 200; ++i) run.push_back(rng.next_below(64));
+    std::sort(run.begin(), run.end());
+  }
+  EXPECT_EQ(merge_runs(runs, 1, 1), merge_reference(runs, 1, 1));
+}
+
+// Randomized cross-check of the galloping heap merge against the linear
+// reference, on run shapes chosen to exercise the gallop: one dominating
+// run with long stretches below every other head, plus short runs, heavy
+// key duplication, and a multi-word lexicographic key.
+TEST(RecordMerge, GallopMatchesLinearReferenceOnRandomRuns) {
+  util::SplitRng rng(75);
+  constexpr std::size_t kWidth = 3, kKeyWords = 2;
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t k = 1 + rng.next_below(9);
+    std::vector<std::vector<Word>> runs(k);
+    Word payload = 0;
+    for (std::size_t r = 0; r < k; ++r) {
+      // Run 0 is long (gallop batches), later runs progressively shorter
+      // (frequent heap churn); some runs roll empty.
+      const std::size_t records =
+          r == 0 ? 300 : rng.next_below(40 / (r + 1) + 2);
+      for (std::size_t i = 0; i < records; ++i) {
+        runs[r].push_back(rng.next_below(16));  // heavy duplication
+        runs[r].push_back(rng.next_below(4));
+        runs[r].push_back(payload++);  // non-key word rides along
+      }
+      engine::stable_sort_records(runs[r], kWidth, kKeyWords);
+    }
+    EXPECT_EQ(merge_runs(runs, kWidth, kKeyWords),
+              merge_reference(runs, kWidth, kKeyWords))
+        << "trial " << trial;
+  }
+}
+
+TEST(RecordMerge, AppendsToExistingOutputAndMergesInboxes) {
+  // merge_sorted_runs APPENDS (the bucket-sort round merges into a result
+  // slab that outlives the call); merge_sorted_inbox adapts an inbox's
+  // messages as the runs, in delivery order.
+  const std::vector<std::vector<Word>> runs{{2, 9}, {1, 7}};
+  std::vector<std::span<const Word>> spans(runs.begin(), runs.end());
+  std::vector<Word> out{99};
+  engine::merge_sorted_runs(spans, 2, 1, out);
+  EXPECT_EQ(out, (std::vector<Word>{99, 1, 7, 2, 9}));
+
+  engine::Inbox inbox;
+  inbox.append(std::vector<Word>{4, 6, 6, 8});
+  inbox.append(std::vector<Word>{5, 5});
+  std::vector<Word> merged;
+  engine::merge_sorted_inbox(engine::InboxView(inbox), 1, 1, merged);
+  EXPECT_EQ(merged, (std::vector<Word>{4, 5, 5, 6, 6, 8}));
+}
+
 // -------------------------------------------- delivery order determinism
 
 // The engine must deliver messages in (source asc, send order) for every

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <map>
 
 #include "graph/generators.hpp"
@@ -400,6 +401,104 @@ TEST(SampleSort, RouteAggregationOnOffBitIdentical) {
   EXPECT_EQ(on.rounds, off.rounds);
 }
 
+// The merge path (k-way merge of sorted inbox runs, default on) is the
+// same kind of pure speed knob: sample pools at relays/root/coordinator
+// and the final bucket slabs must be bit-identical to the re-sort
+// fallback — outputs, rounds, AND ledger totals — across both splitter
+// strategies and both route-aggregation settings (the bucket-round merge
+// gates on aggregation; the pool merges do not).
+TEST(RecordSampleSort, MergePathOnOffBitIdentical) {
+  util::SplitRng rng(33);
+  std::vector<std::vector<Word>> input(8);
+  std::size_t idx = 0;
+  for (auto& slab : input)
+    for (int r = 0; r < 24; ++r) {
+      slab.push_back(rng.next_below(8));  // splitter-colliding duplicates
+      slab.push_back(idx++);
+    }
+
+  for (const bool aggregate : {true, false}) {
+    for (const SplitterStrategy strategy :
+         {SplitterStrategy::kTree, SplitterStrategy::kCoordinator}) {
+      ClusterConfig cfg{8, 8192};
+      cfg.route_aggregation = aggregate;
+      cfg.merge_path = true;
+      RoundLedger on_ledger(cfg);
+      Cluster on_cluster(cfg, &on_ledger);
+      const RecordSortResult on =
+          sample_sort_records(on_cluster, input, 2, 2, 8, strategy);
+
+      cfg.merge_path = false;
+      RoundLedger off_ledger(cfg);
+      Cluster off_cluster(cfg, &off_ledger);
+      const RecordSortResult off =
+          sample_sort_records(off_cluster, input, 2, 2, 8, strategy);
+
+      EXPECT_EQ(on.slabs, off.slabs);
+      EXPECT_EQ(on.rounds, off.rounds);
+      EXPECT_EQ(on_ledger.total_rounds(), off_ledger.total_rounds());
+      EXPECT_EQ(on_ledger.traffic_words_by_label(),
+                off_ledger.traffic_words_by_label());
+      EXPECT_EQ(on_ledger.peak_round_traffic(),
+                off_ledger.peak_round_traffic());
+    }
+  }
+}
+
+TEST(SampleSort, MergePathOnOffBitIdentical) {
+  const auto input = random_slabs(16, 48, 34);
+  for (const bool aggregate : {true, false}) {
+    ClusterConfig cfg{16, 1024};
+    cfg.route_aggregation = aggregate;
+    cfg.merge_path = true;
+    Cluster on_cluster(cfg, nullptr);
+    const SampleSortResult on = sample_sort(on_cluster, input);
+    cfg.merge_path = false;
+    Cluster off_cluster(cfg, nullptr);
+    const SampleSortResult off = sample_sort(off_cluster, input);
+    EXPECT_EQ(on.slabs, off.slabs);
+    EXPECT_EQ(on.rounds, off.rounds);
+  }
+}
+
+// The fetch cache (delegate-style read memo, default on) must never change
+// what a program sends: peeling layers and broadcast copies are
+// bit-identical with the cache disabled, along with every ledger total.
+TEST(EmbeddedPeeling, FetchCacheOnOffBitIdentical) {
+  util::SplitRng rng(35);
+  const graph::Graph g = graph::gnm(300, 900, rng);
+  ClusterConfig cfg{8, 4096};
+  cfg.fetch_cache = true;
+  RoundLedger on_ledger(cfg);
+  Cluster on_cluster(cfg, &on_ledger);
+  const auto on = local::embedded_threshold_peeling(g, 6, on_cluster, 100);
+
+  cfg.fetch_cache = false;
+  RoundLedger off_ledger(cfg);
+  Cluster off_cluster(cfg, &off_ledger);
+  const auto off = local::embedded_threshold_peeling(g, 6, off_cluster, 100);
+
+  EXPECT_EQ(on.layer, off.layer);
+  EXPECT_EQ(on.num_layers, off.num_layers);
+  EXPECT_EQ(on.complete, off.complete);
+  EXPECT_EQ(on_ledger.total_rounds(), off_ledger.total_rounds());
+  EXPECT_EQ(on_ledger.traffic_words_by_label(),
+            off_ledger.traffic_words_by_label());
+  EXPECT_EQ(on_ledger.peak_round_traffic(), off_ledger.peak_round_traffic());
+}
+
+TEST(Broadcast, FetchCacheOnOffBitIdentical) {
+  ClusterConfig cfg{8, 4096};
+  cfg.fetch_cache = true;
+  Cluster on_cluster(cfg, nullptr);
+  const BroadcastResult on = broadcast_tree(on_cluster, 3, {7, 8, 9}, 2);
+  cfg.fetch_cache = false;
+  Cluster off_cluster(cfg, nullptr);
+  const BroadcastResult off = broadcast_tree(off_cluster, 3, {7, 8, 9}, 2);
+  EXPECT_EQ(on.copies, off.copies);
+  EXPECT_EQ(on.rounds, off.rounds);
+}
+
 TEST(RecordSampleSort, RejectsRaggedArena) {
   const ClusterConfig cfg{2, 64};
   Cluster cluster(cfg, nullptr);
@@ -647,13 +746,15 @@ struct MatrixOutcome {
 };
 
 template <typename RunFn>
-void expect_matrix_identical(const char* what, const RunFn& run,
-                             std::size_t machines = 8,
-                             std::size_t capacity = 4096) {
+void expect_matrix_identical(
+    const char* what, const RunFn& run, std::size_t machines = 8,
+    std::size_t capacity = 4096,
+    const std::function<void(ClusterConfig&)>& configure = {}) {
   std::vector<MatrixOutcome> outcomes;
   for (const ExecutionPolicy& policy : determinism_matrix()) {
     ClusterConfig cfg{machines, capacity};
     cfg.execution = policy;
+    if (configure) configure(cfg);
     RoundLedger ledger(cfg);
     Cluster cluster(cfg, &ledger);
     run(cluster, outcomes.empty());
@@ -844,6 +945,51 @@ TEST(DeterminismMatrix, EmbeddedPeeling) {
     else
       EXPECT_EQ(result.layer, reference_layers);
   });
+}
+
+// The fallback paths are locked across the same matrix as the defaults:
+// the re-sort baseline (merge_path off) and the uncached fetch path
+// (fetch_cache off) must be every bit as policy/async-independent — the
+// A/B comparisons above are only meaningful if both arms are
+// deterministic.
+TEST(DeterminismMatrix, RecordSampleSortMergePathOff) {
+  util::SplitRng rng(28);
+  std::vector<std::vector<Word>> input(8);
+  std::size_t payload = 0;
+  for (auto& slab : input)
+    for (int r = 0; r < 24; ++r) {
+      slab.push_back(rng.next_below(8));
+      slab.push_back(payload++);
+    }
+  std::vector<std::vector<Word>> reference;
+  expect_matrix_identical(
+      "sample_sort_records/no-merge-path",
+      [&](Cluster& cluster, bool first) {
+        const RecordSortResult result =
+            sample_sort_records(cluster, input, 2, 1);
+        if (first)
+          reference = result.slabs;
+        else
+          EXPECT_EQ(result.slabs, reference);
+      },
+      8, 4096, [](ClusterConfig& cfg) { cfg.merge_path = false; });
+}
+
+TEST(DeterminismMatrix, EmbeddedPeelingFetchCacheOff) {
+  util::SplitRng rng(29);
+  const graph::Graph g = graph::gnm(300, 900, rng);
+  std::vector<std::uint32_t> reference_layers;
+  expect_matrix_identical(
+      "peeling/no-fetch-cache",
+      [&](Cluster& cluster, bool first) {
+        const local::EmbeddedPeelingResult result =
+            local::embedded_threshold_peeling(g, 6, cluster, 100);
+        if (first)
+          reference_layers = result.layer;
+        else
+          EXPECT_EQ(result.layer, reference_layers);
+      },
+      8, 4096, [](ClusterConfig& cfg) { cfg.fetch_cache = false; });
 }
 
 }  // namespace

@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <map>
 #include <memory>
 #include <ranges>
@@ -340,6 +341,34 @@ TEST(EnvOverrides, RouteAggregationFlagIsStrict) {
               mpc::route_aggregation_env_default());
 }
 
+// ARBOR_MERGE_PATH and ARBOR_FETCH_CACHE follow the same discipline:
+// strict boolean parse, "off" selects the A/B baseline (wholesale re-sort,
+// uncached fetches), typos fail loudly, and the compiled-in default is on
+// when the variable is unset.
+TEST(EnvOverrides, MergePathFlagIsStrict) {
+  EXPECT_TRUE(mpc::parse_bool_flag("on", "ARBOR_MERGE_PATH"));
+  EXPECT_FALSE(mpc::parse_bool_flag("off", "ARBOR_MERGE_PATH"));
+  expect_rejected([] { mpc::parse_bool_flag("merge", "ARBOR_MERGE_PATH"); },
+                  "ARBOR_MERGE_PATH=\"merge\"");
+  ClusterConfig cfg{2, 64};
+  cfg.merge_path = false;
+  EXPECT_FALSE(cfg.merge_path);
+  EXPECT_TRUE((ClusterConfig{2, 64}).merge_path ==
+              mpc::merge_path_env_default());
+}
+
+TEST(EnvOverrides, FetchCacheFlagIsStrict) {
+  EXPECT_TRUE(mpc::parse_bool_flag("on", "ARBOR_FETCH_CACHE"));
+  EXPECT_FALSE(mpc::parse_bool_flag("off", "ARBOR_FETCH_CACHE"));
+  expect_rejected([] { mpc::parse_bool_flag("lru", "ARBOR_FETCH_CACHE"); },
+                  "ARBOR_FETCH_CACHE=\"lru\"");
+  ClusterConfig cfg{2, 64};
+  cfg.fetch_cache = false;
+  EXPECT_FALSE(cfg.fetch_cache);
+  EXPECT_TRUE((ClusterConfig{2, 64}).fetch_cache ==
+              mpc::fetch_cache_env_default());
+}
+
 TEST(EnvOverrides, TransportFlagParsesKindsAndWorkerCounts) {
   EXPECT_EQ(mpc::parse_transport_flag("inprocess", "ARBOR_TRANSPORT"),
             TransportConfig{});
@@ -408,13 +437,15 @@ struct MatrixOutcome {
 };
 
 template <typename RunFn>
-void expect_transports_identical(const char* what, const RunFn& run,
-                                 std::size_t machines = 8,
-                                 std::size_t capacity = 4096) {
+void expect_transports_identical(
+    const char* what, const RunFn& run, std::size_t machines = 8,
+    std::size_t capacity = 4096,
+    const std::function<void(ClusterConfig&)>& configure = {}) {
   std::vector<MatrixOutcome> outcomes;
   for (const TransportConfig& transport : transport_matrix()) {
     ClusterConfig cfg{machines, capacity};
     cfg.transport = transport;
+    if (configure) configure(cfg);
     mpc::RoundLedger ledger(cfg);
     mpc::Cluster cluster(cfg, &ledger);
     EXPECT_EQ(cluster.distributed(), !transport.in_process());
@@ -578,6 +609,50 @@ TEST(TransportDeterminismMatrix, EmbeddedPeeling) {
           EXPECT_EQ(result.num_layers, reference_num_layers);
         }
       });
+}
+
+// The knob-off fallbacks travel as RemoteSpec scalars too: the re-sort
+// baseline and the uncached fetch path must be just as bit-identical
+// across transports as the defaults, or the A/B comparison is meaningless
+// off the in-process engine.
+TEST(TransportDeterminismMatrix, RecordSampleSortMergePathOff) {
+  util::SplitRng rng(127);
+  std::vector<std::vector<Word>> input(8);
+  std::size_t payload = 0;
+  for (auto& slab : input)
+    for (int r = 0; r < 24; ++r) {
+      slab.push_back(rng.next_below(8));
+      slab.push_back(payload++);
+    }
+  std::vector<std::vector<Word>> reference;
+  expect_transports_identical(
+      "sample_sort_records/no-merge-path",
+      [&](mpc::Cluster& cluster, bool first) {
+        const mpc::RecordSortResult result =
+            sample_sort_records(cluster, input, 2, 1);
+        if (first)
+          reference = result.slabs;
+        else
+          EXPECT_EQ(result.slabs, reference);
+      },
+      8, 4096, [](ClusterConfig& cfg) { cfg.merge_path = false; });
+}
+
+TEST(TransportDeterminismMatrix, EmbeddedPeelingFetchCacheOff) {
+  util::SplitRng rng(128);
+  const graph::Graph g = graph::gnm(300, 900, rng);
+  std::vector<std::uint32_t> reference_layers;
+  expect_transports_identical(
+      "peeling/no-fetch-cache",
+      [&](mpc::Cluster& cluster, bool first) {
+        const local::EmbeddedPeelingResult result =
+            local::embedded_threshold_peeling(g, 6, cluster, 100);
+        if (first)
+          reference_layers = result.layer;
+        else
+          EXPECT_EQ(result.layer, reference_layers);
+      },
+      8, 4096, [](ClusterConfig& cfg) { cfg.fetch_cache = false; });
 }
 
 // Back-to-back programs on one distributed cluster: the second program's
